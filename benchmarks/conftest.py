@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the rows/series the paper reports (captured in ``bench_output.txt``).
+Heavy experiments run once per benchmark (``rounds=1``): the interesting
+output is the experiment result, not its timing distribution.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

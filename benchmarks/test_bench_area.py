@@ -1,0 +1,28 @@
+"""Equal-area comparison: 32 reconfigurable vs 38 fixed cores (§VII)."""
+
+from repro.experiments.area_equivalence import (
+    render_area_equivalence,
+    run_area_equivalence,
+)
+
+
+def test_bench_area_equivalence(once, capsys):
+    """What the 19 % area tax buys back under power caps."""
+    results = once(run_area_equivalence)
+    with capsys.disabled():
+        print()
+        print(render_area_equivalence(results))
+
+    def ratio(cap):
+        reconf, fixed = results[cap]
+        return reconf.batch_instructions_b / fixed.batch_instructions_b
+
+    # At relaxed caps, more fixed cores win (all can be powered)...
+    assert ratio(0.9) < 1.0
+    # ...but under tight caps the extra silicon goes dark and
+    # reconfiguration wins despite 6 fewer cores.
+    assert ratio(0.5) > 1.2
+    assert ratio(0.5) > ratio(0.7) > ratio(0.9)
+    # QoS holds for CuttleSys throughout.
+    for cap, (reconf, _) in results.items():
+        assert reconf.qos_violations == 0

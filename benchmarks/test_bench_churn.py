@@ -1,0 +1,24 @@
+"""Job-churn study: unseen applications arriving online (§V story)."""
+
+from repro.experiments.churn_study import (
+    churn_cost,
+    render_churn_study,
+    run_churn_study,
+)
+
+
+def test_bench_churn_study(once, capsys):
+    """CuttleSys absorbing previously-unseen batch arrivals."""
+    outcomes = once(run_churn_study)
+    with capsys.disabled():
+        print()
+        print(render_churn_study(outcomes))
+    # Newcomers are re-profiled and placed without QoS damage...
+    for outcome in outcomes:
+        assert outcome.qos_violations == 0
+    # ...at a small throughput cost relative to a stable mix.
+    assert churn_cost(outcomes, "cuttlesys") > 0.9
+    # The oracle pays churn costs too (phase resets, placement shifts);
+    # CuttleSys's extra inference cost stays bounded.
+    assert churn_cost(outcomes, "cuttlesys") > \
+        churn_cost(outcomes, "oracle-reconfig") - 0.1

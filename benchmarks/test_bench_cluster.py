@@ -1,0 +1,24 @@
+"""Rack-level power brokering over CuttleSys sockets (§I's global manager)."""
+
+from repro.experiments.cluster_study import (
+    render_cluster_study,
+    run_cluster_study,
+)
+
+
+def test_bench_cluster_brokering(once, capsys):
+    """Static 50/50 rack split vs dynamic per-quantum brokering."""
+    results = once(run_cluster_study, n_slices=20)
+    with capsys.disabled():
+        print()
+        print(render_cluster_study(results))
+    static = results["static-50-50"]
+    broker = results["broker"]
+    # Dynamic brokering harvests the under-populated socket's slack.
+    assert broker.rack_instructions_b > static.rack_instructions_b * 1.03
+    # The moved budget is visible in socket A's range.
+    lo, hi = broker.socket_a_budget_range
+    assert hi > lo * 1.1
+    # QoS holds on both sockets under both schemes.
+    assert static.qos_violations == 0
+    assert broker.qos_violations == 0

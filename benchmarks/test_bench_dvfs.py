@@ -1,0 +1,28 @@
+"""Extension study: reconfiguration vs DVFS across leakage regimes."""
+
+from repro.experiments.dvfs_comparison import (
+    render_dvfs_comparison,
+    run_dvfs_comparison,
+)
+
+
+def test_bench_dvfs_comparison(once, capsys):
+    """§II-A study: DVFS ladders vs core gating vs reconfiguration."""
+    nominal = once(run_dvfs_comparison)
+    high_leakage = run_dvfs_comparison(leakage_scale=2.5)
+    with capsys.disabled():
+        print()
+        print("leakage x1.0 (today's node):")
+        print(render_dvfs_comparison(nominal))
+        print()
+        print("leakage x2.5 (future node):")
+        print(render_dvfs_comparison(high_leakage))
+    # Razor-thin voltage margins measurably erode DVFS at tight caps.
+    assert nominal.dvfs_headroom_loss(0.5) < 0.95
+    # The erosion worsens as leakage grows.
+    assert high_leakage.dvfs_headroom_loss(0.5) <= \
+        nominal.dvfs_headroom_loss(0.5) + 0.02
+    # Reconfiguration dominates whole-core gating at every cap.
+    for cap in nominal.caps:
+        assert nominal.advantage(cap, over="core-gating") >= 0.95
+    assert nominal.advantage(0.5, over="core-gating") > 1.2

@@ -1,0 +1,19 @@
+"""Fig. 1 — characterisation of the five LC services (paper §III)."""
+
+from repro.experiments.fig1_characterization import render_fig1, run_fig1
+
+
+def test_bench_fig1_characterization(once, capsys):
+    """Tail latency + power of all services across 27 core configs."""
+    results = once(run_fig1)
+    with capsys.disabled():
+        print()
+        print(render_fig1(results))
+    # The headline claim: each service's best low-power config differs.
+    bests = {
+        name: per_load[0.8].best_low_power_config().label
+        for name, per_load in results.items()
+    }
+    assert bests["xapian"] == "{2,2,6}"
+    assert bests["moses"] == "{6,2,4}"
+    assert len(set(bests.values())) >= 3

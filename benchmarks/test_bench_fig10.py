@@ -1,0 +1,22 @@
+"""Fig. 10 — DDS vs GA design-space exploration."""
+
+from repro.experiments.fig10_dds_vs_ga import (
+    render_fig10,
+    run_fig10a,
+    run_fig10b,
+)
+
+
+def test_bench_fig10_dds_vs_ga(once, capsys):
+    """Exploration clouds (10a) and SGD-DDS vs SGD-GA runs (10b)."""
+    a = once(run_fig10a)
+    b = run_fig10b(mix_indices=(0, 25), caps=(0.9, 0.7, 0.5), n_slices=8)
+    with capsys.disabled():
+        print()
+        print(render_fig10(a, b))
+    # DDS reaches at least as good a point on the frozen problem.
+    assert a.dds.best_objective >= a.ga.best_objective * 0.99
+    # Across full runs, DDS never loses badly and wins somewhere.
+    advantages = [b.advantage(cap) for cap in b.caps]
+    assert min(advantages) > 0.9
+    assert max(advantages) > 1.0

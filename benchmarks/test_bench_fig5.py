@@ -1,0 +1,19 @@
+"""Fig. 5(a)/(b) — SGD reconstruction accuracy boxes."""
+
+from repro.experiments.fig5_accuracy import render_fig5, run_fig5a, run_fig5b
+
+
+def test_bench_fig5_accuracy(once, capsys):
+    """Isolation and colocation error percentiles (paper bands)."""
+    isolation = once(run_fig5a)
+    colocation = run_fig5b()
+    with capsys.disabled():
+        print()
+        print(render_fig5(isolation, colocation))
+    # Paper: 25th/75th within 10 %, 5th/95th within ~20 % (isolation).
+    assert abs(isolation.throughput["p25"]) < 10
+    assert abs(isolation.throughput["p75"]) < 10
+    assert abs(isolation.throughput["p5"]) < 25
+    assert abs(isolation.throughput["p95"]) < 25
+    # Colocation medians stay near zero (§VIII-B).
+    assert abs(colocation.throughput["median"]) < 10

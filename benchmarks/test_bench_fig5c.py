@@ -1,0 +1,40 @@
+"""Fig. 5(c) — relative useful work vs power cap (the headline result).
+
+Defaults to one mix per LC service x 5 caps x 6 policies x 10 slices;
+set ``REPRO_FULL_SWEEP=1`` in the environment to rerun all 50 mixes.
+"""
+
+import os
+
+from repro.experiments.fig5c_powercaps import (
+    PAPER_CAPS,
+    render_fig5c,
+    run_fig5c,
+)
+
+
+def test_bench_fig5c_power_caps(once, capsys):
+    """The power-cap sweep of Fig. 5c."""
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        mix_indices = range(50)
+    else:
+        mix_indices = (0, 12, 25, 37, 44)
+    result = once(run_fig5c, mix_indices=mix_indices, caps=PAPER_CAPS,
+                  n_slices=10)
+    with capsys.disabled():
+        print()
+        print(render_fig5c(result))
+
+    # Shape assertions from the paper:
+    # (1) at relaxed caps the fixed-core designs hold their own,
+    assert result.relative[0.9]["core-gating"] > 0.95
+    # (2) CuttleSys overtakes core-level gating at stringent caps,
+    assert result.speedup(0.5, "cuttlesys", "core-gating") > 1.1
+    assert result.speedup(0.5, "cuttlesys", "core-gating+wp") > 1.1
+    # (3) and closes on / passes the oracle-like asymmetric multicore.
+    assert result.speedup(0.5, "cuttlesys", "asymm-oracle") > 0.9
+    # (4) QoS is satisfied throughout for CuttleSys.
+    total_qos = sum(
+        result.qos_violations[c]["cuttlesys"] for c in result.caps
+    )
+    assert total_qos <= 1

@@ -1,0 +1,18 @@
+"""Fig. 7 — per-timeslice instructions under a 70 % cap."""
+
+from repro.experiments.fig7_timeline import render_fig7, run_fig7
+
+
+def test_bench_fig7_timeline(once, capsys):
+    """Instructions per 0.1 s slice for gating / asymmetric / CuttleSys."""
+    results = once(run_fig7, n_slices=10)
+    with capsys.disabled():
+        print()
+        print(render_fig7(results))
+    # Core gating turns cores off; the others keep them active.
+    assert min(results["core-gating"].active_batch_cores) < 16
+    assert min(results["asymm-oracle"].active_batch_cores) == 16
+    # CuttleSys's steady-state slices beat core gating's.
+    cs = sum(results["cuttlesys"].instructions_b[5:])
+    cg = sum(results["core-gating"].instructions_b[5:])
+    assert cs > cg * 0.95

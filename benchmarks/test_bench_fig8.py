@@ -1,0 +1,54 @@
+"""Fig. 8 — CuttleSys dynamics: load, power budget, core relocation."""
+
+from repro.experiments.fig8_dynamic import (
+    render_fig8,
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+)
+
+
+def test_bench_fig8a_varying_load(once, capsys):
+    """Diurnal load at a 70 % cap (paper Fig. 8a)."""
+    trace = once(run_fig8a, n_slices=20)
+    with capsys.disabled():
+        print()
+        print(render_fig8(trace))
+    # QoS violations at most transient (load rises mid-quantum).
+    violations = sum(1 for r in trace.p99_over_qos if r > 1.0)
+    assert violations <= 3
+    # The LC configuration must widen at peak load vs the trough.
+    trough_cfg = trace.lc_configs[1]
+    peak_idx = trace.loads.index(max(trace.loads))
+    assert trace.loads[peak_idx] > trace.loads[1]
+
+
+def test_bench_fig8b_varying_budget(once, capsys):
+    """Power-budget step 90 -> 60 -> 90 % at constant load (Fig. 8b)."""
+    trace = once(run_fig8b, n_slices=21)
+    with capsys.disabled():
+        print()
+        print(render_fig8(trace))
+    third = len(trace.budget_w) // 3
+    import numpy as np
+    early = np.mean(trace.batch_gmean_bips[2:third])
+    mid = np.mean(trace.batch_gmean_bips[third + 2:2 * third])
+    late = np.mean(trace.batch_gmean_bips[2 * third + 2:])
+    # Batch throughput drops with the budget and recovers after.
+    assert mid < early
+    assert late > mid
+    # QoS holds throughout the budget swing.
+    assert all(r <= 1.05 for r in trace.p99_over_qos)
+
+
+def test_bench_fig8c_core_relocation(once, capsys):
+    """Load surge forcing core reclamation, then yield-back (Fig. 8c)."""
+    trace = once(run_fig8c, n_slices=24)
+    with capsys.disabled():
+        print()
+        print(render_fig8(trace))
+    surge_start = next(i for i, l in enumerate(trace.loads) if l > 0.9)
+    pre = trace.lc_cores[surge_start]
+    peak = max(trace.lc_cores[surge_start:])
+    assert peak > pre          # cores reclaimed under the surge
+    assert trace.lc_cores[-1] < peak  # yielded back after it

@@ -1,0 +1,17 @@
+"""Fig. 9 — prediction error: SGD vs Flicker's RBF surrogate."""
+
+from repro.experiments.fig9_sgd_vs_rbf import render_fig9, run_fig9
+
+
+def test_bench_fig9_sgd_vs_rbf(once, capsys):
+    """SGD (2 samples) vs RBF (3 samples) error distributions."""
+    result = once(run_fig9)
+    with capsys.disabled():
+        print()
+        print(render_fig9(result))
+    # The paper's claim: with comparable information, RBF's errors are
+    # dramatically larger (outliers in the hundreds of percent).
+    assert result.rbf_throughput["max_abs"] > 100.0
+    assert result.rbf_throughput["max_abs"] > \
+        2 * result.sgd_throughput["max_abs"]
+    assert result.sgd_power["max_abs"] < result.rbf_power["max_abs"]

@@ -1,0 +1,25 @@
+"""§VIII-E — Flicker comparison: QoS violations and throughput."""
+
+from repro.experiments.flicker_comparison import (
+    render_flicker,
+    run_flicker_qos,
+    run_flicker_throughput,
+)
+
+
+def test_bench_flicker_comparison(once, capsys):
+    """Both Flicker methodologies vs CuttleSys."""
+    qos = once(run_flicker_qos)
+    throughput = run_flicker_throughput(n_slices=8)
+    with capsys.disabled():
+        print()
+        print(render_flicker(qos, throughput))
+    # Paper: method (a) violates QoS by over an order of magnitude;
+    # method (b) sits much closer to the QoS line than CuttleSys (the
+    # paper measures ~1.5x over; our substrate has no memory-bandwidth
+    # contention, so (b) lands near-but-under QoS — see EXPERIMENTS.md).
+    assert qos.method_a_p99_over_qos > 3.0
+    assert qos.method_b_p99_over_qos > qos.cuttlesys_p99_over_qos
+    assert qos.cuttlesys_p99_over_qos <= 1.0
+    assert qos.method_a_p99_over_qos > qos.method_b_p99_over_qos
+    assert throughput.cuttlesys_qos_violations == 0

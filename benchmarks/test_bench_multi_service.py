@@ -1,0 +1,23 @@
+"""Two LC services on one machine (§VII-A generalisability claim)."""
+
+from repro.experiments.multi_service import (
+    render_multi_service,
+    run_multi_service,
+)
+
+
+def test_bench_multi_service(once, capsys):
+    """xapian + silo colocated with a batch mix under one budget."""
+    result = once(run_multi_service)
+    with capsys.disabled():
+        print()
+        print(render_multi_service(result))
+    # At most transient exploratory violations across both services.
+    assert result.qos_violations <= 2
+    # Both services end on narrow, service-appropriate configurations
+    # (neither parked on the conservative all-wide fallback).
+    for cores, label in result.final_allocations:
+        assert cores >= 2
+        assert label != "{6,6,6}/4w"
+    # Batch jobs still make real progress alongside two services.
+    assert result.batch_instructions_b > 20.0

@@ -1,0 +1,19 @@
+"""Scalability study: decision cost and quality vs machine size."""
+
+from repro.experiments.scalability import render_scalability, run_scalability
+
+
+def test_bench_scalability(once, capsys):
+    """CuttleSys across 16/32/48-core machines (paper §I claim)."""
+    points = once(run_scalability)
+    with capsys.disabled():
+        print()
+        print(render_scalability(points))
+    by_cores = {p.n_cores: p for p in points}
+    # Decision quality holds as the machine grows...
+    for p in points:
+        assert p.quality > 0.7
+    # ...and decision cost grows far slower than the configuration
+    # space (3x the jobs -> (m*p)^(2B) more configurations, but well
+    # under 2x the decision time).
+    assert by_cores[48].decision_ms < 2.0 * by_cores[16].decision_ms

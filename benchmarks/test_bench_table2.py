@@ -1,0 +1,56 @@
+"""Table II — scheduling overheads, measured on this implementation."""
+
+import numpy as np
+
+from repro.core.dds import DDSSearch
+from repro.core.matrices import ObservedMatrix, throughput_rows
+from repro.core.objective import SystemObjective
+from repro.core.sgd import PQReconstructor
+from repro.experiments.table2_overheads import (
+    render_table2,
+    run_table2,
+    run_training_set_sensitivity,
+    _profiled_matrix,
+)
+from repro.sim.coreconfig import N_JOINT_CONFIGS
+from repro.sim.perf import PerformanceModel
+from repro.sim.power import PowerModel
+from repro.workloads.batch import SPEC_APPS, batch_profile
+
+
+def test_bench_table2_report(once, capsys):
+    """The full Table II report plus training-set sensitivity."""
+    overheads = once(run_table2)
+    sensitivity = run_training_set_sensitivity()
+    with capsys.disabled():
+        print()
+        print(render_table2(overheads, sensitivity))
+    assert overheads.sgd_ms < 50.0
+    assert overheads.dds_ms < 500.0
+
+
+def test_bench_sgd_reconstruction(benchmark):
+    """Microbenchmark: one 32-row PQ reconstruction (paper: 4.8/3 ms)."""
+    matrix, _, _ = _profiled_matrix(n_train=16)
+    reconstructor = PQReconstructor()
+    benchmark(reconstructor.reconstruct, matrix)
+
+
+def test_bench_dds_search(benchmark):
+    """Microbenchmark: one 16-job DDS search (paper: 1.3 ms)."""
+    perf = PerformanceModel()
+    power = PowerModel()
+    profiles = [batch_profile(n) for n in SPEC_APPS[:16]]
+    objective = SystemObjective(
+        bips=throughput_rows(profiles, perf),
+        power=np.vstack([power.power_row(p) for p in profiles]),
+        max_power=100.0,
+        max_ways=32,
+    )
+    searcher = DDSSearch()
+    rng = np.random.default_rng(0)
+
+    benchmark(
+        searcher.search, objective, n_dims=16, n_confs=N_JOINT_CONFIGS,
+        rng=rng,
+    )

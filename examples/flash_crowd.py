@@ -1,0 +1,64 @@
+"""Flash crowd under memory-bandwidth contention (full-fidelity run).
+
+The most hostile scenario the library models: a masstree-like key-value
+service takes a flash-crowd spike past its saturation knee while the
+machine's shared memory bandwidth is finite (60 GB/s) and the LC tail
+latency is measured per-query by the discrete-event queue instead of
+the analytical model.  Watch CuttleSys reclaim cores through the spike,
+and note the memory-stall multiplier climbing as the surge pushes
+bandwidth demand up.
+
+Run:
+    python examples/flash_crowd.py
+"""
+
+from repro import CuttleSysPolicy, LoadTrace, Machine, MachineParams
+from repro.experiments.harness import run_policy
+from repro.workloads import lc_service, paper_mixes
+from repro.workloads.batch import batch_profile
+
+SEED = 13
+N_SLICES = 24
+
+
+def main() -> None:
+    mix = next(m for m in paper_mixes() if m.lc_name == "masstree")
+    machine = Machine(
+        lc_service=lc_service(mix.lc_name),
+        batch_profiles=[batch_profile(n) for n in mix.batch_names],
+        params=MachineParams(
+            peak_memory_bandwidth_gbps=60.0,
+            latency_mode="des",
+        ),
+        seed=SEED,
+    )
+    trace = LoadTrace.flash_crowd(
+        base=0.3, peak=1.3, start=0.8, duration=0.6, decay=0.3
+    )
+    policy = CuttleSysPolicy.for_machine(machine, seed=SEED)
+    run = run_policy(
+        machine, policy, trace, power_cap_fraction=0.8, n_slices=N_SLICES
+    )
+
+    qos = machine.lc_service.qos_latency_s
+    print(f"{mix.lc_name} flash crowd, 60 GB/s memory, DES latency\n")
+    print("slice  load   LC config    cores  p99/QoS  stall  power (W)")
+    for i, m in enumerate(run.measurements):
+        a = m.assignment
+        marker = "  <- QoS!" if m.lc_p99 > qos else ""
+        print(
+            f"{i:>5}  {run.loads[i]:>4.0%}  {a.lc_config.label:<12} "
+            f"{a.lc_cores:>4}  {m.lc_p99 / qos:>7.2f}  "
+            f"{m.memory_stall_multiplier:>5.2f}  {m.total_power:>9.1f}"
+            f"{marker}"
+        )
+    print(f"\n{run.summary()}")
+    peak_cores = max(m.assignment.lc_cores for m in run.measurements)
+    print(
+        f"Core relocation peaked at {peak_cores} LC cores during the "
+        "spike; the service recovered without operator involvement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: run CuttleSys on one paper mix for one simulated second.
+
+Builds the simulated 32-core reconfigurable machine for the first
+evaluation mix (Xapian + 16 SPEC-like batch jobs), runs the CuttleSys
+policy for ten 100 ms decision quanta at 80 % load under a 70 % power
+cap, and prints what happened each quantum.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import CuttleSysPolicy, LoadTrace, build_machine_for_mix
+from repro.experiments.harness import run_policy
+from repro.workloads import paper_mixes
+
+
+def main() -> None:
+    mix = paper_mixes()[0]
+    machine = build_machine_for_mix(mix, seed=7)
+    print(f"Machine : {machine.describe()}")
+    print(f"Mix     : {mix.label}  (LC service: {mix.lc_name})")
+    print(f"QoS     : p99 <= {machine.lc_service.qos_latency_s * 1e3:.2f} ms")
+
+    policy = CuttleSysPolicy.for_machine(machine, seed=7)
+    run = run_policy(
+        machine,
+        policy,
+        LoadTrace.constant(0.8),
+        power_cap_fraction=0.7,
+        n_slices=10,
+    )
+
+    print(f"Budget  : {run.power_budget_w:.1f} W (70% cap)\n")
+    print("slice  LC config      cores  p99/QoS  power (W)  batch instr (B)")
+    qos = machine.lc_service.qos_latency_s
+    for i, m in enumerate(run.measurements):
+        a = m.assignment
+        print(
+            f"{i:>5}  {a.lc_config.label:<12}  {a.lc_cores:>5}  "
+            f"{m.lc_p99 / qos:>7.2f}  {m.total_power:>9.1f}  "
+            f"{m.total_batch_instructions / 1e9:>15.2f}"
+        )
+    print()
+    print(run.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""CuttleSys (MICRO 2020) reproduction.
+
+A production-quality Python implementation of CuttleSys - data-driven
+resource management for interactive services on reconfigurable
+multicores - together with the simulation substrate (reconfigurable-core
+performance/power models, way-partitioned LLC, timeslice machine),
+TailBench-like and SPEC-like workload models, all baselines the paper
+compares against (core-level gating, oracle asymmetric multicores,
+Flicker), and one experiment module per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro import CuttleSysPolicy, build_machine_for_mix
+    from repro.workloads import paper_mixes, LoadTrace
+
+    mix = paper_mixes()[0]
+    machine = build_machine_for_mix(mix, seed=7)
+    policy = CuttleSysPolicy.for_machine(machine, seed=7)
+    result = policy.run(machine, LoadTrace.constant(0.8),
+                        power_cap_fraction=0.7, n_slices=10)
+    print(result.summary())
+"""
+
+from repro.core import (
+    CuttleSysPolicy,
+    DDSParams,
+    DDSSearch,
+    GeneticSearch,
+    PQReconstructor,
+    RBFSurrogate,
+    ResourceController,
+    SGDParams,
+)
+from repro.experiments.harness import PolicyRun, build_machine_for_mix, run_policy
+from repro.sim import (
+    Assignment,
+    CoreConfig,
+    JointConfig,
+    Machine,
+    MachineParams,
+    PerformanceModel,
+    PowerModel,
+)
+from repro.workloads import LCService, LoadTrace, Mix, lc_service, paper_mixes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "CoreConfig",
+    "CuttleSysPolicy",
+    "DDSParams",
+    "DDSSearch",
+    "GeneticSearch",
+    "JointConfig",
+    "LCService",
+    "LoadTrace",
+    "Machine",
+    "MachineParams",
+    "Mix",
+    "PQReconstructor",
+    "PerformanceModel",
+    "PolicyRun",
+    "PowerModel",
+    "RBFSurrogate",
+    "ResourceController",
+    "SGDParams",
+    "build_machine_for_mix",
+    "lc_service",
+    "paper_mixes",
+    "run_policy",
+    "__version__",
+]

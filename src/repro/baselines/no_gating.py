@@ -1,0 +1,37 @@
+"""No-gating baseline: everything wide open, no cache partitioning.
+
+The normalisation baseline of Fig. 5c — all cores run the widest
+{6,6,6} configuration with an unpartitioned LLC and the power budget is
+ignored.  On fixed-core machines this is simply "the multicore with no
+power management".
+"""
+
+from __future__ import annotations
+
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.machine import Assignment, Machine, SliceMeasurement
+
+
+class NoGatingPolicy:
+    """All cores at {6,6,6}; the budget is not enforced."""
+
+    name = "no-gating"
+    overhead_fraction = 0.0
+
+    def __init__(self, lc_cores: int = 16) -> None:
+        if lc_cores < 0:
+            raise ValueError("lc_cores must be non-negative")
+        self.lc_cores = lc_cores
+
+    def decide(self, machine: Machine, load: float, max_power: float) -> Assignment:
+        """Widest configuration everywhere, shared LLC."""
+        widest = JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1])
+        return Assignment(
+            lc_cores=self.lc_cores if machine.lc_service is not None else 0,
+            lc_config=widest,
+            batch_configs=tuple(widest for _ in machine.batch_profiles),
+            shared_llc=True,
+        )
+
+    def observe(self, measurement: SliceMeasurement) -> None:
+        """No state to update."""

@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``describe``              — the simulated system (Table I)
+* ``list-mixes``            — the paper's 50 evaluation mixes
+* ``characterize``          — Fig. 1 service characterisation
+* ``run``                   — run one policy on one mix and print the timeline
+* ``experiment``            — regenerate one paper table/figure by name
+* ``report``                — run the full evaluation, write a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines import (
+    AsymmetricOraclePolicy,
+    CoreGatingPolicy,
+    FlickerPolicy,
+    NoGatingPolicy,
+    StaticAsymmetricPolicy,
+)
+from repro.core.oracle import OracleReconfigPolicy
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import (
+    build_machine_for_mix,
+    reference_power_for_mix,
+    run_policy,
+)
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+POLICIES = {
+    "cuttlesys": lambda machine, seed: CuttleSysPolicy.for_machine(
+        machine, seed=seed
+    ),
+    "core-gating": lambda machine, seed: CoreGatingPolicy(),
+    "core-gating+wp": lambda machine, seed: CoreGatingPolicy(
+        way_partition=True
+    ),
+    "asymm-oracle": lambda machine, seed: AsymmetricOraclePolicy(),
+    "asymm-50-50": lambda machine, seed: StaticAsymmetricPolicy(),
+    "no-gating": lambda machine, seed: NoGatingPolicy(),
+    "flicker": lambda machine, seed: FlickerPolicy(seed=seed),
+    "oracle-reconfig": lambda machine, seed: OracleReconfigPolicy(seed=seed),
+}
+
+#: Policies that run on the reconfigurable machine variant.
+RECONFIGURABLE_POLICIES = {"cuttlesys", "flicker", "oracle-reconfig"}
+
+EXPERIMENTS = (
+    "fig1", "fig5", "fig5c", "fig7", "fig8a", "fig8b", "fig8c",
+    "fig9", "fig10", "table2", "flicker", "dvfs", "ablations",
+    "scalability", "bandwidth", "churn", "multi-service", "area", "cluster",
+)
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    machine = build_machine_for_mix(paper_mixes()[0], seed=args.seed)
+    print(machine.describe())
+    print(f"reference max power: {machine.reference_max_power():.1f} W")
+    return 0
+
+
+def _cmd_list_mixes(args: argparse.Namespace) -> int:
+    for i, mix in enumerate(paper_mixes()):
+        apps = ", ".join(mix.batch_names[:5])
+        print(f"{i:>2}  {mix.lc_name:<9} [{apps}, ...]")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1_characterization import render_fig1, run_fig1
+
+    services = [args.service] if args.service else None
+    print(render_fig1(run_fig1(services=services)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mixes = paper_mixes()
+    if not 0 <= args.mix < len(mixes):
+        print(f"error: mix index must be in [0, {len(mixes)})",
+              file=sys.stderr)
+        return 2
+    mix = mixes[args.mix]
+    reference = reference_power_for_mix(mix, seed=args.seed)
+    machine = build_machine_for_mix(
+        mix, seed=args.seed,
+        reconfigurable=args.policy in RECONFIGURABLE_POLICIES,
+    )
+    policy = POLICIES[args.policy](machine, args.seed)
+    run = run_policy(
+        machine,
+        policy,
+        LoadTrace.constant(args.load),
+        power_cap_fraction=args.cap,
+        n_slices=args.slices,
+        max_power_w=reference,
+    )
+    qos = machine.lc_service.qos_latency_s
+    print(f"mix {args.mix} ({mix.lc_name}), cap {args.cap:.0%}, "
+          f"load {args.load:.0%}, budget {run.power_budget_w:.1f} W")
+    print("slice  LC config      cores  p99/QoS  power (W)")
+    for i, m in enumerate(run.measurements):
+        a = m.assignment
+        label = a.lc_config.label if a.lc_config else "-"
+        print(f"{i:>5}  {label:<13} {a.lc_cores:>5}  "
+              f"{m.lc_p99 / qos:>7.2f}  {m.total_power:>9.1f}")
+    print(run.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig1":
+        from repro.experiments.fig1_characterization import (
+            render_fig1, run_fig1,
+        )
+        print(render_fig1(run_fig1()))
+    elif name == "fig5":
+        from repro.experiments.fig5_accuracy import (
+            render_fig5, run_fig5a, run_fig5b,
+        )
+        print(render_fig5(run_fig5a(), run_fig5b()))
+    elif name == "fig5c":
+        from repro.experiments.fig5c_powercaps import (
+            render_fig5c, run_fig5c,
+        )
+        print(render_fig5c(run_fig5c(n_slices=args.slices)))
+    elif name == "fig7":
+        from repro.experiments.fig7_timeline import render_fig7, run_fig7
+        print(render_fig7(run_fig7(n_slices=args.slices)))
+    elif name in ("fig8a", "fig8b", "fig8c"):
+        from repro.experiments import fig8_dynamic
+        runner = getattr(fig8_dynamic, f"run_{name}")
+        print(fig8_dynamic.render_fig8(runner()))
+    elif name == "fig9":
+        from repro.experiments.fig9_sgd_vs_rbf import render_fig9, run_fig9
+        print(render_fig9(run_fig9()))
+    elif name == "fig10":
+        from repro.experiments.fig10_dds_vs_ga import (
+            render_fig10, run_fig10a, run_fig10b,
+        )
+        print(render_fig10(run_fig10a(), run_fig10b(n_slices=args.slices)))
+    elif name == "table2":
+        from repro.experiments.table2_overheads import (
+            render_table2, run_table2, run_training_set_sensitivity,
+        )
+        print(render_table2(run_table2(), run_training_set_sensitivity()))
+    elif name == "flicker":
+        from repro.experiments.flicker_comparison import (
+            render_flicker, run_flicker_qos, run_flicker_throughput,
+        )
+        print(render_flicker(run_flicker_qos(),
+                             run_flicker_throughput(n_slices=args.slices)))
+    elif name == "dvfs":
+        from repro.experiments.dvfs_comparison import (
+            render_dvfs_comparison, run_dvfs_comparison,
+        )
+        print("leakage x1.0:")
+        print(render_dvfs_comparison(run_dvfs_comparison()))
+        print("\nleakage x2.5:")
+        print(render_dvfs_comparison(run_dvfs_comparison(leakage_scale=2.5)))
+    elif name == "bandwidth":
+        from repro.experiments.bandwidth_study import (
+            render_bandwidth_study, run_bandwidth_study,
+        )
+        print(render_bandwidth_study(
+            run_bandwidth_study(n_slices=args.slices)
+        ))
+    elif name == "cluster":
+        from repro.experiments.cluster_study import (
+            render_cluster_study, run_cluster_study,
+        )
+        print(render_cluster_study(
+            run_cluster_study(n_slices=args.slices * 2)
+        ))
+    elif name == "area":
+        from repro.experiments.area_equivalence import (
+            render_area_equivalence, run_area_equivalence,
+        )
+        print(render_area_equivalence(
+            run_area_equivalence(n_slices=args.slices)
+        ))
+    elif name == "multi-service":
+        from repro.experiments.multi_service import (
+            render_multi_service, run_multi_service,
+        )
+        print(render_multi_service(
+            run_multi_service(n_slices=args.slices * 2)
+        ))
+    elif name == "churn":
+        from repro.experiments.churn_study import (
+            render_churn_study, run_churn_study,
+        )
+        print(render_churn_study(run_churn_study(n_slices=args.slices * 2)))
+    elif name == "scalability":
+        from repro.experiments.scalability import (
+            render_scalability, run_scalability,
+        )
+        print(render_scalability(run_scalability(n_slices=args.slices)))
+    elif name == "ablations":
+        from repro.experiments.ablations import (
+            ablate_guards, ablate_inference, ablate_variants,
+            render_ablation,
+        )
+        print(render_ablation("SGD vs oracle inference",
+                              ablate_inference(n_slices=args.slices)))
+        print()
+        print(render_ablation("QoS guardbands",
+                              ablate_guards(n_slices=args.slices)))
+        print()
+        print(render_ablation("latency training variants",
+                              ablate_variants(n_slices=args.slices)))
+    else:  # pragma: no cover - argparse choices prevent this
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.full_eval import render_report, run_full_evaluation
+
+    results = run_full_evaluation(n_slices=args.slices, only=args.only)
+    text = render_report(results)
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    failed = [r.title for r in results if r.error is not None]
+    print(f"wrote {args.out} ({len(results)} sections)")
+    if failed:
+        print("failed sections: " + ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CuttleSys (MICRO 2020) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=7,
+                        help="global random seed (default: 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="print the simulated system (Table I)")
+    sub.add_parser("list-mixes", help="print the paper's 50 mixes")
+
+    characterize = sub.add_parser(
+        "characterize", help="Fig. 1 service characterisation"
+    )
+    characterize.add_argument("--service", default=None,
+                              help="restrict to one service")
+
+    run = sub.add_parser("run", help="run one policy on one mix")
+    run.add_argument("--mix", type=int, default=0, help="mix index (0-49)")
+    run.add_argument("--policy", choices=sorted(POLICIES), default="cuttlesys")
+    run.add_argument("--cap", type=float, default=0.7,
+                     help="power cap fraction (default 0.7)")
+    run.add_argument("--load", type=float, default=0.8,
+                     help="LC load fraction (default 0.8)")
+    run.add_argument("--slices", type=int, default=10,
+                     help="decision quanta to run (default 10)")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--slices", type=int, default=8,
+                            help="quanta for run-based experiments")
+
+    report = sub.add_parser(
+        "report", help="run the full evaluation and write a markdown report"
+    )
+    report.add_argument("--out", default="evaluation_report.md",
+                        help="output path (default: evaluation_report.md)")
+    report.add_argument("--slices", type=int, default=8,
+                        help="quanta for run-based experiments")
+    report.add_argument("--only", nargs="*", default=None,
+                        help="substring filters on section titles")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "describe": _cmd_describe,
+        "report": _cmd_report,
+        "list-mixes": _cmd_list_mixes,
+        "characterize": _cmd_characterize,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

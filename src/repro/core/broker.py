@@ -1,0 +1,195 @@
+"""Cluster-level power brokering across CuttleSys machines.
+
+The paper situates CuttleSys *under* a global power manager: each
+server's budget is "assigned ... either by the chip-wide power budget,
+or by a global power manager [Lo et al.] running datacenter-wide" (§I).
+This module supplies that missing layer for multi-machine studies:
+
+:class:`PowerBroker` owns a rack-level budget and re-divides it across
+server sockets every decision quantum.  Each socket reports how much
+power it *used* and whether it is throttled (cores gated, QoS
+pressure); the broker shifts budget from sockets with slack toward
+sockets under pressure, subject to a per-socket floor.  The policy is a
+simple proportional controller — the point is the interface and the
+end-to-end behaviour, not controller sophistication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.machine import Machine, SliceMeasurement
+from repro.workloads.loadgen import LoadTrace
+
+
+@dataclass
+class Socket:
+    """One server: a machine, its policy, and its load trace."""
+
+    name: str
+    machine: Machine
+    policy: object
+    trace: LoadTrace
+    #: Budget floor as a fraction of an equal split.
+    floor_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.floor_fraction <= 1:
+            raise ValueError("floor_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class BrokerParams:
+    """Knobs of the rack-level proportional reallocation."""
+
+    #: Fraction of the observed slack/pressure gap moved per quantum.
+    step: float = 0.3
+    #: Headroom a socket must keep before its budget is considered slack.
+    slack_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.step <= 1:
+            raise ValueError("step must be in (0, 1]")
+        if self.slack_margin < 0:
+            raise ValueError("slack_margin must be non-negative")
+
+
+@dataclass
+class BrokerRun:
+    """Everything measured over one brokered multi-socket run."""
+
+    socket_names: Tuple[str, ...]
+    #: budgets[t][socket] in watts.
+    budgets: List[Dict[str, float]] = field(default_factory=list)
+    #: measurements[t][socket].
+    measurements: List[Dict[str, SliceMeasurement]] = field(
+        default_factory=list
+    )
+
+    def total_batch_instructions(self, socket: Optional[str] = None) -> float:
+        """Useful work, for one socket or the whole rack."""
+        total = 0.0
+        for per_socket in self.measurements:
+            for name, m in per_socket.items():
+                if socket is None or name == socket:
+                    total += m.total_batch_instructions
+        return total
+
+    def qos_violations(self, qos_by_socket: Dict[str, float]) -> int:
+        """Slice-level QoS violations across the rack."""
+        count = 0
+        for per_socket in self.measurements:
+            for name, m in per_socket.items():
+                if m.lc_p99 > qos_by_socket[name]:
+                    count += 1
+        return count
+
+    def budget_series(self, socket: str) -> List[float]:
+        """Per-quantum budget of one socket."""
+        return [b[socket] for b in self.budgets]
+
+
+class PowerBroker:
+    """Divides a rack budget across sockets, re-balancing each quantum."""
+
+    def __init__(
+        self,
+        sockets: Sequence[Socket],
+        rack_budget_w: float,
+        params: BrokerParams = BrokerParams(),
+    ) -> None:
+        if not sockets:
+            raise ValueError("need at least one socket")
+        if rack_budget_w <= 0:
+            raise ValueError("rack_budget_w must be positive")
+        names = [s.name for s in sockets]
+        if len(set(names)) != len(names):
+            raise ValueError("socket names must be unique")
+        self.sockets = list(sockets)
+        self.rack_budget_w = rack_budget_w
+        self.params = params
+        equal = rack_budget_w / len(sockets)
+        self._budgets: Dict[str, float] = {s.name: equal for s in sockets}
+
+    @property
+    def budgets(self) -> Dict[str, float]:
+        """Current per-socket budgets (sums to the rack budget)."""
+        return dict(self._budgets)
+
+    def run(self, n_slices: int) -> BrokerRun:
+        """Drive every socket for ``n_slices`` quanta with rebalancing."""
+        if n_slices <= 0:
+            raise ValueError("n_slices must be positive")
+        run = BrokerRun(socket_names=tuple(s.name for s in self.sockets))
+        estimates = {
+            s.name: s.trace.load_at(0.0) for s in self.sockets
+        }
+        for _ in range(n_slices):
+            per_socket: Dict[str, SliceMeasurement] = {}
+            for socket in self.sockets:
+                budget = self._budgets[socket.name]
+                assignment = socket.policy.decide(
+                    socket.machine, estimates[socket.name], budget
+                )
+                load = socket.trace.load_at(socket.machine.time_s)
+                measurement = socket.machine.run_slice(assignment, load)
+                socket.policy.observe(measurement)
+                per_socket[socket.name] = measurement
+                estimates[socket.name] = load
+            run.budgets.append(dict(self._budgets))
+            run.measurements.append(per_socket)
+            self._rebalance(per_socket)
+        return run
+
+    # ------------------------------------------------------------------
+
+    def _pressure(self, socket: Socket, m: SliceMeasurement) -> float:
+        """How much more power this socket could productively use.
+
+        Gated batch cores and near-budget operation signal pressure;
+        measured power well under budget signals slack.
+        """
+        budget = self._budgets[socket.name]
+        gated = len(socket.machine.batch_profiles) - len(
+            m.assignment.active_batch_indices
+        )
+        near_budget = m.total_power > budget * (1 - self.params.slack_margin)
+        if gated > 0 or near_budget:
+            # Want roughly one widest-core's worth per gated job, and at
+            # least a 10 % budget bump while running pinned to the cap.
+            return max(0.1 * budget, gated * 3.0)
+        return 0.0
+
+    def _slack(self, socket: Socket, m: SliceMeasurement) -> float:
+        """Watts this socket can give up without hitting its floor."""
+        budget = self._budgets[socket.name]
+        floor = (
+            self.rack_budget_w / len(self.sockets) * socket.floor_fraction
+        )
+        unused = max(0.0, budget * (1 - self.params.slack_margin)
+                     - m.total_power)
+        return min(unused, max(0.0, budget - floor))
+
+    def _rebalance(self, per_socket: Dict[str, SliceMeasurement]) -> None:
+        pressures = {
+            s.name: self._pressure(s, per_socket[s.name]) for s in self.sockets
+        }
+        slacks = {
+            s.name: self._slack(s, per_socket[s.name]) for s in self.sockets
+        }
+        total_pressure = sum(pressures.values())
+        total_slack = sum(slacks.values())
+        if total_pressure <= 0 or total_slack <= 0:
+            return
+        moved = self.params.step * min(total_slack, total_pressure)
+        for name, slack in slacks.items():
+            self._budgets[name] -= moved * slack / total_slack
+        for name, pressure in pressures.items():
+            self._budgets[name] += moved * pressure / total_pressure
+        # Guard against drift: renormalise to the rack budget.
+        scale = self.rack_budget_w / sum(self._budgets.values())
+        for name in self._budgets:
+            self._budgets[name] *= scale

@@ -1,0 +1,668 @@
+"""The CuttleSys Resource Controller (paper §IV-B, §V, §VI).
+
+Per decision quantum the controller:
+
+1. folds the two 1 ms profiling samples and the previous slice's
+   steady-state measurements into its sparse metric matrices,
+2. runs three PQ-reconstructions (throughput, tail latency, power) to
+   estimate every job on all 108 joint configurations,
+3. scans the reconstructed latency row for the latency-critical
+   service: lowest cache allocation, then the core configuration with
+   the least predicted power that meets QoS (§VI-A); if nothing meets
+   QoS it reclaims one core from the batch jobs per timeslice, and
+   yields one back when QoS is met with slack,
+4. searches the batch jobs' joint-configuration space with parallel DDS
+   (or the GA ablation) under soft power/cache penalties, and
+5. applies the hard fallback: if the power budget is busted even so,
+   gates cores in descending predicted power (§VI-B).
+
+The controller never reads ground truth — only profiling samples and
+end-of-slice measurements, like the real system.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dds import DDSParams, DDSSearch
+from repro.core.ga import GAParams, GeneticSearch
+from repro.core.matrices import (
+    ObservedMatrix,
+    latency_training_rows,
+    power_rows,
+    throughput_rows,
+)
+from repro.core.objective import SystemObjective
+from repro.core.sgd import PQReconstructor, SGDParams
+from repro.sim.coreconfig import (
+    CACHE_ALLOCS,
+    N_JOINT_CONFIGS,
+    CoreConfig,
+    JointConfig,
+)
+from repro.sim.machine import (
+    Assignment,
+    LCAllocation,
+    Machine,
+    ProfilingSample,
+    SliceMeasurement,
+)
+from repro.sim.perf import AppProfile
+from repro.workloads.latency_critical import LC_SERVICE_NAMES, service_variants
+
+#: Load grid used to bucket latency observations and training rows.
+LOAD_GRID: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+def nearest_load_bucket(load: float) -> float:
+    """Snap a fractional load onto :data:`LOAD_GRID`."""
+    return min(LOAD_GRID, key=lambda b: abs(b - load))
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Knobs of the resource controller."""
+
+    initial_lc_cores: int = 16
+    min_lc_cores: int = 2
+    #: Yield a core back to batch when predicted latency is below
+    #: (1 - slack) * QoS even with one core fewer (§VIII-D3: 20 %).
+    lc_slack_to_yield: float = 0.2
+    #: Fraction of the power budget kept as headroom against
+    #: measurement noise and phase drift.
+    power_headroom: float = 0.02
+    #: QoS guardbands by latency-observation count: with few samples the
+    #: reconstruction is uncertain, so candidate configurations must
+    #: clear QoS by a margin that relaxes as measurements accumulate.
+    qos_guard_sparse: float = 0.35
+    qos_guard_medium: float = 0.25
+    qos_guard_dense: float = 0.10
+    #: Jittered "historical" variants per known service added to the
+    #: latency training rows (see workloads.latency_critical.service_variants).
+    latency_variants_per_service: int = 3
+    #: Runtime observations older than this many quanta are dropped
+    #: (phase drift makes stale steady-state samples misleading);
+    #: None keeps everything forever.
+    observation_max_age: Optional[int] = 30
+    sgd: SGDParams = SGDParams()
+    dds: DDSParams = DDSParams()
+    ga: GAParams = GAParams()
+    #: Design-space explorer: "dds" (CuttleSys) or "ga" (ablation).
+    explorer: str = "dds"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_lc_cores < 1:
+            raise ValueError("initial_lc_cores must be at least 1")
+        if not 1 <= self.min_lc_cores <= self.initial_lc_cores:
+            raise ValueError(
+                "min_lc_cores must be in [1, initial_lc_cores]"
+            )
+        if not 0 < self.lc_slack_to_yield < 1:
+            raise ValueError("lc_slack_to_yield must be in (0, 1)")
+        if self.explorer not in ("dds", "ga"):
+            raise ValueError(f"unknown explorer {self.explorer!r}")
+
+
+@dataclass
+class StepTimings:
+    """Wall-clock overheads of one decision (Table II)."""
+
+    sgd_s: float = 0.0
+    search_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Total decision overhead excluding the fixed 2 ms profiling."""
+        return self.sgd_s + self.search_s
+
+
+class ResourceController:
+    """Online decision maker for one machine's jobs."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        train_profiles: Sequence[AppProfile],
+        train_services: Sequence,  # Sequence[LCService]
+        config: ControllerConfig = ControllerConfig(),
+    ) -> None:
+        self.machine = machine
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.n_batch = len(machine.batch_profiles)
+        self.n_train = len(train_profiles)
+        self.n_services = len(machine.lc_services)
+        # Initial LC core split: the configured total, divided across
+        # the hosted services (all of it to a single service).
+        total = min(config.initial_lc_cores, machine.params.n_cores - 1)
+        base = max(1, total // self.n_services)
+        self.lc_cores_by_service: List[int] = [
+            base for _ in range(self.n_services)
+        ]
+        self.lc_cores_by_service[0] += total - base * self.n_services
+        self._last_assignment: Optional[Assignment] = None
+        self._last_x: Optional[np.ndarray] = None
+        self.timings: List[StepTimings] = []
+
+        # Offline characterisation of the known applications (the rows
+        # the collaborative filter learns structure from).
+        train_bips = throughput_rows(train_profiles, machine.perf)
+        train_power = power_rows(train_profiles, machine.power)
+        self._bips_matrix = ObservedMatrix(self.n_train + self.n_batch)
+        self._power_matrix = ObservedMatrix(
+            self.n_train + self.n_batch + self.n_services
+        )
+        for i in range(self.n_train):
+            self._bips_matrix.set_known_row(i, train_bips[i])
+            self._power_matrix.set_known_row(i, train_power[i])
+
+        # Latency training rows: known services (plus their historical
+        # variants) characterised per load bucket and core count; the
+        # running service's own row is never in the training set.
+        self._train_services = list(train_services)
+        if config.latency_variants_per_service > 0:
+            for service in list(self._train_services):
+                base_name = service.name.split("-v")[0]
+                if base_name in LC_SERVICE_NAMES:
+                    self._train_services.extend(
+                        service_variants(
+                            base_name,
+                            config.latency_variants_per_service,
+                            seed=config.seed,
+                            perf=machine.perf,
+                        )
+                    )
+        self._latency_matrices: Dict[Tuple[int, float, int], ObservedMatrix] = {}
+        # Distinct configurations ever measured per (service, bucket,
+        # cores) regime: the QoS guard relaxes on accumulated evidence
+        # and stays relaxed even after observations expire.
+        self._latency_evidence: Dict[Tuple[int, float, int], set] = {}
+
+        self._reconstructor = PQReconstructor(config.sgd)
+        if config.explorer == "dds":
+            self._searcher = DDSSearch(config.dds)
+        else:
+            self._searcher = GeneticSearch(config.ga)
+
+    # ------------------------------------------------------------------
+    # Matrix bookkeeping.
+    # ------------------------------------------------------------------
+
+    def _batch_row(self, job: int) -> int:
+        return self.n_train + job
+
+    def _lc_power_row(self, service_idx: int = 0) -> int:
+        return self.n_train + self.n_batch + service_idx
+
+    @property
+    def lc_cores(self) -> int:
+        """Primary service's current core allocation (back-compat)."""
+        return self.lc_cores_by_service[0]
+
+    def _latency_matrix(
+        self, bucket: float, n_cores: int, service_idx: int = 0
+    ) -> ObservedMatrix:
+        key = (service_idx, bucket, n_cores)
+        if key not in self._latency_matrices:
+            service = self.machine.lc_services[service_idx]
+            rows, _ = latency_training_rows(
+                self._train_services,
+                [bucket],
+                self.machine.perf,
+                n_cores,
+                exclude=(service.name, bucket),
+            )
+            matrix = ObservedMatrix(rows.shape[0] + 1)
+            for i in range(rows.shape[0]):
+                matrix.set_known_row(i, rows[i])
+            self._latency_matrices[key] = matrix
+        return self._latency_matrices[key]
+
+    def reset_job(self, job: int) -> None:
+        """Forget everything about batch slot ``job`` (job churn).
+
+        Called when a job completes and a new application takes its
+        core: the slot's observed matrix entries are cleared so the
+        newcomer is treated as previously unseen — it gets its two
+        profiling samples next quantum and is reconstructed from the
+        known-application population, exactly the arrival story of §V.
+        """
+        if not 0 <= job < self.n_batch:
+            raise ValueError(f"batch job index out of range: {job}")
+        row = self._batch_row(job)
+        for matrix in (self._bips_matrix, self._power_matrix):
+            matrix.clear_row(row)
+        if self._last_x is not None:
+            # Restart the newcomer's search from a safe narrow config.
+            self._last_x[job] = 0
+
+    def _age_observations(self) -> None:
+        """Advance observation ages and expire stale ones (phase drift)."""
+        matrices = [self._bips_matrix, self._power_matrix]
+        matrices.extend(self._latency_matrices.values())
+        for matrix in matrices:
+            matrix.tick()
+            if self.config.observation_max_age is not None:
+                matrix.expire(self.config.observation_max_age)
+
+    def ingest_profiling(self, sample: ProfilingSample) -> None:
+        """Fold the two 1 ms samples into the matrices (Fig. 3, step 1)."""
+        for j in range(self.n_batch):
+            row = self._batch_row(j)
+            self._bips_matrix.observe(row, sample.hi_joint_index,
+                                      sample.batch_bips_hi[j])
+            self._bips_matrix.observe(row, sample.lo_joint_index,
+                                      sample.batch_bips_lo[j])
+            self._power_matrix.observe(row, sample.hi_joint_index,
+                                       sample.batch_power_hi[j])
+            self._power_matrix.observe(row, sample.lo_joint_index,
+                                       sample.batch_power_lo[j])
+        self._power_matrix.observe(self._lc_power_row(0),
+                                   sample.hi_joint_index, sample.lc_power_hi)
+        self._power_matrix.observe(self._lc_power_row(0),
+                                   sample.lo_joint_index, sample.lc_power_lo)
+        for idx, (hi, lo) in enumerate(
+            zip(sample.extra_lc_power_hi, sample.extra_lc_power_lo), start=1
+        ):
+            self._power_matrix.observe(
+                self._lc_power_row(idx), sample.hi_joint_index, hi
+            )
+            self._power_matrix.observe(
+                self._lc_power_row(idx), sample.lo_joint_index, lo
+            )
+
+    def ingest_measurement(self, measurement: SliceMeasurement) -> None:
+        """Fold the previous steady state back in (matrix update, §IV-B)."""
+        assignment = measurement.assignment
+        batch_cores = self.machine.params.n_cores - assignment.total_lc_cores
+        active = assignment.active_batch_indices
+        share = min(1.0, batch_cores / len(active)) if active else 0.0
+        for j in active:
+            joint = assignment.batch_configs[j]
+            if share <= 0:
+                continue
+            row = self._batch_row(j)
+            bips = measurement.batch_bips[j] / share
+            power = measurement.batch_power[j] / share
+            if bips > 0:
+                self._bips_matrix.observe(row, joint.index, bips)
+            if power > 0:
+                self._power_matrix.observe(row, joint.index, power)
+
+        lc_blocks = [
+            (0, assignment.lc_cores, assignment.lc_config,
+             measurement.lc_load, measurement.lc_p99,
+             measurement.lc_core_power),
+        ]
+        for idx, alloc in enumerate(assignment.extra_lc, start=1):
+            lc_blocks.append(
+                (
+                    idx,
+                    alloc.cores,
+                    alloc.config,
+                    measurement.extra_lc_loads[idx - 1],
+                    measurement.extra_lc_p99[idx - 1],
+                    measurement.extra_lc_core_power[idx - 1],
+                )
+            )
+        for idx, cores, config, lc_load, p99, core_power in lc_blocks:
+            if cores <= 0 or config is None or p99 <= 0:
+                continue
+            bucket = nearest_load_bucket(lc_load)
+            matrix = self._latency_matrix(bucket, cores, idx)
+            matrix.observe(matrix.n_rows - 1, config.index, p99)
+            key = (idx, bucket, cores)
+            self._latency_evidence.setdefault(key, set()).add(config.index)
+            if core_power > 0:
+                self._power_matrix.observe(
+                    self._lc_power_row(idx), config.index, core_power
+                )
+
+    # ------------------------------------------------------------------
+    # Decision.
+    # ------------------------------------------------------------------
+
+    def decide(
+        self,
+        load: float,
+        max_power: float,
+        extra_loads: Sequence[float] = (),
+    ) -> Assignment:
+        """Pick the next quantum's assignment from current knowledge.
+
+        ``extra_loads`` carries the load estimate of each LC service
+        beyond the first on multi-service machines.
+        """
+        if max_power <= 0:
+            raise ValueError("max_power must be positive")
+        if len(extra_loads) != self.n_services - 1:
+            raise ValueError(
+                f"expected {self.n_services - 1} extra loads, "
+                f"got {len(extra_loads)}"
+            )
+        self._age_observations()
+        timings = StepTimings()
+
+        t0 = time.perf_counter()
+        bips_hat = self._reconstructor.reconstruct(self._bips_matrix)
+        power_hat = self._reconstructor.reconstruct(self._power_matrix)
+        loads = [load, *extra_loads]
+        selections = []
+        # The paper relocates at most one core per timeslice; with
+        # several services the most recently violating one wins it.
+        reclaim_available = True
+        for idx in range(self.n_services):
+            joint, cores, watts, reclaimed = self._select_lc(
+                loads[idx],
+                power_hat[self._lc_power_row(idx)],
+                service_idx=idx,
+                allow_reclaim=reclaim_available,
+            )
+            if reclaimed:
+                reclaim_available = False
+            selections.append((joint, cores, watts))
+        lc_joint, lc_cores, lc_power = selections[0]
+        timings.sgd_s = time.perf_counter() - t0
+
+        batch_bips = bips_hat[self.n_train:self.n_train + self.n_batch]
+        batch_power = power_hat[self.n_train:self.n_train + self.n_batch]
+
+        total_lc_cores = sum(cores for _, cores, _ in selections)
+        batch_cores = self.machine.params.n_cores - total_lc_cores
+        time_share = min(1.0, batch_cores / self.n_batch)
+        reserved_power = (
+            sum(watts * cores for _, cores, watts in selections)
+            + self.machine.power.llc_power()
+        )
+        reserved_ways = sum(
+            joint.cache_ways for joint, cores, _ in selections if cores > 0
+        )
+        target_power = max_power * (1.0 - self.config.power_headroom)
+        objective = SystemObjective(
+            bips=batch_bips,
+            power=batch_power * time_share,
+            max_power=target_power,
+            max_ways=self.machine.params.llc_ways,
+            reserved_power=reserved_power,
+            reserved_ways=reserved_ways,
+            time_share=time_share,
+        )
+
+        t0 = time.perf_counter()
+        result = self._searcher.search(
+            objective,
+            n_dims=self.n_batch,
+            n_confs=N_JOINT_CONFIGS,
+            rng=self._rng,
+            initial=self._last_x,
+        )
+        timings.search_s = time.perf_counter() - t0
+        self.timings.append(timings)
+
+        x = result.best_x
+        self._last_x = x.copy()
+        configs: List[Optional[JointConfig]] = [
+            JointConfig.from_index(int(i)) for i in x
+        ]
+        configs = self._power_fallback(
+            configs, batch_power * time_share, reserved_power, target_power
+        )
+        assignment = Assignment(
+            lc_cores=lc_cores,
+            lc_config=lc_joint if lc_cores > 0 else None,
+            batch_configs=tuple(configs),
+            extra_lc=tuple(
+                LCAllocation(cores=cores, config=joint)
+                for joint, cores, _ in selections[1:]
+            ),
+        )
+        self.lc_cores_by_service = [cores for _, cores, _ in selections]
+        self._last_assignment = assignment
+        return assignment
+
+    def _select_lc(
+        self,
+        load: float,
+        lc_power_row: np.ndarray,
+        service_idx: int = 0,
+        allow_reclaim: bool = True,
+    ) -> Tuple[JointConfig, int, float, bool]:
+        """Choose one LC service's configuration and core count.
+
+        Returns ``(config, cores, power, reclaimed)`` (§VI-A,
+        §VIII-D3); ``allow_reclaim`` arbitrates the one-core-per-
+        timeslice relocation budget among multiple services.
+        """
+        service = self.machine.lc_services[service_idx]
+        bucket = nearest_load_bucket(load)
+        qos = service.qos_latency_s
+        lc_cores = self.lc_cores_by_service[service_idx]
+        conservative = JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1])
+
+        if not self._has_latency_observation(bucket, lc_cores, service_idx):
+            # Cold start at this (load, core count): run wide with the
+            # full cache allocation; predictions become available once
+            # one slice has been measured.
+            return conservative, lc_cores, float(
+                lc_power_row[conservative.index]
+            ), False
+
+        def best_config(
+            n_cores: int, guard: Optional[float] = None
+        ) -> Optional[JointConfig]:
+            """Least predicted power among QoS-meeting configurations.
+
+            The QoS bar carries a guardband that shrinks as latency
+            observations accumulate (reconstruction from one or two
+            samples is uncertain); ties break toward smaller cache
+            allocations, freeing ways for the batch jobs (§VI-A).
+            """
+            latency = self._predict_latency(bucket, n_cores, service_idx)
+            if guard is None:
+                guard = self._qos_guard(bucket, n_cores, service_idx)
+            target = qos * (1.0 - guard)
+            best = None
+            best_key = (np.inf, np.inf)
+            for index in range(N_JOINT_CONFIGS):
+                if latency[index] > target:
+                    continue
+                joint = JointConfig.from_index(index)
+                key = (lc_power_row[index], joint.cache_ways)
+                if key < best_key:
+                    best = joint
+                    best_key = key
+            return best
+
+        reclaimed = False
+        choice = best_config(lc_cores)
+        if choice is None:
+            # Nothing clears the guarded bar.  The guard exists to veto
+            # risky downgrades, not to trigger reclamation: if raw QoS
+            # is still predicted reachable, take the *safest
+            # power-improving step* — among configurations meeting raw
+            # QoS and predicted cheaper than running wide, the one with
+            # the lowest predicted latency.  Measuring it relaxes the
+            # guard for the next quantum.  Only when even raw QoS is
+            # unreachable does the controller reclaim one core per
+            # timeslice (§VI-A).
+            choice = self._safest_downgrade(
+                bucket, lc_cores, lc_power_row, qos, service_idx
+            )
+            if choice is None:
+                if allow_reclaim:
+                    lc_cores = min(
+                        lc_cores + 1, self.machine.params.n_cores - 1
+                    )
+                    reclaimed = True
+                choice = conservative
+        elif (
+            lc_cores > self.config.min_lc_cores
+            and self._latency_observations(bucket, lc_cores, service_idx) >= 2
+        ):
+            # Yield a core back if QoS would still hold with slack AND
+            # total LC power would not grow: fewer cores usually means a
+            # wider (hungrier) per-core configuration, which can cost
+            # more watts than the freed core is worth.  Yields are
+            # rate-limited by hysteresis (the current regime must have
+            # been measured at least twice) so each new core count is
+            # validated before descending further.
+            latency_fewer = self._predict_latency(
+                bucket, lc_cores - 1, service_idx
+            )
+            slack_target = qos * (1.0 - self.config.lc_slack_to_yield)
+            fewer_choice = best_config(lc_cores - 1)
+            if (
+                fewer_choice is not None
+                and latency_fewer[fewer_choice.index] <= slack_target
+                and lc_power_row[fewer_choice.index] * (lc_cores - 1)
+                < lc_power_row[choice.index] * lc_cores
+            ):
+                lc_cores -= 1
+                choice = fewer_choice
+        lc_power = float(lc_power_row[choice.index])
+        return choice, lc_cores, lc_power, reclaimed
+
+    def _safest_downgrade(
+        self,
+        bucket: float,
+        n_cores: int,
+        lc_power_row: np.ndarray,
+        qos: float,
+        service_idx: int = 0,
+    ) -> Optional[JointConfig]:
+        """Lowest-latency config that meets raw QoS and saves power."""
+        latency = self._predict_latency(bucket, n_cores, service_idx)
+        wide_power = lc_power_row[
+            JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1]).index
+        ]
+        best = None
+        best_key = (np.inf, np.inf)
+        for index in range(N_JOINT_CONFIGS):
+            if latency[index] > qos or lc_power_row[index] >= wide_power:
+                continue
+            key = (latency[index], lc_power_row[index])
+            if key < best_key:
+                best = JointConfig.from_index(index)
+                best_key = key
+        return best
+
+    def _latency_observations(
+        self, bucket: float, n_cores: int, service_idx: int = 0
+    ) -> int:
+        """Measurements of one running service at this (load, cores)."""
+        key = (service_idx, bucket, n_cores)
+        if key not in self._latency_matrices:
+            return 0
+        matrix = self._latency_matrices[key]
+        return matrix.observed_count(matrix.n_rows - 1)
+
+    def _has_latency_observation(
+        self, bucket: float, n_cores: int, service_idx: int = 0
+    ) -> bool:
+        """Whether the service has any measurement at this regime."""
+        return self._latency_observations(bucket, n_cores, service_idx) > 0
+
+    def _qos_guard(
+        self, bucket: float, n_cores: int, service_idx: int = 0
+    ) -> float:
+        """Safety margin on QoS, by how much latency evidence exists.
+
+        Uses the *lifetime* measurement count for this regime: the
+        guard relaxes with accumulated evidence and stays relaxed even
+        after individual observations age out of the matrices.
+        """
+        observed = max(
+            self._latency_observations(bucket, n_cores, service_idx),
+            len(self._latency_evidence.get((service_idx, bucket, n_cores), ())),
+        )
+        if observed < 2:
+            return self.config.qos_guard_sparse
+        if observed < 4:
+            return self.config.qos_guard_medium
+        return self.config.qos_guard_dense
+
+    def _predict_latency(
+        self, bucket: float, n_cores: int, service_idx: int = 0
+    ) -> np.ndarray:
+        """Reconstructed p99 of the running service across 108 configs.
+
+        When the service has never been measured at this (load, cores)
+        regime but has at another core count, predictions are
+        *transferred*: the known services' rows teach how latency moves
+        between core counts (a per-configuration log-ratio), which is
+        applied to the reconstructed row of the observed regime.  This
+        is what lets core reclamation/yielding reason about a regime
+        before entering it (§VIII-D3).
+        """
+        matrix = self._latency_matrix(bucket, n_cores, service_idx)
+        row = matrix.n_rows - 1
+        if matrix.observed_count(row) > 0:
+            full = self._reconstructor.reconstruct(matrix)
+            return full[row]
+        observed_counts = [
+            m
+            for (s_idx, b, m), mat in self._latency_matrices.items()
+            if s_idx == service_idx
+            and b == bucket
+            and m != n_cores
+            and mat.observed_count(mat.n_rows - 1) > 0
+        ]
+        if observed_counts:
+            source = min(observed_counts, key=lambda m: abs(m - n_cores))
+            base = self._predict_latency(bucket, source, service_idx)
+            ratio = self._core_count_ratio(
+                bucket, source, n_cores, service_idx
+            )
+            return base * ratio
+        # Nothing measured at this load at all: fall back to the known
+        # services' geometric-mean latency profile.
+        known = np.log(matrix.values[:-1])
+        return np.exp(known.mean(axis=0))
+
+    def _core_count_ratio(
+        self,
+        bucket: float,
+        from_cores: int,
+        to_cores: int,
+        service_idx: int = 0,
+    ) -> np.ndarray:
+        """Known-row latency ratio between two core counts, per config."""
+        from_rows = self._latency_matrix(
+            bucket, from_cores, service_idx
+        ).values[:-1]
+        to_rows = self._latency_matrix(bucket, to_cores, service_idx).values[:-1]
+        return np.exp(
+            np.log(to_rows).mean(axis=0) - np.log(from_rows).mean(axis=0)
+        )
+
+    def _power_fallback(
+        self,
+        configs: List[Optional[JointConfig]],
+        power_table: np.ndarray,
+        reserved_power: float,
+        max_power: float,
+    ) -> List[Optional[JointConfig]]:
+        """Gate cores in descending predicted power if still over budget."""
+        def predicted_total() -> float:
+            total = reserved_power
+            for j, cfg in enumerate(configs):
+                if cfg is not None:
+                    total += power_table[j, cfg.index]
+                else:
+                    total += self.machine.power.gated_core_power()
+            return total
+
+        while predicted_total() > max_power:
+            active = [j for j, cfg in enumerate(configs) if cfg is not None]
+            if not active:
+                break
+            hungriest = max(
+                active, key=lambda j: power_table[j, configs[j].index]
+            )
+            configs[hungriest] = None
+        return configs

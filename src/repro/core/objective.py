@@ -1,0 +1,166 @@
+"""The optimisation objective of §IV-A / §VI-A.
+
+Maximise the geometric mean of batch throughput (Eq. 1) subject to the
+power budget (Eq. 2), the LLC way budget (Eq. 3), and the QoS of the
+latency-critical service (Eq. 4; handled outside the search by fixing
+the LC configuration first).  Constraint violations are folded into the
+objective as *soft penalties* so points slightly over budget are not
+discarded outright (§VI-A)::
+
+    objective(x) = gmean(BIPS) - penalty_power * excess_power(x)
+                               - penalty_cache * excess_ways(x)
+
+(The paper's formula is written with ``maxPower - Power``; as printed
+that would reward high power, so we penalise the excess, which is the
+evident intent.)
+
+The decision vector ``x`` assigns each batch job a joint-configuration
+index in ``[0, 108)``; the LC service's contribution (cores, power,
+ways) is folded in as a fixed reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.coreconfig import CACHE_ALLOCS, N_CACHE_ALLOCS, N_JOINT_CONFIGS
+
+#: Cache ways of each joint index (shape [108]); used vectorised.
+_WAYS_BY_JOINT = np.array(
+    [CACHE_ALLOCS[i % N_CACHE_ALLOCS] for i in range(N_JOINT_CONFIGS)]
+)
+
+
+@dataclass(frozen=True)
+class SystemObjective:
+    """Evaluates candidate decision vectors for the batch jobs.
+
+    ``bips`` and ``power`` are the (reconstructed) per-job metric
+    tables, shape [n_jobs x 108].  ``reserved_power`` and
+    ``reserved_ways`` account for the LC service and uncore;
+    ``time_share`` scales throughput when active jobs outnumber batch
+    cores (core relocation).
+    """
+
+    bips: np.ndarray
+    power: np.ndarray
+    max_power: float
+    max_ways: float
+    reserved_power: float = 0.0
+    reserved_ways: float = 0.0
+    penalty_power: float = 2.0
+    penalty_cache: float = 2.0
+    time_share: float = 1.0
+    #: Cache ways consumed by each configuration index; ``None`` (the
+    #: default for 108-column tables) uses the joint-configuration
+    #: mapping.  Pass an explicit array (or zeros) for searches over a
+    #: different alphabet, e.g. Flicker's 27 core-only configurations.
+    ways_by_config: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.bips.shape != self.power.shape:
+            raise ValueError("bips and power tables must have the same shape")
+        if self.bips.ndim != 2:
+            raise ValueError("metric tables must be 2-D [n_jobs x n_confs]")
+        if self.max_power <= 0:
+            raise ValueError("max_power must be positive")
+        if self.max_ways <= 0:
+            raise ValueError("max_ways must be positive")
+        if self.ways_by_config is None:
+            if self.bips.shape[1] != N_JOINT_CONFIGS:
+                raise ValueError(
+                    "ways_by_config is required for tables that are not "
+                    f"[n_jobs x {N_JOINT_CONFIGS}]"
+                )
+            object.__setattr__(self, "ways_by_config", _WAYS_BY_JOINT)
+        else:
+            object.__setattr__(
+                self,
+                "ways_by_config",
+                np.asarray(self.ways_by_config, dtype=float),
+            )
+            if self.ways_by_config.shape != (self.bips.shape[1],):
+                raise ValueError(
+                    "ways_by_config must have one entry per configuration"
+                )
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of batch jobs the decision vector covers."""
+        return self.bips.shape[0]
+
+    @property
+    def n_confs(self) -> int:
+        """Alphabet size of each decision dimension."""
+        return self.bips.shape[1]
+
+    def gmean_bips(self, x: np.ndarray) -> float:
+        """Geometric mean of batch throughput for one decision vector."""
+        vals = self.bips[np.arange(self.n_jobs), x] * self.time_share
+        return float(np.exp(np.mean(np.log(np.maximum(vals, 1e-12)))))
+
+    def total_power(self, x: np.ndarray) -> float:
+        """Chip power of one decision vector, including reservations."""
+        return float(
+            np.sum(self.power[np.arange(self.n_jobs), x]) + self.reserved_power
+        )
+
+    def total_ways(self, x: np.ndarray) -> float:
+        """Physical LLC ways used, pairing half-way holders (Eq. 3)."""
+        ways = self.ways_by_config[x]
+        halves = int(np.sum(ways == 0.5))
+        whole = float(np.sum(ways[ways != 0.5]))
+        paired = np.ceil(halves / 2.0) if halves else 0.0
+        return whole + paired + self.reserved_ways
+
+    def __call__(self, x: np.ndarray) -> float:
+        """Soft-penalty objective of one decision vector."""
+        x = np.asarray(x, dtype=int)
+        if x.shape != (self.n_jobs,):
+            raise ValueError(
+                f"decision vector must have shape ({self.n_jobs},), got {x.shape}"
+            )
+        value = self.gmean_bips(x)
+        excess_power = max(0.0, self.total_power(x) - self.max_power)
+        excess_ways = max(0.0, self.total_ways(x) - self.max_ways)
+        return (
+            value
+            - self.penalty_power * excess_power
+            - self.penalty_cache * excess_ways
+        )
+
+    def evaluate_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised objective over ``xs`` of shape [k, n_jobs].
+
+        Semantically identical to calling the objective on each row;
+        this is what makes the Python DDS/GA loops run in the
+        millisecond range the paper reports for its parallel C++.
+        """
+        xs = np.asarray(xs, dtype=int)
+        if xs.ndim != 2 or xs.shape[1] != self.n_jobs:
+            raise ValueError(
+                f"batch must be [k x {self.n_jobs}], got {xs.shape}"
+            )
+        cols = np.arange(self.n_jobs)[None, :]
+        bips = self.bips[cols, xs] * self.time_share
+        gmean = np.exp(np.mean(np.log(np.maximum(bips, 1e-12)), axis=1))
+        power = np.sum(self.power[cols, xs], axis=1) + self.reserved_power
+        ways = self.ways_by_config[xs]
+        halves = np.sum(ways == 0.5, axis=1)
+        whole = np.sum(np.where(ways == 0.5, 0.0, ways), axis=1)
+        total_ways = whole + np.ceil(halves / 2.0) + self.reserved_ways
+        return (
+            gmean
+            - self.penalty_power * np.maximum(0.0, power - self.max_power)
+            - self.penalty_cache * np.maximum(0.0, total_ways - self.max_ways)
+        )
+
+    def is_feasible(self, x: np.ndarray, power_slack: float = 0.0) -> bool:
+        """Hard-constraint check (used after the search, §VI-B)."""
+        x = np.asarray(x, dtype=int)
+        return (
+            self.total_power(x) <= self.max_power + power_slack
+            and self.total_ways(x) <= self.max_ways + 1e-9
+        )

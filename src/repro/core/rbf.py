@@ -1,0 +1,139 @@
+"""Flicker's estimator: 3MM3 sampling + RBF surrogate fitting (§VIII-E).
+
+Flicker profiles each application on nine core configurations chosen by
+a three-level orthogonal design (we use the Taguchi L9 array over the
+three sections x three widths), then fits a radial-basis-function
+surrogate over the configuration space to predict the rest.  The paper
+shows this needs all nine samples: fitted with the two or three samples
+CuttleSys gets by, the surrogate extrapolates wildly (errors up to
+±600 %, Fig. 9).
+
+The surrogate operates on a smooth feature embedding of configurations
+(normalised section widths + log cache ways) with a multiquadric
+kernel, the standard choice in the RBF-optimisation literature the
+paper cites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.coreconfig import (
+    CACHE_ALLOCS,
+    N_JOINT_CONFIGS,
+    SECTION_WIDTHS,
+    CoreConfig,
+    JointConfig,
+)
+
+#: Taguchi L9 orthogonal array: 9 runs covering 3 factors at 3 levels,
+#: each level appearing three times per factor (the 3MM3 design).
+_L9_LEVELS = (
+    (0, 0, 0), (0, 1, 1), (0, 2, 2),
+    (1, 0, 1), (1, 1, 2), (1, 2, 0),
+    (2, 0, 2), (2, 1, 0), (2, 2, 1),
+)
+
+
+def l9_sample_configs() -> List[CoreConfig]:
+    """The nine core configurations Flicker profiles per application."""
+    return [
+        CoreConfig(
+            fe=SECTION_WIDTHS[a], be=SECTION_WIDTHS[b], ls=SECTION_WIDTHS[c]
+        )
+        for a, b, c in _L9_LEVELS
+    ]
+
+
+def _features(joint: JointConfig) -> np.ndarray:
+    """Smooth embedding of a joint configuration for the RBF kernel."""
+    fe, be, ls = joint.core.widths()
+    return np.array(
+        [
+            (fe - 2) / 4.0,
+            (be - 2) / 4.0,
+            (ls - 2) / 4.0,
+            math.log2(joint.cache_ways / CACHE_ALLOCS[0]) / 3.0,
+        ]
+    )
+
+
+_ALL_FEATURES = np.vstack(
+    [_features(JointConfig.from_index(i)) for i in range(N_JOINT_CONFIGS)]
+)
+
+
+@dataclass
+class RBFSurrogate:
+    """Interpolates a metric over the 108 joint configurations.
+
+    ``kernel`` is ``"multiquadric"`` (default) or ``"gaussian"``;
+    ``ridge`` regularises the interpolation system, and ``log_space``
+    fits the log of the metric (appropriate for positive quantities).
+    """
+
+    kernel: str = "multiquadric"
+    epsilon: float = 1.0
+    ridge: float = 1e-8
+    log_space: bool = False
+
+    _weights: np.ndarray = None
+    _centers: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("multiquadric", "gaussian"):
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+
+    def _phi(self, dist2: np.ndarray) -> np.ndarray:
+        if self.kernel == "multiquadric":
+            return np.sqrt(dist2 + self.epsilon**2)
+        return np.exp(-dist2 / (2.0 * self.epsilon**2))
+
+    def fit(
+        self, joint_indices: Sequence[int], values: Sequence[float]
+    ) -> "RBFSurrogate":
+        """Fit on (joint index, measured value) samples."""
+        idx = np.asarray(joint_indices, dtype=int)
+        y = np.asarray(values, dtype=float)
+        if idx.size == 0:
+            raise ValueError("need at least one sample")
+        if idx.size != y.size:
+            raise ValueError("joint_indices and values lengths differ")
+        if np.any((idx < 0) | (idx >= N_JOINT_CONFIGS)):
+            raise ValueError("joint index out of range")
+        if self.log_space:
+            if np.any(y <= 0):
+                raise ValueError("log-space fit requires positive values")
+            y = np.log(y)
+        self._centers = _ALL_FEATURES[idx]
+        diff = self._centers[:, None, :] - self._centers[None, :, :]
+        phi = self._phi(np.sum(diff**2, axis=-1))
+        phi = phi + self.ridge * np.eye(idx.size)
+        self._weights = np.linalg.solve(phi, y)
+        return self
+
+    def predict_all(self) -> np.ndarray:
+        """Predicted metric on all 108 joint configurations."""
+        if self._weights is None:
+            raise RuntimeError("fit() must be called before predict_all()")
+        diff = _ALL_FEATURES[:, None, :] - self._centers[None, :, :]
+        phi = self._phi(np.sum(diff**2, axis=-1))
+        pred = phi @ self._weights
+        if self.log_space:
+            # Clamp before exponentiation: with very few samples the
+            # interpolant extrapolates to huge magnitudes (the Fig. 9
+            # failure mode); keep the result finite.
+            pred = np.clip(pred, -50.0, 50.0)
+            return np.exp(pred)
+        return pred
+
+    def predict(self, joint_indices: Sequence[int]) -> np.ndarray:
+        """Predicted metric at specific joint configurations."""
+        all_pred = self.predict_all()
+        return all_pred[np.asarray(joint_indices, dtype=int)]

@@ -1,0 +1,261 @@
+"""PQ-reconstruction with Stochastic Gradient Descent (paper §V, Alg. 1).
+
+The sparse application × configuration matrix ``R`` is factored as
+``R ~ baseline + Q @ P.T`` and trained on the observed entries only; the
+product fills in every missing entry — the Netflix-style recommender
+formulation the paper adopts, with applications as users and joint
+configurations as items.
+
+Structure, following the paper and the BellKor line of work it cites:
+
+* a **baseline** of per-configuration means plus a shrunk per-application
+  bias (two profiling samples pin the bias down well);
+* **factors initialised by SVD** of the fully-characterised training
+  rows' residuals — the paper constructs Q and P from an SVD — with
+  sparse rows *folded in* by ridge projection onto that basis;
+* **SGD refinement** over the observed entries (Alg. 1), either the
+  literal per-entry serial loop or the lock-free parallel variant
+  (HOGWILD-style: an epoch's updates are computed from the same stale
+  state and applied at once, trading a bounded ~1 % accuracy difference
+  for a large speedup, §V).
+
+Values are reconstructed in log space by default: throughput, power and
+tail latency are positive and multiplicative in structure, which makes
+their log matrices close to low-rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.matrices import ObservedMatrix
+
+
+@dataclass(frozen=True)
+class SGDParams:
+    """Hyper-parameters of the reconstruction (paper §V, §VIII-A2)."""
+
+    #: Latent dimensionality of the interaction factors.
+    rank: int = 3
+    #: SGD refinement learning rate (eta in Alg. 1).
+    learning_rate: float = 0.02
+    #: L2 regularisation (lambda in Alg. 1).
+    regularization: float = 0.05
+    #: Maximum SGD refinement epochs.
+    max_iter: int = 20
+    #: Stop refinement when observed RMSE improves less than this.
+    tol: float = 1e-5
+    #: Lock-free parallel refinement (True) or literal Alg. 1 (False).
+    parallel: bool = True
+    #: Reconstruct log-metrics (positive, multiplicative quantities).
+    log_space: bool = True
+    #: Shrinkage added to the per-row observation count when estimating
+    #: the application bias (ridge prior toward the population).
+    bias_shrinkage: float = 0.2
+    #: Ridge strength (relative to the design's scale) of the fold-in.
+    fold_in_ridge: float = 0.1
+    #: A row is a basis ("anchor") row when at least this fraction of
+    #: its entries is observed.
+    anchor_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rank <= 0:
+            raise ValueError("rank must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        if self.max_iter < 0:
+            raise ValueError("max_iter must be non-negative")
+        if self.bias_shrinkage < 0:
+            raise ValueError("bias_shrinkage must be non-negative")
+        if self.fold_in_ridge <= 0:
+            raise ValueError("fold_in_ridge must be positive")
+        if not 0 < self.anchor_fraction <= 1:
+            raise ValueError("anchor_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SGDDiagnostics:
+    """What the last reconstruction did (for the overhead experiments)."""
+
+    iterations: int
+    observed_rmse: float
+    converged: bool
+
+
+class PQReconstructor:
+    """Reconstructs missing entries of an :class:`ObservedMatrix`."""
+
+    def __init__(self, params: SGDParams = SGDParams()) -> None:
+        self.params = params
+        self.last_diagnostics: Optional[SGDDiagnostics] = None
+
+    def reconstruct(self, matrix: ObservedMatrix) -> np.ndarray:
+        """Return the dense reconstruction; observed entries are kept.
+
+        Observed entries are copied through verbatim — the controller
+        always trusts measurements over predictions (§IV-B).
+        """
+        mask = matrix.mask
+        if not mask.any():
+            raise ValueError("cannot reconstruct a matrix with no observations")
+        values = matrix.values
+        if self.params.log_space:
+            if np.any(values[mask] <= 0):
+                raise ValueError(
+                    "log-space reconstruction requires positive observations"
+                )
+            work = np.zeros_like(values)
+            np.log(values, where=mask, out=work)
+        else:
+            work = np.where(mask, values, 0.0)
+
+        anchors = self._anchor_rows(mask)
+        baseline, centred = self._baseline(work, mask, anchors)
+        q, p = self._init_factors(centred, mask, anchors)
+        diagnostics = self._refine(centred, mask, q, p)
+        self.last_diagnostics = diagnostics
+
+        estimate = baseline + q @ p.T
+        if self.params.log_space:
+            estimate = np.exp(np.clip(estimate, -60.0, 60.0))
+        return np.where(mask, values, estimate)
+
+    # ------------------------------------------------------------------
+
+    def _anchor_rows(self, mask: np.ndarray) -> np.ndarray:
+        """Rows observed densely enough to serve as the training basis."""
+        row_frac = mask.sum(axis=1) / mask.shape[1]
+        return np.nonzero(row_frac >= self.params.anchor_fraction)[0]
+
+    def _baseline(
+        self, work: np.ndarray, mask: np.ndarray, anchors: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-configuration mean + shrunk per-application bias.
+
+        Column means come from the anchor (offline-characterised) rows
+        when available, so sparse runtime rows do not contaminate the
+        population profile at the two heavily-sampled columns.
+        """
+        if anchors.size >= 2:
+            basis_mask = mask[anchors]
+            basis_work = work[anchors]
+        else:
+            basis_mask = mask
+            basis_work = work
+        col_count = basis_mask.sum(axis=0)
+        col_mean = np.divide(
+            basis_work.sum(axis=0),
+            np.maximum(col_count, 1),
+            out=np.zeros(work.shape[1]),
+            where=col_count > 0,
+        )
+        global_mean = basis_work[basis_mask].mean()
+        col_mean = np.where(col_count > 0, col_mean, global_mean)
+        col_centred = np.where(mask, work - col_mean[None, :], 0.0)
+        row_count = mask.sum(axis=1)
+        row_bias = col_centred.sum(axis=1) / np.maximum(
+            row_count + self.params.bias_shrinkage, 1e-9
+        )
+        baseline = col_mean[None, :] + row_bias[:, None]
+        centred = np.where(mask, col_centred - row_bias[:, None], 0.0)
+        return baseline, centred
+
+    def _init_factors(
+        self, centred: np.ndarray, mask: np.ndarray, anchors: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """SVD of the anchor rows' residuals, ridge fold-in of the rest."""
+        params = self.params
+        n_rows, n_cols = centred.shape
+        rank = min(params.rank, n_cols)
+
+        if anchors.size >= 2:
+            rank = min(rank, anchors.size)
+            _, _, vt = np.linalg.svd(centred[anchors], full_matrices=False)
+            p = vt[:rank].T
+        else:
+            # Degenerate case (no offline-characterised rows): fall
+            # back to a small random basis, as in the original Alg. 1.
+            rng = np.random.default_rng(params.seed)
+            p = rng.normal(0.0, 1.0 / np.sqrt(n_cols), size=(n_cols, rank))
+
+        q = np.zeros((n_rows, rank))
+        for i in range(n_rows):
+            obs = np.nonzero(mask[i])[0]
+            if obs.size == 0:
+                continue
+            design = p[obs]
+            gram = design.T @ design
+            ridge = params.fold_in_ridge * (np.trace(gram) / rank + 1e-12)
+            q[i] = np.linalg.solve(
+                gram + ridge * np.eye(rank), design.T @ centred[i, obs]
+            )
+        return q, p
+
+    def _refine(
+        self,
+        centred: np.ndarray,
+        mask: np.ndarray,
+        q: np.ndarray,
+        p: np.ndarray,
+    ) -> SGDDiagnostics:
+        """SGD epochs over the observed entries (Alg. 1)."""
+        params = self.params
+        rng = np.random.default_rng(params.seed)
+        rows_idx, cols_idx = np.nonzero(mask)
+        n_observed = rows_idx.size
+
+        def rmse() -> float:
+            residual = np.where(mask, centred - q @ p.T, 0.0)
+            return float(np.sqrt(np.sum(residual**2) / n_observed))
+
+        last_rmse = rmse()
+        iterations = 0
+        converged = False
+        for iterations in range(1, params.max_iter + 1):
+            if params.parallel:
+                self._epoch_parallel(centred, mask, q, p)
+            else:
+                self._epoch_serial(centred, rows_idx, cols_idx, q, p, rng)
+            current = rmse()
+            if last_rmse - current < params.tol:
+                converged = True
+                last_rmse = min(last_rmse, current)
+                break
+            last_rmse = current
+        return SGDDiagnostics(
+            iterations=iterations, observed_rmse=last_rmse, converged=converged
+        )
+
+    def _epoch_serial(self, centred, rows_idx, cols_idx, q, p, rng) -> None:
+        """One pass of per-entry SGD updates in random order (Alg. 1)."""
+        eta = self.params.learning_rate
+        lam = self.params.regularization
+        order = rng.permutation(rows_idx.size)
+        for k in order:
+            i = rows_idx[k]
+            j = cols_idx[k]
+            err = centred[i, j] - q[i] @ p[j]
+            q_i = q[i].copy()
+            q[i] += eta * (err * p[j] - lam * q_i)
+            p[j] += eta * (err * q_i - lam * p[j])
+
+    def _epoch_parallel(self, centred, mask, q, p) -> None:
+        """One lock-free epoch: all updates computed from stale factors.
+
+        Every observed entry's gradient uses the factor state from the
+        start of the epoch, mirroring HOGWILD workers reading stale
+        parameters; the accumulated updates are then applied at once.
+        """
+        eta = self.params.learning_rate
+        lam = self.params.regularization
+        err = np.where(mask, centred - q @ p.T, 0.0)
+        counts_row = np.maximum(mask.sum(axis=1, keepdims=True), 1)
+        counts_col = np.maximum(mask.sum(axis=0)[:, None], 1)
+        q += eta * (err @ p / counts_row - lam * q)
+        p += eta * (err.T @ q / counts_col - lam * p)

@@ -1,0 +1,15 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning a plain dataclass of
+results plus a ``render`` helper that prints the same rows/series the
+paper reports.  The benchmark harness under ``benchmarks/`` calls these;
+see DESIGN.md for the experiment index.
+"""
+
+from repro.experiments.harness import (
+    PolicyRun,
+    build_machine_for_mix,
+    run_policy,
+)
+
+__all__ = ["PolicyRun", "build_machine_for_mix", "run_policy"]

@@ -1,0 +1,304 @@
+"""Ablation studies of CuttleSys's design choices (DESIGN.md hooks).
+
+Each ablation removes or resizes one mechanism and measures the effect
+on useful work, QoS, and the power budget:
+
+* **inference** — SGD reconstruction vs perfect (oracle) inference:
+  the gap is what the two-sample collaborative filter costs.
+* **guards** — QoS guardbands off vs on: without them, exploratory LC
+  configuration choices violate QoS.
+* **variants** — historical service variants in the latency training
+  set (0 vs default): fewer known-similar services degrade the LC
+  configuration choice.
+* **training size** — 8/16/24 offline-characterised batch apps,
+  end-to-end (the §VIII-A2 study measured in throughput, not error).
+* **penalty weight** — the soft power penalty of §VI-A: too low busts
+  the budget, too high leaves throughput on the table.
+* **dds budget** — DDS iterations vs solution quality (the maxIter
+  trade-off discussed in §V/VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import ControllerConfig
+from repro.core.dds import DDSParams, DDSSearch
+from repro.core.matrices import power_rows, throughput_rows
+from repro.core.objective import SystemObjective
+from repro.core.oracle import OracleReconfigPolicy
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import (
+    build_machine_for_mix,
+    reference_power_for_mix,
+    run_policy,
+)
+from repro.experiments.reporting import format_table
+from repro.sim.coreconfig import N_JOINT_CONFIGS
+from repro.workloads.batch import batch_profile, train_test_split
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Outcome of one configuration of one ablation."""
+
+    label: str
+    batch_instructions_b: float
+    qos_violations: int
+    power_violations: int
+
+
+def _run_cuttlesys(
+    mix_index: int,
+    cap: float,
+    n_slices: int,
+    seed: int,
+    config: ControllerConfig,
+    label: str,
+) -> AblationRow:
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    machine = build_machine_for_mix(mix, seed=seed)
+    policy = CuttleSysPolicy.for_machine(machine, seed=seed, config=config)
+    run = run_policy(
+        machine, policy, LoadTrace.constant(0.8),
+        power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+    )
+    return AblationRow(
+        label=label,
+        batch_instructions_b=run.total_batch_instructions() / 1e9,
+        qos_violations=run.qos_violations(),
+        power_violations=run.power_violations(),
+    )
+
+
+def ablate_inference(
+    mix_index: int = 0, cap: float = 0.6, n_slices: int = 10, seed: int = 7
+) -> Tuple[AblationRow, AblationRow]:
+    """SGD inference vs the perfect-inference oracle."""
+    sgd = _run_cuttlesys(
+        mix_index, cap, n_slices, seed, ControllerConfig(seed=seed),
+        "cuttlesys (SGD inference)",
+    )
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    machine = build_machine_for_mix(mix, seed=seed)
+    oracle = OracleReconfigPolicy(seed=seed)
+    run = run_policy(
+        machine, oracle, LoadTrace.constant(0.8),
+        power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+    )
+    return sgd, AblationRow(
+        label="oracle inference",
+        batch_instructions_b=run.total_batch_instructions() / 1e9,
+        qos_violations=run.qos_violations(),
+        power_violations=run.power_violations(),
+    )
+
+
+def ablate_guards(
+    mix_index: int = 0, cap: float = 0.7, n_slices: int = 10, seed: int = 7
+) -> Tuple[AblationRow, AblationRow]:
+    """QoS guardbands on (default) vs effectively off."""
+    with_guards = _run_cuttlesys(
+        mix_index, cap, n_slices, seed, ControllerConfig(seed=seed),
+        "guards on (default)",
+    )
+    no_guards = _run_cuttlesys(
+        mix_index, cap, n_slices, seed,
+        ControllerConfig(
+            seed=seed,
+            qos_guard_sparse=1e-6,
+            qos_guard_medium=1e-6,
+            qos_guard_dense=1e-6,
+        ),
+        "guards off",
+    )
+    return with_guards, no_guards
+
+
+def ablate_variants(
+    mix_index: int = 0, cap: float = 0.7, n_slices: int = 10, seed: int = 7
+) -> Tuple[AblationRow, AblationRow]:
+    """Historical latency variants (default 3/service) vs none."""
+    with_variants = _run_cuttlesys(
+        mix_index, cap, n_slices, seed, ControllerConfig(seed=seed),
+        "3 variants/service (default)",
+    )
+    without = _run_cuttlesys(
+        mix_index, cap, n_slices, seed,
+        ControllerConfig(seed=seed, latency_variants_per_service=0),
+        "no variants",
+    )
+    return with_variants, without
+
+
+def ablate_training_size(
+    sizes: Sequence[int] = (8, 16, 24),
+    mix_index: int = 0,
+    cap: float = 0.6,
+    n_slices: int = 10,
+    seed: int = 7,
+) -> Tuple[AblationRow, ...]:
+    """End-to-end effect of the offline training-set size (§VIII-A2)."""
+    rows = []
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    for size in sizes:
+        train_names, _ = train_test_split(n_train=size)
+        machine = build_machine_for_mix(mix, seed=seed)
+        policy = CuttleSysPolicy.for_machine(
+            machine,
+            seed=seed,
+            config=ControllerConfig(seed=seed),
+            train_profiles=[batch_profile(n) for n in train_names],
+        )
+        run = run_policy(
+            machine, policy, LoadTrace.constant(0.8),
+            power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        )
+        rows.append(
+            AblationRow(
+                label=f"{size} training apps",
+                batch_instructions_b=run.total_batch_instructions() / 1e9,
+                qos_violations=run.qos_violations(),
+                power_violations=run.power_violations(),
+            )
+        )
+    return tuple(rows)
+
+
+def ablate_penalty_weight(
+    weights: Sequence[float] = (0.25, 2.0, 16.0),
+    mix_index: int = 0,
+    cap: float = 0.6,
+    n_slices: int = 10,
+    seed: int = 7,
+) -> Tuple[AblationRow, ...]:
+    """Soft power-penalty weight of the DDS objective (§VI-A).
+
+    Exposed through a dedicated objective run because the controller
+    fixes the weight: we re-run the frozen search of Fig. 10a per
+    weight and report predicted feasibility + throughput.
+    """
+    mix = paper_mixes()[mix_index]
+    machine = build_machine_for_mix(mix, seed=seed)
+    budget = machine.reference_max_power() * cap * 0.6  # batch share
+    bips = throughput_rows(machine.batch_profiles, machine.perf)
+    power = power_rows(machine.batch_profiles, machine.power)
+    rows = []
+    for weight in weights:
+        objective = SystemObjective(
+            bips=bips,
+            power=power,
+            max_power=budget,
+            max_ways=machine.params.llc_ways - 4.0,
+            penalty_power=weight,
+        )
+        result = DDSSearch(DDSParams()).search(
+            objective, n_dims=bips.shape[0], n_confs=N_JOINT_CONFIGS,
+            rng=np.random.default_rng(seed),
+        )
+        x = result.best_x
+        over = max(0.0, objective.total_power(x) - budget)
+        rows.append(
+            AblationRow(
+                label=f"penalty={weight:g}",
+                batch_instructions_b=float(
+                    bips[np.arange(bips.shape[0]), x].sum()
+                ),
+                qos_violations=0,
+                power_violations=int(over > budget * 0.01),
+            )
+        )
+    return tuple(rows)
+
+
+def ablate_transition_cost(
+    transitions_s: Sequence[float] = (50e-6, 2e-3, 10e-3),
+    mix_index: int = 0,
+    cap: float = 0.6,
+    n_slices: int = 10,
+    seed: int = 7,
+) -> Tuple[AblationRow, ...]:
+    """Sensitivity to the core-reconfiguration transition cost.
+
+    The paper treats quantum-boundary reconfiguration as free; AnyCore's
+    RTL suggests tens of microseconds.  This ablation raises the cost to
+    the milliseconds regime to check how much CuttleSys's configuration
+    churn would hurt on slower hardware.
+    """
+    from repro.sim.machine import MachineParams
+
+    rows = []
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    for transition in transitions_s:
+        machine = build_machine_for_mix(
+            mix, seed=seed,
+            params=MachineParams(reconfig_transition_s=transition),
+        )
+        policy = CuttleSysPolicy.for_machine(
+            machine, seed=seed, config=ControllerConfig(seed=seed)
+        )
+        run = run_policy(
+            machine, policy, LoadTrace.constant(0.8),
+            power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        )
+        rows.append(
+            AblationRow(
+                label=f"transition {transition * 1e3:g} ms",
+                batch_instructions_b=run.total_batch_instructions() / 1e9,
+                qos_violations=run.qos_violations(),
+                power_violations=run.power_violations(),
+            )
+        )
+    return tuple(rows)
+
+
+def ablate_dds_budget(
+    iterations: Sequence[int] = (5, 40, 120),
+    mix_index: int = 0,
+    cap: float = 0.6,
+    seed: int = 7,
+) -> Dict[int, float]:
+    """DDS maxIter vs achieved objective on a frozen problem."""
+    mix = paper_mixes()[mix_index]
+    machine = build_machine_for_mix(mix, seed=seed)
+    budget = machine.reference_max_power() * cap * 0.6
+    bips = throughput_rows(machine.batch_profiles, machine.perf)
+    power = power_rows(machine.batch_profiles, machine.power)
+    objective = SystemObjective(
+        bips=bips,
+        power=power,
+        max_power=budget,
+        max_ways=machine.params.llc_ways - 4.0,
+    )
+    out = {}
+    for max_iter in iterations:
+        result = DDSSearch(DDSParams(max_iter=max_iter)).search(
+            objective, n_dims=bips.shape[0], n_confs=N_JOINT_CONFIGS,
+            rng=np.random.default_rng(seed),
+        )
+        out[max_iter] = result.best_objective
+    return out
+
+
+def render_ablation(title: str, rows: Sequence[AblationRow]) -> str:
+    """Text table for one ablation."""
+    return (
+        f"== {title} ==\n"
+        + format_table(
+            ["variant", "batch instr (B)", "QoS viol.", "power viol."],
+            [
+                (r.label, f"{r.batch_instructions_b:.2f}",
+                 r.qos_violations, r.power_violations)
+                for r in rows
+            ],
+        )
+    )

@@ -1,0 +1,124 @@
+"""Extension study: memory-bandwidth contention (fidelity add-on).
+
+The headline evaluation isolates cache interference (as the paper's
+does); this study turns on the shared-bandwidth model of
+:mod:`repro.sim.memory` and asks two questions:
+
+1. **Does Flicker's pinned-wide methodology now violate QoS?**  In the
+   paper, method (b) overshoots QoS by ~1.5x; without a bandwidth
+   model our substrate could not reproduce that (EXPERIMENTS.md).  With
+   contention on, sixteen unthrottled wide batch jobs saturate the
+   memory system and push the pinned LC service over its target.
+2. **Does CuttleSys cope?**  Its measured matrices absorb contention —
+   "any interference between them is handled by updating the
+   reconstruction matrix with the measured values during runtime"
+   (§VIII-A2) — so the controller should hold QoS by settling on
+   less bandwidth-hungry configurations, trading some batch work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.baselines.flicker import FlickerMethod, FlickerPolicy
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import run_policy
+from repro.experiments.reporting import format_table
+from repro.sim.machine import Machine, MachineParams
+from repro.workloads.batch import batch_profile
+from repro.workloads.latency_critical import lc_service
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+
+@dataclass(frozen=True)
+class BandwidthOutcome:
+    """One (policy, bandwidth) cell of the study."""
+
+    policy: str
+    bandwidth_gbps: float
+    batch_instructions_b: float
+    qos_violations: int
+    worst_p99_over_qos: float
+    mean_stall_multiplier: float
+
+
+def _machine(mix_index: int, bandwidth_gbps: float, seed: int) -> Machine:
+    mix = paper_mixes()[mix_index]
+    params = MachineParams(peak_memory_bandwidth_gbps=bandwidth_gbps)
+    return Machine(
+        lc_service=lc_service(mix.lc_name),
+        batch_profiles=[batch_profile(n) for n in mix.batch_names],
+        params=params,
+        seed=seed,
+    )
+
+
+def run_bandwidth_study(
+    mix_index: int = 0,
+    bandwidths: Tuple[float, ...] = (math.inf, 60.0),
+    cap: float = 0.8,
+    load: float = 0.8,
+    n_slices: int = 10,
+    seed: int = 7,
+) -> Dict[float, Dict[str, BandwidthOutcome]]:
+    """CuttleSys and Flicker-(b) with and without bandwidth contention."""
+    results: Dict[float, Dict[str, BandwidthOutcome]] = {}
+    for bandwidth in bandwidths:
+        per_policy: Dict[str, BandwidthOutcome] = {}
+        for name, factory in (
+            ("cuttlesys", lambda m: CuttleSysPolicy.for_machine(m, seed=seed)),
+            ("flicker-b", lambda m: FlickerPolicy(
+                method=FlickerMethod.PIN_LC, seed=seed)),
+        ):
+            machine = _machine(mix_index, bandwidth, seed)
+            reference = machine.reference_max_power()
+            policy = factory(machine)
+            run = run_policy(
+                machine, policy, LoadTrace.constant(load),
+                power_cap_fraction=cap, n_slices=n_slices,
+                max_power_w=reference,
+            )
+            per_policy[name] = BandwidthOutcome(
+                policy=name,
+                bandwidth_gbps=bandwidth,
+                batch_instructions_b=run.total_batch_instructions() / 1e9,
+                qos_violations=run.qos_violations(),
+                worst_p99_over_qos=run.worst_p99_ratio(),
+                mean_stall_multiplier=float(
+                    np.mean(
+                        [m.memory_stall_multiplier for m in run.measurements]
+                    )
+                ),
+            )
+        results[bandwidth] = per_policy
+    return results
+
+
+def render_bandwidth_study(
+    results: Dict[float, Dict[str, BandwidthOutcome]]
+) -> str:
+    """Text table of the study."""
+    rows = []
+    for bandwidth, per_policy in results.items():
+        label = "inf" if math.isinf(bandwidth) else f"{bandwidth:.0f}"
+        for outcome in per_policy.values():
+            rows.append(
+                (
+                    f"{label} GB/s",
+                    outcome.policy,
+                    f"{outcome.batch_instructions_b:.2f}",
+                    outcome.qos_violations,
+                    f"{outcome.worst_p99_over_qos:.2f}x",
+                    f"{outcome.mean_stall_multiplier:.2f}",
+                )
+            )
+    return format_table(
+        ["bandwidth", "policy", "batch instr (B)", "QoS viol.",
+         "worst p99/QoS", "mean stall mult."],
+        rows,
+    )

@@ -1,0 +1,138 @@
+"""Fig. 1 — characterisation of the five LC services across core configs.
+
+For each TailBench-like service, tail latency and per-core power on a
+16-core machine in every one of the 27 core configurations, at 20 % and
+80 % load.  Reproduces the paper's headline observations:
+
+* at high load, tail latency explodes as the bottleneck section narrows;
+* at low load, even low configurations keep latency acceptable;
+* the bottleneck section — and therefore the lowest-power
+  QoS-feasible configuration — differs per service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.sim.coreconfig import CORE_CONFIGS, CoreConfig
+from repro.sim.perf import PerformanceModel
+from repro.sim.power import PowerModel
+from repro.workloads.latency_critical import LC_SERVICE_NAMES, make_services
+
+#: The paper characterises on a 16-core homogeneous system.
+CHARACTERIZATION_CORES = 16
+CHARACTERIZATION_WAYS = 4.0
+
+
+@dataclass(frozen=True)
+class ServiceCharacterization:
+    """Latency/power of one service at one load across 27 core configs."""
+
+    service: str
+    load: float
+    #: p99 latency in seconds, indexed by CoreConfig.index.
+    tail_latency: np.ndarray
+    #: Per-core power in watts, indexed by CoreConfig.index.
+    power: np.ndarray
+    qos_latency_s: float
+
+    def qos_feasible(self) -> np.ndarray:
+        """Boolean mask of configurations meeting QoS."""
+        return self.tail_latency <= self.qos_latency_s
+
+    def best_low_power_config(self) -> Optional[CoreConfig]:
+        """Least-power configuration meeting QoS (None if infeasible)."""
+        feasible = self.qos_feasible()
+        if not feasible.any():
+            return None
+        masked = np.where(feasible, self.power, np.inf)
+        return CORE_CONFIGS[int(np.argmin(masked))]
+
+
+def run_fig1(
+    services: Optional[Sequence[str]] = None,
+    loads: Tuple[float, ...] = (0.2, 0.8),
+    perf: Optional[PerformanceModel] = None,
+    power: Optional[PowerModel] = None,
+) -> Dict[str, Dict[float, ServiceCharacterization]]:
+    """Characterise each service at each load across all core configs."""
+    perf = perf if perf is not None else PerformanceModel()
+    power_model = power if power is not None else PowerModel()
+    names = list(services) if services is not None else list(LC_SERVICE_NAMES)
+    catalogue = make_services(perf)
+    results: Dict[str, Dict[float, ServiceCharacterization]] = {}
+    for name in names:
+        service = catalogue[name]
+        per_load: Dict[float, ServiceCharacterization] = {}
+        for load in loads:
+            latency = np.empty(len(CORE_CONFIGS))
+            watts = np.empty(len(CORE_CONFIGS))
+            for config in CORE_CONFIGS:
+                latency[config.index] = service.tail_latency(
+                    perf,
+                    config,
+                    CHARACTERIZATION_WAYS,
+                    load,
+                    CHARACTERIZATION_CORES,
+                )
+                util = min(
+                    1.0,
+                    service.utilization(
+                        perf,
+                        config,
+                        CHARACTERIZATION_WAYS,
+                        load,
+                        CHARACTERIZATION_CORES,
+                    ),
+                )
+                watts[config.index] = power_model.core_power(
+                    service.profile, config, utilization=util
+                )
+            per_load[load] = ServiceCharacterization(
+                service=name,
+                load=load,
+                tail_latency=latency,
+                power=watts,
+                qos_latency_s=service.qos_latency_s,
+            )
+        results[name] = per_load
+    return results
+
+
+def render_fig1(
+    results: Dict[str, Dict[float, ServiceCharacterization]],
+    top_n: int = 8,
+) -> str:
+    """Text rendering: per service, configs ordered by latency at 80 %."""
+    blocks: List[str] = []
+    for name, per_load in results.items():
+        high = per_load[max(per_load)]
+        low = per_load[min(per_load)]
+        order = np.argsort(high.tail_latency)
+        rows = []
+        for rank, idx in enumerate(order[:top_n]):
+            config = CORE_CONFIGS[int(idx)]
+            rows.append(
+                (
+                    config.label,
+                    f"{high.tail_latency[idx] * 1e3:.2f}",
+                    f"{low.tail_latency[idx] * 1e3:.2f}",
+                    f"{high.power[idx]:.2f}",
+                    "yes" if high.qos_feasible()[idx] else "no",
+                )
+            )
+        best = high.best_low_power_config()
+        blocks.append(
+            f"== {name} (QoS {high.qos_latency_s * 1e3:.2f} ms; "
+            f"best low-power QoS config at {high.load:.0%} load: "
+            f"{best.label if best else 'none'}) ==\n"
+            + format_table(
+                ["config", "p99@80% (ms)", "p99@20% (ms)", "W/core@80%", "QoS@80%"],
+                rows,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,151 @@
+"""Fig. 5(c) — relative useful work vs power cap, per policy.
+
+Total instructions executed by batch applications over the same
+wall-clock window, relative to a no-gating machine, for each power cap
+in {90, 80, 70, 60, 50} % — the paper's headline comparison.  Expected
+shape: fixed-core designs win slightly at relaxed caps (CuttleSys pays
+the reconfigurability energy tax), CuttleSys overtakes core-level
+gating below ~80 % and the oracle-like asymmetric multicore at the most
+stringent caps, with QoS always met.
+
+The full paper sweep is 50 mixes x 5 caps; ``run_fig5c`` defaults to a
+representative subset (one mix per LC service) so it completes in
+minutes — pass ``mix_indices=range(50)`` for the full rerun.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    AsymmetricOraclePolicy,
+    CoreGatingPolicy,
+    NoGatingPolicy,
+    StaticAsymmetricPolicy,
+)
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import (
+    build_machine_for_mix,
+    reference_power_for_mix,
+    run_policy,
+)
+from repro.experiments.reporting import format_table
+from repro.sim.machine import Machine
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import Mix, paper_mixes
+
+#: Power caps evaluated in the paper, as fractions of the reference.
+PAPER_CAPS: Tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5)
+
+#: One representative mix per LC service (indices into paper_mixes()).
+DEFAULT_MIX_INDICES: Tuple[int, ...] = (0, 12, 25, 37, 44)
+
+#: (name, factory, runs-on-reconfigurable-machine) for every scheme.
+PolicyFactory = Callable[[Machine], object]
+
+
+def policy_catalogue(seed: int) -> List[Tuple[str, PolicyFactory, bool]]:
+    """The five schemes of Fig. 5c plus the static 50/50 of §VIII-C."""
+    return [
+        ("no-gating", lambda m: NoGatingPolicy(), False),
+        ("core-gating", lambda m: CoreGatingPolicy(way_partition=False), False),
+        ("core-gating+wp", lambda m: CoreGatingPolicy(way_partition=True), False),
+        ("asymm-oracle", lambda m: AsymmetricOraclePolicy(), False),
+        ("asymm-50-50", lambda m: StaticAsymmetricPolicy(), False),
+        ("cuttlesys", lambda m: CuttleSysPolicy.for_machine(m, seed=seed), True),
+    ]
+
+
+@dataclass
+class Fig5cResult:
+    """Per-(cap, policy) aggregates over the evaluated mixes."""
+
+    caps: Tuple[float, ...]
+    policies: Tuple[str, ...]
+    #: relative[cap][policy] = mean instructions relative to no-gating.
+    relative: Dict[float, Dict[str, float]] = field(default_factory=dict)
+    qos_violations: Dict[float, Dict[str, int]] = field(default_factory=dict)
+
+    def speedup(self, cap: float, policy: str, over: str) -> float:
+        """Ratio of one policy's relative work over another's."""
+        return self.relative[cap][policy] / self.relative[cap][over]
+
+
+def run_fig5c(
+    mix_indices: Sequence[int] = DEFAULT_MIX_INDICES,
+    caps: Sequence[float] = PAPER_CAPS,
+    n_slices: int = 10,
+    load: float = 0.8,
+    seed: int = 7,
+    policies: Optional[List[Tuple[str, PolicyFactory, bool]]] = None,
+) -> Fig5cResult:
+    """Sweep policies x caps x mixes at near-saturation load."""
+    mixes = paper_mixes()
+    chosen = [mixes[i] for i in mix_indices]
+    catalogue = policies if policies is not None else policy_catalogue(seed)
+    result = Fig5cResult(
+        caps=tuple(caps), policies=tuple(name for name, _, _ in catalogue)
+    )
+    trace = LoadTrace.constant(load)
+    for cap in caps:
+        sums: Dict[str, List[float]] = {name: [] for name, _, _ in catalogue}
+        qos: Dict[str, int] = {name: 0 for name, _, _ in catalogue}
+        for mix in chosen:
+            reference = reference_power_for_mix(mix, seed=seed)
+            baseline_instr = None
+            for name, factory, reconfigurable in catalogue:
+                machine = build_machine_for_mix(
+                    mix, seed=seed, reconfigurable=reconfigurable
+                )
+                policy = factory(machine)
+                run = run_policy(
+                    machine,
+                    policy,
+                    trace,
+                    power_cap_fraction=cap,
+                    n_slices=n_slices,
+                    max_power_w=reference,
+                )
+                instr = run.total_batch_instructions()
+                if name == "no-gating":
+                    baseline_instr = instr
+                if baseline_instr:
+                    sums[name].append(instr / baseline_instr)
+                qos[name] += run.qos_violations()
+        result.relative[cap] = {
+            name: float(np.mean(vals)) for name, vals in sums.items()
+        }
+        result.qos_violations[cap] = qos
+    return result
+
+
+def render_fig5c(result: Fig5cResult) -> str:
+    """Text rendering of the cap sweep plus headline speedups."""
+    rows = []
+    for cap in result.caps:
+        rows.append(
+            [f"{cap:.0%}"]
+            + [f"{result.relative[cap][p]:.2f}" for p in result.policies]
+        )
+    table = format_table(["cap"] + list(result.policies), rows)
+    tightest = min(result.caps)
+    lines = [table, ""]
+    for over in ("core-gating", "core-gating+wp", "asymm-oracle"):
+        if over in result.policies and "cuttlesys" in result.policies:
+            avg = np.mean(
+                [result.speedup(c, "cuttlesys", over) for c in result.caps
+                 if c <= 0.8]
+            )
+            best = result.speedup(tightest, "cuttlesys", over)
+            lines.append(
+                f"CuttleSys vs {over}: {avg:.2f}x mean (caps <= 80%), "
+                f"{best:.2f}x at {tightest:.0%}"
+            )
+    total_qos = sum(
+        result.qos_violations[c].get("cuttlesys", 0) for c in result.caps
+    )
+    lines.append(f"CuttleSys QoS violations across sweep: {total_qos}")
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""§VIII-E — comparison with Flicker.
+
+Three results:
+
+* **QoS violations.** Flicker method (a) cycles every core — including
+  the LC service's — through nine 10 ms profiling configurations per
+  100 ms slice, so ~11 % of queries see the narrowest core near
+  saturation: the slice p99 lands an order of magnitude over QoS.
+  Method (b) pins the LC cores wide and profiles batch cores for
+  9 x 1 ms, still leaving the service with no latency-aware
+  configuration or cache isolation: p99 overshoots QoS by ~1.5x.
+  Both are computed with the mixture-tail model of
+  :func:`repro.workloads.queueing.mixture_p99`.
+* **Throughput.** CuttleSys vs Flicker method (b) through the harness.
+* The estimator and explorer pieces are compared separately in
+  Fig. 9 and Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.baselines.flicker import FlickerMethod, FlickerPolicy
+from repro.core.rbf import l9_sample_configs
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import (
+    build_machine_for_mix,
+    reference_power_for_mix,
+    run_policy,
+)
+from repro.experiments.reporting import format_table
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+from repro.workloads.queueing import mixture_p99
+
+
+@dataclass(frozen=True)
+class FlickerQoSResult:
+    """Slice p99 (relative to QoS) under each Flicker methodology."""
+
+    service: str
+    method_a_p99_over_qos: float
+    method_b_p99_over_qos: float
+    cuttlesys_p99_over_qos: float
+
+
+def run_flicker_qos(
+    mix_index: int = 0, load: float = 0.8, seed: int = 7
+) -> FlickerQoSResult:
+    """Mixture-tail p99 of the LC service under each profiling schedule."""
+    mix = paper_mixes()[mix_index]
+    machine = build_machine_for_mix(mix, seed=seed)
+    service = machine.lc_service
+    qos = service.qos_latency_s
+    n_cores = 16
+
+    sample_joints = [
+        JointConfig(core, CACHE_ALLOCS[-1]) for core in l9_sample_configs()
+    ]
+    per_config_p99 = [
+        machine.true_lc_p99(joint, load, n_cores) for joint in sample_joints
+    ]
+    steady = machine.true_lc_p99(
+        JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1]), load, n_cores
+    )
+
+    # Method (a): 9 x 10 ms profiling + 2 ms GA + 8 ms steady state; the
+    # LC cores cycle through every sampled configuration.
+    fractions_a = [0.10] * 9 + [0.10]
+    p99s_a = per_config_p99 + [steady]
+    p99_a = mixture_p99(fractions_a, p99s_a)
+
+    # Method (b): LC pinned to the widest configuration all slice, but
+    # with no cache isolation (Flicker does not partition the LLC) and
+    # no latency-aware tuning; the LLC share during batch profiling is
+    # the unmanaged equal split.
+    shared_ways = (
+        machine.params.llc_ways
+        / (len(machine.batch_profiles) + 1)
+        * machine.params.shared_llc_efficiency
+    )
+    pinned = machine.lc_service.tail_latency(
+        machine.perf, CoreConfig.widest(), shared_ways, load, n_cores,
+        shared_way=True,
+    )
+    p99_b = pinned
+
+    # CuttleSys keeps the service on a QoS-meeting configuration with a
+    # dedicated partition; its worst steady-state latency is the QoS
+    # guard target.
+    p99_cuttlesys = steady
+
+    return FlickerQoSResult(
+        service=service.name,
+        method_a_p99_over_qos=p99_a / qos,
+        method_b_p99_over_qos=p99_b / qos,
+        cuttlesys_p99_over_qos=p99_cuttlesys / qos,
+    )
+
+
+@dataclass(frozen=True)
+class FlickerThroughputResult:
+    """Useful-work comparison against Flicker method (b)."""
+
+    cuttlesys_instructions: float
+    flicker_instructions: float
+    cuttlesys_qos_violations: int
+    flicker_over_qos_worst: float
+
+    @property
+    def advantage(self) -> float:
+        """CuttleSys batch work over Flicker's."""
+        return self.cuttlesys_instructions / max(self.flicker_instructions, 1e-9)
+
+
+def run_flicker_throughput(
+    mix_index: int = 0,
+    cap: float = 0.7,
+    n_slices: int = 8,
+    load: float = 0.8,
+    seed: int = 7,
+) -> FlickerThroughputResult:
+    """Run both systems through the harness at one cap."""
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    trace = LoadTrace.constant(load)
+
+    machine = build_machine_for_mix(mix, seed=seed)
+    cuttlesys = CuttleSysPolicy.for_machine(machine, seed=seed)
+    run_cs = run_policy(
+        machine, cuttlesys, trace, power_cap_fraction=cap,
+        n_slices=n_slices, max_power_w=reference,
+    )
+
+    machine_f = build_machine_for_mix(mix, seed=seed)
+    flicker = FlickerPolicy(method=FlickerMethod.PIN_LC, seed=seed)
+    run_f = run_policy(
+        machine_f, flicker, trace, power_cap_fraction=cap,
+        n_slices=n_slices, max_power_w=reference,
+    )
+    return FlickerThroughputResult(
+        cuttlesys_instructions=run_cs.total_batch_instructions(),
+        flicker_instructions=run_f.total_batch_instructions(),
+        cuttlesys_qos_violations=run_cs.qos_violations(),
+        flicker_over_qos_worst=run_f.worst_p99_ratio(),
+    )
+
+
+def render_flicker(
+    qos: FlickerQoSResult, throughput: FlickerThroughputResult
+) -> str:
+    """Text rendering of the §VIII-E comparison."""
+    table = format_table(
+        ["scheme", "p99 / QoS"],
+        [
+            ("Flicker method (a): profile all cores", f"{qos.method_a_p99_over_qos:.1f}x"),
+            ("Flicker method (b): LC pinned wide", f"{qos.method_b_p99_over_qos:.2f}x"),
+            ("CuttleSys", f"{qos.cuttlesys_p99_over_qos:.2f}x"),
+        ],
+    )
+    return (
+        f"Flicker comparison ({qos.service})\n{table}\n\n"
+        f"Throughput (method b, harness): CuttleSys "
+        f"{throughput.advantage:.2f}x Flicker "
+        f"({throughput.cuttlesys_instructions / 1e9:.2f}B vs "
+        f"{throughput.flicker_instructions / 1e9:.2f}B instructions; "
+        f"CuttleSys QoS violations: {throughput.cuttlesys_qos_violations}, "
+        f"Flicker worst p99/QoS: {throughput.flicker_over_qos_worst:.2f}x)"
+    )

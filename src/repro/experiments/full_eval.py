@@ -1,0 +1,228 @@
+"""One-shot full evaluation: regenerate every result into one report.
+
+``run_full_evaluation`` executes each experiment at a configurable
+scale and assembles a single markdown report mirroring the paper's
+evaluation section plus this repo's extension studies.  Used by the
+``python -m repro report`` CLI command.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """One experiment's rendered output and runtime."""
+
+    title: str
+    body: str
+    seconds: float
+    error: Optional[str] = None
+
+
+def _section(title: str, producer: Callable[[], str]) -> SectionResult:
+    start = time.perf_counter()
+    try:
+        body = producer()
+        error = None
+    except Exception as exc:  # pragma: no cover - defensive reporting
+        body = ""
+        error = f"{type(exc).__name__}: {exc}"
+    return SectionResult(
+        title=title,
+        body=body,
+        seconds=time.perf_counter() - start,
+        error=error,
+    )
+
+
+def default_sections(n_slices: int = 8) -> List[Tuple[str, Callable[[], str]]]:
+    """The (title, producer) list the full evaluation runs, in order."""
+
+    def fig1() -> str:
+        from repro.experiments.fig1_characterization import (
+            render_fig1, run_fig1,
+        )
+        return render_fig1(run_fig1())
+
+    def table2() -> str:
+        from repro.experiments.table2_overheads import (
+            render_table2, run_table2, run_training_set_sensitivity,
+        )
+        return render_table2(run_table2(), run_training_set_sensitivity())
+
+    def fig5() -> str:
+        from repro.experiments.fig5_accuracy import (
+            render_fig5, run_fig5a, run_fig5b,
+        )
+        return render_fig5(run_fig5a(), run_fig5b())
+
+    def fig5c() -> str:
+        from repro.experiments.fig5c_powercaps import (
+            render_fig5c, run_fig5c,
+        )
+        return render_fig5c(run_fig5c(n_slices=n_slices))
+
+    def fig7() -> str:
+        from repro.experiments.fig7_timeline import render_fig7, run_fig7
+        return render_fig7(run_fig7(n_slices=n_slices))
+
+    def fig8() -> str:
+        from repro.experiments.fig8_dynamic import (
+            render_fig8, run_fig8a, run_fig8b, run_fig8c,
+        )
+        return "\n\n".join(
+            render_fig8(trace)
+            for trace in (run_fig8a(), run_fig8b(), run_fig8c())
+        )
+
+    def fig9() -> str:
+        from repro.experiments.fig9_sgd_vs_rbf import render_fig9, run_fig9
+        return render_fig9(run_fig9())
+
+    def fig10() -> str:
+        from repro.experiments.fig10_dds_vs_ga import (
+            render_fig10, run_fig10a, run_fig10b,
+        )
+        return render_fig10(
+            run_fig10a(), run_fig10b(n_slices=n_slices)
+        )
+
+    def flicker() -> str:
+        from repro.experiments.flicker_comparison import (
+            render_flicker, run_flicker_qos, run_flicker_throughput,
+        )
+        return render_flicker(
+            run_flicker_qos(), run_flicker_throughput(n_slices=n_slices)
+        )
+
+    def ablations() -> str:
+        from repro.experiments.ablations import (
+            ablate_guards, ablate_inference, ablate_variants,
+            render_ablation,
+        )
+        parts = [
+            render_ablation("SGD vs oracle inference",
+                            ablate_inference(n_slices=n_slices)),
+            render_ablation("QoS guardbands",
+                            ablate_guards(n_slices=n_slices)),
+            render_ablation("latency training variants",
+                            ablate_variants(n_slices=n_slices)),
+        ]
+        return "\n\n".join(parts)
+
+    def dvfs() -> str:
+        from repro.experiments.dvfs_comparison import (
+            render_dvfs_comparison, run_dvfs_comparison,
+        )
+        return (
+            "leakage x1.0:\n"
+            + render_dvfs_comparison(run_dvfs_comparison())
+            + "\n\nleakage x2.5:\n"
+            + render_dvfs_comparison(run_dvfs_comparison(leakage_scale=2.5))
+        )
+
+    def bandwidth() -> str:
+        from repro.experiments.bandwidth_study import (
+            render_bandwidth_study, run_bandwidth_study,
+        )
+        return render_bandwidth_study(run_bandwidth_study(n_slices=n_slices))
+
+    def churn() -> str:
+        from repro.experiments.churn_study import (
+            render_churn_study, run_churn_study,
+        )
+        return render_churn_study(run_churn_study(n_slices=n_slices * 2))
+
+    def cluster() -> str:
+        from repro.experiments.cluster_study import (
+            render_cluster_study, run_cluster_study,
+        )
+        return render_cluster_study(run_cluster_study(n_slices=n_slices * 2))
+
+    def area() -> str:
+        from repro.experiments.area_equivalence import (
+            render_area_equivalence, run_area_equivalence,
+        )
+        return render_area_equivalence(run_area_equivalence(n_slices=n_slices))
+
+    def multi_service() -> str:
+        from repro.experiments.multi_service import (
+            render_multi_service, run_multi_service,
+        )
+        return render_multi_service(run_multi_service(n_slices=n_slices * 2))
+
+    def scalability() -> str:
+        from repro.experiments.scalability import (
+            render_scalability, run_scalability,
+        )
+        return render_scalability(run_scalability(n_slices=n_slices))
+
+    return [
+        ("Fig. 1 — LC service characterisation", fig1),
+        ("Table II — scheduling overheads", table2),
+        ("Fig. 5(a)(b) — SGD reconstruction accuracy", fig5),
+        ("Fig. 5(c) — relative work vs power cap", fig5c),
+        ("Fig. 7 — per-timeslice instructions", fig7),
+        ("Fig. 8 — dynamic behaviour", fig8),
+        ("Fig. 9 — SGD vs RBF", fig9),
+        ("Fig. 10 — DDS vs GA", fig10),
+        ("§VIII-E — Flicker comparison", flicker),
+        ("Extension — ablations", ablations),
+        ("Extension — DVFS comparison", dvfs),
+        ("Extension — bandwidth contention", bandwidth),
+        ("Extension — job churn", churn),
+        ("Extension — rack-level power brokering", cluster),
+        ("Extension — equal-area comparison", area),
+        ("Extension — multi-service colocation", multi_service),
+        ("Extension — scalability", scalability),
+    ]
+
+
+def run_full_evaluation(
+    n_slices: int = 8,
+    only: Optional[Sequence[str]] = None,
+) -> List[SectionResult]:
+    """Run every (or a filtered subset of) experiment section."""
+    sections = default_sections(n_slices=n_slices)
+    if only is not None:
+        wanted = [token.lower().replace(" ", "") for token in only]
+
+        def matches(title: str) -> bool:
+            compact = title.lower().replace(".", "").replace(" ", "")
+            return any(token.replace(".", "") in compact for token in wanted)
+
+        sections = [
+            (title, fn) for title, fn in sections if matches(title)
+        ]
+        if not sections:
+            raise ValueError(f"no sections match {list(only)!r}")
+    return [_section(title, fn) for title, fn in sections]
+
+
+def render_report(results: Sequence[SectionResult]) -> str:
+    """Assemble the markdown report."""
+    total = sum(r.seconds for r in results)
+    lines = [
+        "# CuttleSys reproduction — full evaluation report",
+        "",
+        f"{len(results)} sections, {total:.0f} s total. "
+        "See EXPERIMENTS.md for paper-vs-measured commentary.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.title}")
+        lines.append("")
+        if result.error is not None:
+            lines.append(f"**FAILED**: {result.error}")
+        else:
+            lines.append("```")
+            lines.append(result.body)
+            lines.append("```")
+        lines.append("")
+        lines.append(f"_({result.seconds:.1f} s)_")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Shared experiment harness: drive a policy against a machine.
+
+The harness owns the decision-quantum loop of §IV-B: each 100 ms slice
+it asks the policy for an assignment (the policy may profile the
+machine first), executes the slice, feeds the measurements back, and
+accounts the policy's scheduling overheads against batch throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.machine import Machine, MachineParams, SliceMeasurement
+from repro.sim.perf import PerformanceModel
+from repro.sim.power import PowerModel
+from repro.workloads.batch import batch_profile
+from repro.workloads.latency_critical import lc_service
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import Mix
+
+
+def build_machine_for_mix(
+    mix: Mix,
+    seed: int = 1,
+    params: Optional[MachineParams] = None,
+    reconfigurable: bool = True,
+) -> Machine:
+    """Instantiate the simulated 32-core machine for one paper mix.
+
+    ``reconfigurable=False`` builds the fixed-core variant the gating
+    and asymmetric baselines run on: no 18 % energy or 1.67 % frequency
+    reconfigurability penalty (§VII).  The LC service objects (and
+    hence QoS targets) are shared across both variants so comparisons
+    are apples-to-apples.
+    """
+    params = params if params is not None else MachineParams()
+    perf = PerformanceModel(reconfigurable=reconfigurable)
+    power = PowerModel(reconfigurable=reconfigurable, llc_ways=params.llc_ways)
+    return Machine(
+        lc_service=lc_service(mix.lc_name),
+        batch_profiles=[batch_profile(name) for name in mix.batch_names],
+        params=params,
+        perf=perf,
+        power=power,
+        seed=seed,
+    )
+
+
+def reference_power_for_mix(
+    mix: Mix, seed: int = 1, params: Optional[MachineParams] = None
+) -> float:
+    """The mix's 100 % power budget (§VII-A), shared by every design.
+
+    Computed on the reconfigurable machine and held constant across
+    designs, as in the paper's fixed-power comparisons.
+    """
+    return build_machine_for_mix(mix, seed=seed, params=params).reference_max_power()
+
+
+@dataclass
+class PolicyRun:
+    """Everything measured over one policy execution."""
+
+    policy_name: str
+    power_budget_w: float
+    measurements: List[SliceMeasurement] = field(default_factory=list)
+    loads: List[float] = field(default_factory=list)
+    budgets: List[float] = field(default_factory=list)
+    overhead_fraction: float = 0.0
+    #: (slice index, batch slot, new app name) per churn event.
+    churn_events: List[tuple] = field(default_factory=list)
+
+    @property
+    def n_slices(self) -> int:
+        """Number of decision quanta executed."""
+        return len(self.measurements)
+
+    def total_batch_instructions(self) -> float:
+        """Useful batch work over the run, net of scheduling overheads.
+
+        This is the §VII-B comparison metric: total instructions
+        executed by batch applications over the same wall-clock time.
+        """
+        raw = sum(m.total_batch_instructions for m in self.measurements)
+        return raw * (1.0 - self.overhead_fraction)
+
+    def gmean_throughput_series(self) -> np.ndarray:
+        """Per-slice geometric mean of active batch jobs' BIPS."""
+        out = np.zeros(self.n_slices)
+        for i, m in enumerate(self.measurements):
+            active = m.batch_bips[m.batch_bips > 0]
+            if active.size:
+                out[i] = float(np.exp(np.mean(np.log(active))))
+        return out
+
+    def qos_violations(self) -> int:
+        """Slices where any hosted service's p99 exceeded its QoS target."""
+        count = 0
+        for m in self.measurements:
+            violated = m.lc_p99 > self._qos and m.assignment.lc_cores > 0
+            for p99, qos in zip(m.extra_lc_p99, self._qos_extra):
+                violated = violated or p99 > qos
+            if violated:
+                count += 1
+        return count
+
+    def power_violations(self, tolerance: float = 0.02) -> int:
+        """Slices whose measured power exceeded the budget (+tolerance)."""
+        return sum(
+            1
+            for m, budget in zip(self.measurements, self.budgets)
+            if m.total_power > budget * (1.0 + tolerance)
+        )
+
+    def worst_p99_ratio(self) -> float:
+        """Max measured p99 over the run, as a multiple of QoS."""
+        if not self.measurements:
+            return 0.0
+        return max(m.lc_p99 for m in self.measurements) / self._qos
+
+    _qos: float = 0.0
+    _qos_extra: tuple = ()
+
+    def to_csv(self, path) -> None:
+        """Write one row per slice (for external plotting/analysis).
+
+        Columns: slice index, load, budget W, measured power W, LC
+        p99 s, QoS target s, LC cores, LC config, active batch jobs,
+        batch instructions.
+        """
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                [
+                    "slice", "load", "budget_w", "power_w", "lc_p99_s",
+                    "qos_s", "lc_cores", "lc_config", "active_batch",
+                    "batch_instructions",
+                ]
+            )
+            for i, m in enumerate(self.measurements):
+                a = m.assignment
+                writer.writerow(
+                    [
+                        i,
+                        f"{self.loads[i]:.4f}",
+                        f"{self.budgets[i]:.3f}",
+                        f"{m.total_power:.3f}",
+                        f"{m.lc_p99:.6f}",
+                        f"{self._qos:.6f}",
+                        a.lc_cores,
+                        a.lc_config.label if a.lc_config else "",
+                        len(a.active_batch_indices),
+                        f"{m.total_batch_instructions:.0f}",
+                    ]
+                )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        instr = self.total_batch_instructions()
+        return (
+            f"{self.policy_name}: {self.n_slices} slices, "
+            f"{instr / 1e9:.2f} B batch instructions, "
+            f"{self.qos_violations()} QoS violations, "
+            f"{self.power_violations()} power violations "
+            f"(budget {self.power_budget_w:.1f} W)"
+        )
+
+
+def run_policy(
+    machine: Machine,
+    policy,
+    trace: LoadTrace,
+    power_cap_fraction: float = 0.7,
+    n_slices: int = 10,
+    power_cap_trace: Optional[Sequence[float]] = None,
+    max_power_w: Optional[float] = None,
+    churn_period: Optional[int] = None,
+    churn_pool: Optional[Sequence] = None,
+    churn_seed: int = 0,
+    extra_traces: Sequence[LoadTrace] = (),
+) -> PolicyRun:
+    """Drive ``policy`` on ``machine`` for ``n_slices`` decision quanta.
+
+    ``power_cap_fraction`` scales :meth:`Machine.reference_max_power`;
+    ``power_cap_trace`` (one fraction per slice) overrides it for the
+    varying-budget experiments (Fig. 8b).  The policy sees the *previous*
+    slice's load as its estimate — decisions react one quantum late,
+    exactly as in the paper (§VIII-D1).
+
+    Job churn: with ``churn_period`` set, every that-many slices one
+    random batch job completes and a fresh application drawn from
+    ``churn_pool`` takes its core; policies exposing ``on_job_replaced``
+    (CuttleSys) are notified so they re-profile the newcomer.
+
+    Multi-service machines take one :class:`LoadTrace` per extra LC
+    service in ``extra_traces``; the policy's ``decide`` must accept an
+    ``extra_loads`` keyword (CuttleSys does).
+    """
+    if n_slices <= 0:
+        raise ValueError("n_slices must be positive")
+    if not 0 < power_cap_fraction <= 1.0:
+        raise ValueError("power_cap_fraction must be in (0, 1]")
+    if churn_period is not None:
+        if churn_period <= 0:
+            raise ValueError("churn_period must be positive")
+        if not churn_pool:
+            raise ValueError("churn_period requires a non-empty churn_pool")
+    reference = (
+        max_power_w if max_power_w is not None else machine.reference_max_power()
+    )
+    run = PolicyRun(
+        policy_name=policy.name,
+        power_budget_w=reference * power_cap_fraction,
+        overhead_fraction=policy.overhead_fraction,
+    )
+    run._qos = machine.lc_service.qos_latency_s
+    run._qos_extra = tuple(
+        s.qos_latency_s for s in machine.lc_services[1:]
+    )
+
+    churn_rng = np.random.default_rng(churn_seed)
+    load_estimate = trace.load_at(0.0)
+    extra_estimates = tuple(t.load_at(0.0) for t in extra_traces)
+    for i in range(n_slices):
+        if churn_period is not None and i > 0 and i % churn_period == 0:
+            slot = int(churn_rng.integers(len(machine.batch_profiles)))
+            newcomer = churn_pool[int(churn_rng.integers(len(churn_pool)))]
+            machine.replace_batch_job(slot, newcomer)
+            notify = getattr(policy, "on_job_replaced", None)
+            if notify is not None:
+                notify(slot)
+            run.churn_events.append((i, slot, newcomer.name))
+        fraction = (
+            power_cap_trace[i] if power_cap_trace is not None
+            else power_cap_fraction
+        )
+        budget = reference * fraction
+        if extra_traces:
+            assignment = policy.decide(
+                machine, load_estimate, budget, extra_loads=extra_estimates
+            )
+        else:
+            assignment = policy.decide(machine, load_estimate, budget)
+        actual_load = trace.load_at(machine.time_s)
+        actual_extras = tuple(
+            t.load_at(machine.time_s) for t in extra_traces
+        )
+        measurement = machine.run_slice(
+            assignment, actual_load, extra_loads=actual_extras
+        )
+        policy.observe(measurement)
+        run.measurements.append(measurement)
+        run.loads.append(actual_load)
+        run.budgets.append(budget)
+        load_estimate = actual_load
+        extra_estimates = actual_extras
+    return run

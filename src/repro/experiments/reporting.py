@@ -1,0 +1,49 @@
+"""Small text-rendering helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def percentile_summary(errors: np.ndarray) -> Dict[str, float]:
+    """The box-plot numbers the paper reports (Fig. 5, Fig. 9)."""
+    flat = np.asarray(errors, dtype=float).ravel()
+    if flat.size == 0:
+        raise ValueError("no errors to summarise")
+    return {
+        "p5": float(np.percentile(flat, 5)),
+        "p25": float(np.percentile(flat, 25)),
+        "median": float(np.percentile(flat, 50)),
+        "p75": float(np.percentile(flat, 75)),
+        "p95": float(np.percentile(flat, 95)),
+        "max_abs": float(np.max(np.abs(flat))),
+    }
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([str(cell) for cell in row])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def relative_error_percent(
+    predicted: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Signed percentage error, elementwise."""
+    predicted = np.asarray(predicted, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if predicted.shape != truth.shape:
+        raise ValueError("shape mismatch between predictions and truth")
+    return (predicted - truth) / truth * 100.0

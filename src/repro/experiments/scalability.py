@@ -1,0 +1,131 @@
+"""Scalability study: CuttleSys on growing core counts (paper §I, §IV).
+
+The paper's pitch is that exhaustive exploration is hopeless —
+``(m*p)^(B)`` configurations — while SGD + DDS stay cheap "as the
+number of cores and configuration parameters increases".  This study
+runs CuttleSys on 16-, 32- and 48-core machines (half LC, half batch)
+and reports:
+
+* the measured per-quantum decision cost (SGD + search wall-clock),
+* achieved batch work as a fraction of the perfect-inference oracle on
+  the same machine (decision *quality* must not degrade with scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.controller import ControllerConfig
+from repro.core.oracle import OracleReconfigPolicy
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import run_policy
+from repro.experiments.reporting import format_table
+from repro.sim.machine import Machine, MachineParams
+from repro.workloads.batch import batch_profile, train_test_split
+from repro.workloads.latency_critical import lc_service
+from repro.workloads.loadgen import LoadTrace
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Results at one machine size."""
+
+    n_cores: int
+    n_batch_jobs: int
+    decision_ms: float
+    cuttlesys_instructions_b: float
+    oracle_instructions_b: float
+
+    @property
+    def quality(self) -> float:
+        """CuttleSys work as a fraction of the oracle's."""
+        return self.cuttlesys_instructions_b / max(
+            self.oracle_instructions_b, 1e-9
+        )
+
+
+def _machine(n_cores: int, seed: int, service_name: str = "xapian") -> Machine:
+    _, test_names = train_test_split()
+    n_batch = n_cores // 2
+    profiles = [
+        batch_profile(test_names[i % len(test_names)]) for i in range(n_batch)
+    ]
+    return Machine(
+        lc_service=lc_service(service_name),
+        batch_profiles=profiles,
+        params=MachineParams(n_cores=n_cores),
+        seed=seed,
+    )
+
+
+def run_scalability(
+    core_counts: Sequence[int] = (16, 32, 48),
+    cap: float = 0.6,
+    load: float = 0.8,
+    n_slices: int = 8,
+    seed: int = 7,
+) -> Tuple[ScalePoint, ...]:
+    """CuttleSys and the oracle across machine sizes."""
+    points = []
+    for n_cores in core_counts:
+        lc_cores = n_cores // 2
+        # The services' knee QPS is calibrated for 16 LC cores; scale
+        # the offered load so per-core pressure is constant across
+        # machine sizes.
+        scaled_load = load * lc_cores / 16.0
+        machine = _machine(n_cores, seed)
+        reference = machine.reference_max_power()
+        policy = CuttleSysPolicy.for_machine(
+            machine,
+            seed=seed,
+            config=ControllerConfig(seed=seed, initial_lc_cores=lc_cores),
+        )
+        run = run_policy(
+            machine, policy, LoadTrace.constant(scaled_load),
+            power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        )
+        timings = policy.controller.timings
+        decision_ms = float(
+            np.median([t.total_s for t in timings]) * 1e3
+        )
+
+        oracle_machine = _machine(n_cores, seed)
+        oracle = OracleReconfigPolicy(lc_cores=lc_cores, seed=seed)
+        oracle_run = run_policy(
+            oracle_machine, oracle, LoadTrace.constant(scaled_load),
+            power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        )
+        points.append(
+            ScalePoint(
+                n_cores=n_cores,
+                n_batch_jobs=len(machine.batch_profiles),
+                decision_ms=decision_ms,
+                cuttlesys_instructions_b=run.total_batch_instructions() / 1e9,
+                oracle_instructions_b=(
+                    oracle_run.total_batch_instructions() / 1e9
+                ),
+            )
+        )
+    return tuple(points)
+
+
+def render_scalability(points: Sequence[ScalePoint]) -> str:
+    """Text table of the scaling study."""
+    return format_table(
+        ["cores", "batch jobs", "decision (ms)", "CuttleSys (B)",
+         "oracle (B)", "quality"],
+        [
+            (
+                p.n_cores,
+                p.n_batch_jobs,
+                f"{p.decision_ms:.1f}",
+                f"{p.cuttlesys_instructions_b:.2f}",
+                f"{p.oracle_instructions_b:.2f}",
+                f"{p.quality:.2f}",
+            )
+            for p in points
+        ],
+    )

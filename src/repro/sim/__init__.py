@@ -1,0 +1,61 @@
+"""Reconfigurable-multicore simulation substrate.
+
+This package stands in for the paper's zsim + McPAT infrastructure. It
+provides the configuration space of reconfigurable cores
+(:mod:`repro.sim.coreconfig`), analytical performance and power models
+(:mod:`repro.sim.perf`, :mod:`repro.sim.power`), the shared
+way-partitioned LLC (:mod:`repro.sim.cache`), and the timeslice-level
+machine simulator (:mod:`repro.sim.machine`) that schedulers run against.
+"""
+
+from repro.sim.cache import MissRateCurve, WayPartition
+from repro.sim.dvfs import DVFSLevel, DVFSModel, legacy_ladder, razor_thin_ladder
+from repro.sim.memory import MemoryDemand, MemorySystem
+from repro.sim.coreconfig import (
+    CACHE_ALLOCS,
+    CORE_CONFIGS,
+    JOINT_CONFIGS,
+    N_CACHE_ALLOCS,
+    N_CORE_CONFIGS,
+    N_JOINT_CONFIGS,
+    SECTION_WIDTHS,
+    CoreConfig,
+    JointConfig,
+)
+from repro.sim.machine import (
+    Assignment,
+    Machine,
+    MachineParams,
+    ProfilingSample,
+    SliceMeasurement,
+)
+from repro.sim.perf import PerformanceModel
+from repro.sim.power import PowerModel, PowerParams
+
+__all__ = [
+    "CACHE_ALLOCS",
+    "CORE_CONFIGS",
+    "JOINT_CONFIGS",
+    "N_CACHE_ALLOCS",
+    "N_CORE_CONFIGS",
+    "N_JOINT_CONFIGS",
+    "SECTION_WIDTHS",
+    "Assignment",
+    "CoreConfig",
+    "DVFSLevel",
+    "DVFSModel",
+    "JointConfig",
+    "Machine",
+    "MemoryDemand",
+    "MemorySystem",
+    "ProfilingSample",
+    "legacy_ladder",
+    "razor_thin_ladder",
+    "MachineParams",
+    "MissRateCurve",
+    "PerformanceModel",
+    "PowerModel",
+    "PowerParams",
+    "SliceMeasurement",
+    "WayPartition",
+]

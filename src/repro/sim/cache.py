@@ -1,0 +1,153 @@
+"""Shared last-level cache with way partitioning (paper §IV, §VIII-A2).
+
+The 32-way shared LLC is partitioned among co-scheduled applications at
+way granularity [Qureshi & Patt, UCP].  CuttleSys restricts per-job
+allocations to 1/2, 1, 2 or 4 ways; two jobs holding a 1/2-way allocation
+share one physical way and interfere slightly (handled by the ``shared``
+penalty of :class:`MissRateCurve` and the runtime matrix updates).
+
+Each application's cache behaviour is summarised by a miss-rate curve
+(MPKI as a function of allocated ways), the standard abstraction used by
+way-partitioning hardware and by utility-based partitioning policies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping
+
+#: Multiplicative MPKI inflation when a job shares its (half-)way with
+#: another job instead of owning it exclusively.
+SHARED_HALF_WAY_PENALTY = 1.12
+
+
+@dataclass(frozen=True)
+class MissRateCurve:
+    """MPKI as a smooth, convex, decreasing function of allocated ways.
+
+    The curve follows the classic exponential-decay shape of set-dup
+    miss-rate profiles::
+
+        mpki(w) = floor + (peak - floor) * 2 ** (-w / half_ways)
+
+    where ``peak`` is the MPKI with (almost) no cache, ``floor`` the
+    compulsory-miss MPKI with unbounded cache, and ``half_ways`` the
+    number of ways that halves the capacity-miss component.
+    """
+
+    peak: float
+    floor: float
+    half_ways: float
+
+    def __post_init__(self) -> None:
+        if self.peak < self.floor:
+            raise ValueError(
+                f"peak MPKI ({self.peak}) must be >= floor MPKI ({self.floor})"
+            )
+        if self.floor < 0:
+            raise ValueError(f"floor MPKI must be non-negative, got {self.floor}")
+        if self.half_ways <= 0:
+            raise ValueError(f"half_ways must be positive, got {self.half_ways}")
+
+    def mpki(self, ways: float, shared: bool = False) -> float:
+        """Misses per kilo-instruction with ``ways`` LLC ways allocated.
+
+        ``shared`` marks a half-way allocation whose physical way is
+        shared with another job; the capacity component is inflated by
+        :data:`SHARED_HALF_WAY_PENALTY`.
+        """
+        if ways < 0:
+            raise ValueError(f"ways must be non-negative, got {ways}")
+        capacity = (self.peak - self.floor) * 2.0 ** (-ways / self.half_ways)
+        if shared:
+            capacity *= SHARED_HALF_WAY_PENALTY
+        return self.floor + capacity
+
+    def utility(self, ways_from: float, ways_to: float) -> float:
+        """MPKI reduction obtained by growing the allocation.
+
+        This is the marginal-utility signal used by utility-based cache
+        partitioning; positive when ``ways_to > ways_from``.
+        """
+        return self.mpki(ways_from) - self.mpki(ways_to)
+
+
+@dataclass
+class WayPartition:
+    """Ledger of per-job LLC way allocations against a fixed way budget.
+
+    Enforces the cache constraint of the optimisation problem (Eq. 3):
+    the fractional allocations of all jobs must sum to at most
+    ``total_ways``.  Half-way allocations are legal; jobs holding them
+    are reported as *shared* so the miss model can apply the
+    interference penalty.
+    """
+
+    total_ways: int
+    _allocs: Dict[Hashable, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.total_ways <= 0:
+            raise ValueError(f"total_ways must be positive, got {self.total_ways}")
+
+    @property
+    def allocations(self) -> Mapping[Hashable, float]:
+        """Read-only view of current allocations."""
+        return dict(self._allocs)
+
+    @property
+    def allocated(self) -> float:
+        """Sum of all fractional allocations currently held."""
+        return sum(self._allocs.values())
+
+    @property
+    def free_ways(self) -> float:
+        """Unallocated way budget."""
+        return self.total_ways - self.allocated
+
+    def assign(self, job: Hashable, ways: float) -> None:
+        """Set ``job``'s allocation, replacing any previous one.
+
+        Raises :class:`ValueError` if the new total would exceed the
+        budget (within floating-point tolerance).
+        """
+        if ways < 0:
+            raise ValueError(f"allocation must be non-negative, got {ways}")
+        new_total = self.allocated - self._allocs.get(job, 0.0) + ways
+        if new_total > self.total_ways + 1e-9:
+            raise ValueError(
+                f"allocating {ways} ways to {job!r} would use {new_total} "
+                f"of {self.total_ways} ways"
+            )
+        if ways == 0:
+            self._allocs.pop(job, None)
+        else:
+            self._allocs[job] = ways
+
+    def release(self, job: Hashable) -> None:
+        """Drop ``job``'s allocation (no-op if it holds none)."""
+        self._allocs.pop(job, None)
+
+    def ways_of(self, job: Hashable) -> float:
+        """Current allocation of ``job`` (0 if none)."""
+        return self._allocs.get(job, 0.0)
+
+    def is_shared(self, job: Hashable) -> bool:
+        """True when ``job`` holds a half-way that another job co-occupies.
+
+        Half-way holders are paired greedily in insertion order; an odd
+        half-way holder owns its way alone and does not pay the penalty.
+        """
+        if self._allocs.get(job, 0.0) != 0.5:
+            return False
+        halves = [j for j, w in self._allocs.items() if w == 0.5]
+        position = halves.index(job)
+        # Pairs are (0,1), (2,3), ...; the last unpaired holder is alone.
+        return not (position == len(halves) - 1 and len(halves) % 2 == 1)
+
+    def physical_ways_used(self) -> float:
+        """Physical ways consumed, counting each shared pair once."""
+        halves = sum(1 for w in self._allocs.values() if w == 0.5)
+        whole = sum(w for w in self._allocs.values() if w != 0.5)
+        return whole + math.ceil(halves / 2.0)

@@ -1,0 +1,144 @@
+"""DVFS model for fixed cores (the paper's §II-A comparison point).
+
+Dynamic voltage-frequency scaling is the incumbent fine-grained power
+knob.  The paper argues it is running out of headroom: "the movement
+towards processors with razor-thin voltage margins and the increase in
+leakage power consumption limit the effectiveness of DVFS in future
+systems"; reconfigurable cores keep paying off because they gate both
+dynamic *and* leakage power of whole pipeline sections.
+
+This module models a per-core DVFS ladder over the fixed {6,6,6} core:
+
+* performance splits CPI into core cycles (scale with the clock) and
+  memory-stall time (fixed in wall-clock terms), so memory-bound jobs
+  lose little from down-clocking — the classic DVFS sweet spot;
+* dynamic power scales as ``f * V^2`` and leakage as ``V^2``;
+* two ladders are provided: a generous legacy range, and a
+  :func:`razor_thin_ladder` whose minimum voltage is only ~20 % below
+  nominal — the future-node scenario motivating the paper.
+
+The DVFS-vs-reconfiguration study lives in
+:mod:`repro.experiments.dvfs_comparison`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sim.coreconfig import CoreConfig
+from repro.sim.perf import AppProfile, PerformanceModel
+from repro.sim.power import PowerModel
+
+
+@dataclass(frozen=True)
+class DVFSLevel:
+    """One voltage/frequency operating point."""
+
+    frequency_ghz: float
+    vdd: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+
+
+def legacy_ladder() -> Tuple[DVFSLevel, ...]:
+    """A generous historical DVFS range (wide voltage scaling)."""
+    return (
+        DVFSLevel(4.0, 0.80),
+        DVFSLevel(3.5, 0.73),
+        DVFSLevel(3.0, 0.67),
+        DVFSLevel(2.5, 0.61),
+        DVFSLevel(2.0, 0.56),
+        DVFSLevel(1.5, 0.52),
+    )
+
+
+def razor_thin_ladder() -> Tuple[DVFSLevel, ...]:
+    """A future-node ladder with razor-thin voltage margins (§II-A).
+
+    Frequency still scales, but Vmin sits ~12 % under nominal, so the
+    quadratic voltage savings largely evaporate and leakage barely
+    moves — the regime where the paper expects reconfiguration to win.
+    """
+    return (
+        DVFSLevel(4.0, 0.80),
+        DVFSLevel(3.5, 0.77),
+        DVFSLevel(3.0, 0.74),
+        DVFSLevel(2.5, 0.72),
+        DVFSLevel(2.0, 0.71),
+        DVFSLevel(1.5, 0.70),
+    )
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """Performance/power of a fixed wide core across a DVFS ladder."""
+
+    ladder: Tuple[DVFSLevel, ...]
+    perf: PerformanceModel = PerformanceModel(reconfigurable=False)
+    power: PowerModel = PowerModel(reconfigurable=False)
+
+    def __post_init__(self) -> None:
+        if not self.ladder:
+            raise ValueError("ladder must contain at least one level")
+        freqs = [lvl.frequency_ghz for lvl in self.ladder]
+        if freqs != sorted(freqs, reverse=True):
+            raise ValueError("ladder must be ordered fastest level first")
+
+    @property
+    def nominal(self) -> DVFSLevel:
+        """The fastest (index 0) operating point."""
+        return self.ladder[0]
+
+    def bips(
+        self,
+        profile: AppProfile,
+        level: int,
+        cache_ways: float,
+        config: CoreConfig = CoreConfig(6, 6, 6),
+    ) -> float:
+        """Throughput at ladder ``level``.
+
+        Core cycles stretch with the slower clock; memory-stall time is
+        constant in seconds, so memory-bound profiles flatten out.
+        """
+        lvl = self._level(level)
+        core_cpi, mem_cpi = self.perf.cpi_split(profile, config, cache_ways)
+        nominal_f = self.nominal.frequency_ghz
+        seconds_per_instr = (
+            core_cpi / lvl.frequency_ghz + mem_cpi / nominal_f
+        ) * 1e-9
+        return 1e-9 / seconds_per_instr
+
+    def core_power(
+        self,
+        profile: AppProfile,
+        level: int,
+        utilization: float = 1.0,
+        config: CoreConfig = CoreConfig(6, 6, 6),
+    ) -> float:
+        """Core power at ladder ``level``: dynamic ~ f V^2, leakage ~ V^2."""
+        lvl = self._level(level)
+        nominal = self.nominal
+        f_ratio = lvl.frequency_ghz / nominal.frequency_ghz
+        v_ratio = lvl.vdd / nominal.vdd
+        base_busy = self.power.core_power(profile, config, utilization=utilization)
+        base_idle = self.power.core_power(profile, config, utilization=0.0)
+        dynamic = base_busy - base_idle
+        leakage = base_idle
+        return dynamic * f_ratio * v_ratio**2 + leakage * v_ratio**2
+
+    def n_levels(self) -> int:
+        """Number of operating points on the ladder."""
+        return len(self.ladder)
+
+    def _level(self, level: int) -> DVFSLevel:
+        if not 0 <= level < len(self.ladder):
+            raise ValueError(
+                f"level must be in [0, {len(self.ladder)}), got {level}"
+            )
+        return self.ladder[level]

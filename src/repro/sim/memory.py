@@ -1,0 +1,143 @@
+"""Shared memory-bandwidth contention model (optional machine feature).
+
+The core CuttleSys evaluation isolates cache interference through way
+partitioning, but co-scheduled jobs still share the memory channels.
+This module models that contention analytically:
+
+* each job's bandwidth demand is its LLC miss traffic,
+  ``BIPS * MPKI * 64 B``;
+* when aggregate demand approaches the chip's peak bandwidth, memory
+  requests queue at the controller, inflating every job's memory-stall
+  time by a common multiplier ``m(rho) = 1 + q * rho / (1 - rho)``
+  (an M/D/1-flavoured waiting factor);
+* inflating stalls lowers throughput, which lowers demand — the model
+  solves this feedback to a fixed point.
+
+The feature is **off by default** (infinite bandwidth) so the
+calibrated headline results match the paper's cache-centric setup; the
+bandwidth study (:mod:`repro.experiments.bandwidth_study`) turns it on
+to quantify the effect — notably on Flicker's pinned-wide methodology,
+where unthrottled batch jobs push the LC service over QoS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Bytes fetched per LLC miss.
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class MemoryDemand:
+    """One job's memory behaviour, pre-contention.
+
+    ``core_seconds`` and ``mem_seconds`` are the per-unit-of-work times
+    (per instruction for batch jobs, per query for LC work): contention
+    stretches only the memory part.  ``misses_per_unit`` converts
+    completed work into bandwidth demand.  ``rate_cap`` bounds the
+    work-completion rate (e.g. an open-loop service cannot serve more
+    than its arrival rate); ``math.inf`` for always-busy batch jobs.
+    """
+
+    core_seconds: float
+    mem_seconds: float
+    misses_per_unit: float
+    rate_cap: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.core_seconds <= 0:
+            raise ValueError("core_seconds must be positive")
+        if self.mem_seconds < 0:
+            raise ValueError("mem_seconds must be non-negative")
+        if self.misses_per_unit < 0:
+            raise ValueError("misses_per_unit must be non-negative")
+
+    def rate(self, multiplier: float) -> float:
+        """Work completed per second under a stall multiplier."""
+        raw = 1.0 / (self.core_seconds + self.mem_seconds * multiplier)
+        return min(raw, self.rate_cap)
+
+    def bandwidth(self, multiplier: float) -> float:
+        """Bytes per second demanded under a stall multiplier."""
+        return self.rate(multiplier) * self.misses_per_unit * LINE_BYTES
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Fixed-point solver for the shared-bandwidth stall multiplier."""
+
+    peak_bandwidth_gbps: float = math.inf
+    #: Queueing aggressiveness of the controller (waiting factor slope).
+    queue_factor: float = 0.5
+    #: Utilization ceiling: demand beyond this saturates the multiplier.
+    max_utilization: float = 0.95
+    #: Fixed-point iterations (converges geometrically; 20 is plenty).
+    iterations: int = 20
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_gbps <= 0:
+            raise ValueError("peak_bandwidth_gbps must be positive")
+        if self.queue_factor < 0:
+            raise ValueError("queue_factor must be non-negative")
+        if not 0 < self.max_utilization < 1:
+            raise ValueError("max_utilization must be in (0, 1)")
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """False when bandwidth is infinite (contention disabled)."""
+        return math.isfinite(self.peak_bandwidth_gbps)
+
+    def multiplier_at(self, utilization: float) -> float:
+        """Stall multiplier at a given bandwidth utilization."""
+        rho = min(max(utilization, 0.0), self.max_utilization)
+        return 1.0 + self.queue_factor * rho / (1.0 - rho)
+
+    def solve(self, demands: Sequence[MemoryDemand]) -> float:
+        """The self-consistent stall multiplier for a set of jobs.
+
+        Returns 1.0 when contention is disabled or demand never nears
+        the peak.  Damped fixed-point iteration: the multiplier lowers
+        throughput, which lowers demand, which lowers the multiplier.
+        If the queueing curve saturates with demand still above the
+        peak, the multiplier is raised further by bisection until the
+        delivered bandwidth fits — the channel physically cannot exceed
+        its peak.
+        """
+        if not self.enabled or not demands:
+            return 1.0
+        peak = self.peak_bandwidth_gbps * 1e9
+
+        def total(multiplier: float) -> float:
+            return sum(d.bandwidth(multiplier) for d in demands)
+
+        multiplier = 1.0
+        for _ in range(self.iterations):
+            target = self.multiplier_at(total(multiplier) / peak)
+            multiplier = 0.5 * multiplier + 0.5 * target
+        if total(multiplier) > peak:
+            lo = multiplier
+            hi = multiplier
+            while total(hi) > peak and hi < 1e6:
+                hi *= 2.0
+            for _ in range(60):
+                mid = 0.5 * (lo + hi)
+                if total(mid) > peak:
+                    lo = mid
+                else:
+                    hi = mid
+            multiplier = hi
+        return multiplier
+
+    def utilization(
+        self, demands: Sequence[MemoryDemand], multiplier: float
+    ) -> float:
+        """Aggregate bandwidth utilization under ``multiplier``."""
+        if not self.enabled:
+            return 0.0
+        peak = self.peak_bandwidth_gbps * 1e9
+        return sum(d.bandwidth(multiplier) for d in demands) / peak

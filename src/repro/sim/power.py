@@ -1,0 +1,144 @@
+"""McPAT-substitute power model for reconfigurable cores (22 nm, §VII).
+
+Each core section (FE, BE, LS) contributes dynamic power proportional to
+its configured width and the application's switching activity, plus
+leakage proportional to width (the arrays of a downsized section are
+power gated, removing both components — the mechanism that lets
+reconfigurable cores beat DVFS when voltage margins are thin).
+
+Following the paper's McPAT formulation, an application's power depends
+on its *core* configuration but not on its LLC allocation (the power
+matrix is :math:`P_{i,j}`, indexed by app and core config only); LLC
+leakage is accounted once at chip level, and DRAM data-movement power is
+excluded as negligible.
+
+Reconfigurable cores pay an 18 % energy-per-cycle penalty relative to
+fixed cores (AnyCore RTL analysis); fixed-core baselines (core gating,
+asymmetric multicores) do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.coreconfig import (
+    JOINT_CONFIGS,
+    N_JOINT_CONFIGS,
+    CoreConfig,
+)
+from repro.sim.perf import AppProfile
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Per-core power coefficients, in watts at six-wide, full activity."""
+
+    fe_dynamic: float = 0.90
+    fe_leakage: float = 0.25
+    be_dynamic: float = 1.10
+    be_leakage: float = 0.30
+    ls_dynamic: float = 0.85
+    ls_leakage: float = 0.28
+    #: Non-reconfigurable core overhead (L1 caches, clock tree, TLBs).
+    other_dynamic: float = 0.35
+    other_leakage: float = 0.15
+    #: Residual power of a fully gated (off) core.
+    gated_residual: float = 0.05
+    #: LLC leakage per way (32 ways -> ~2.6 W of always-on uncore power).
+    llc_leakage_per_way: float = 0.08
+    #: Energy-per-cycle penalty of reconfigurable vs fixed cores.
+    reconfig_energy_penalty: float = 0.18
+    #: Width exponent of section dynamic power: issue/select/bypass
+    #: logic scales superlinearly with width (ports and CAM matchlines
+    #: grow quadratically), so narrowing a section saves more than its
+    #: width share — the effect that makes partial gating worthwhile.
+    dynamic_width_exponent: float = 1.6
+    #: Width exponent of section leakage (array area is near linear).
+    leakage_width_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "fe_dynamic",
+            "fe_leakage",
+            "be_dynamic",
+            "be_leakage",
+            "ls_dynamic",
+            "ls_leakage",
+            "other_dynamic",
+            "other_leakage",
+            "gated_residual",
+            "llc_leakage_per_way",
+            "reconfig_energy_penalty",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Maps (application, core config, utilization) to core power in watts."""
+
+    params: PowerParams = PowerParams()
+    #: Whether cores pay the reconfigurability energy penalty.
+    reconfigurable: bool = True
+    llc_ways: int = 32
+
+    def _section_power(
+        self, dynamic: float, leakage: float, width: int, activity: float
+    ) -> float:
+        share = width / 6.0
+        dyn_scale = share ** self.params.dynamic_width_exponent
+        leak_scale = share ** self.params.leakage_width_exponent
+        return dynamic * dyn_scale * activity + leakage * leak_scale
+
+    def core_power(
+        self,
+        profile: AppProfile,
+        config: CoreConfig,
+        utilization: float = 1.0,
+    ) -> float:
+        """Power of one core running ``profile`` in ``config``.
+
+        ``utilization`` scales the dynamic component only (an idle core
+        still leaks); latency-critical services at low load have
+        utilization well below 1, which is exactly the slack CuttleSys
+        converts into lower-power configurations.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        p = self.params
+        activity = profile.activity * utilization
+        power = (
+            self._section_power(p.fe_dynamic, p.fe_leakage, config.fe, activity)
+            + self._section_power(p.be_dynamic, p.be_leakage, config.be, activity)
+            + self._section_power(p.ls_dynamic, p.ls_leakage, config.ls, activity)
+            + p.other_dynamic * activity
+            + p.other_leakage
+        )
+        if self.reconfigurable:
+            power *= 1.0 + p.reconfig_energy_penalty
+        return power
+
+    def gated_core_power(self) -> float:
+        """Residual power of a core that is fully turned off (C6)."""
+        return self.params.gated_residual
+
+    def llc_power(self) -> float:
+        """Always-on leakage of the shared LLC."""
+        return self.params.llc_leakage_per_way * self.llc_ways
+
+    def power_row(self, profile: AppProfile, utilization: float = 1.0) -> np.ndarray:
+        """Power of ``profile`` across all 108 joint configurations.
+
+        Constant along the cache-allocation axis by construction (power
+        depends on the core configuration only), matching the paper's
+        :math:`P_{i,j}` formulation.
+        """
+        row = np.empty(N_JOINT_CONFIGS)
+        for joint in JOINT_CONFIGS:
+            row[joint.index] = self.core_power(
+                profile, joint.core, utilization=utilization
+            )
+        return row

@@ -1,0 +1,40 @@
+"""Workload models: TailBench-like interactive services and SPEC-like batch jobs.
+
+These stand in for the paper's TailBench and SPEC CPU2006 suites (see
+DESIGN.md for the substitution rationale).  Latency-critical services are
+queueing models whose per-query service time comes from the core
+performance model; batch jobs are instruction streams characterised by an
+:class:`repro.sim.perf.AppProfile`.
+"""
+
+from repro.workloads.batch import (
+    SPEC_APPS,
+    all_batch_profiles,
+    batch_profile,
+    train_test_split,
+)
+from repro.workloads.latency_critical import (
+    LC_SERVICE_NAMES,
+    LCService,
+    lc_service,
+    make_services,
+)
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import Mix, paper_mixes
+from repro.workloads.queueing import DiscreteEventQueue, MGkQueue
+
+__all__ = [
+    "DiscreteEventQueue",
+    "LCService",
+    "LC_SERVICE_NAMES",
+    "LoadTrace",
+    "MGkQueue",
+    "Mix",
+    "SPEC_APPS",
+    "all_batch_profiles",
+    "batch_profile",
+    "lc_service",
+    "make_services",
+    "paper_mixes",
+    "train_test_split",
+]

@@ -1,0 +1,238 @@
+"""SPEC CPU2006-like batch workloads.
+
+The paper draws multiprogrammed mixes from 28 SPEC CPU2006 benchmarks.
+Those binaries (and a cycle-level simulator to run them) are not
+available here, so each benchmark name is mapped to an *archetype* —
+memory-bound, integer compute, floating-point compute, frontend-heavy,
+or balanced — and its :class:`~repro.sim.perf.AppProfile` coefficients
+are drawn deterministically from the archetype's parameter ranges using
+a seed derived from the benchmark name.  What matters for reproducing
+CuttleSys is preserved: a *population* of applications with shared
+latent structure (so collaborative filtering works), diverse per-section
+bottlenecks and cache sensitivities (so configuration choice matters),
+and a train/test split with no overlap (paper §VII-A).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.cache import MissRateCurve
+from repro.sim.perf import AppProfile
+
+
+def rng_for(name: str, salt: str = "") -> np.random.Generator:
+    """Deterministic per-name generator (stable across processes)."""
+    seed = zlib.crc32(f"{salt}:{name}".encode("utf-8"))
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """Parameter ranges an application's profile is drawn from."""
+
+    name: str
+    base_cpi: Tuple[float, float]
+    fe_sens: Tuple[float, float]
+    be_sens: Tuple[float, float]
+    ls_sens: Tuple[float, float]
+    mpki_peak: Tuple[float, float]
+    #: Compulsory-miss floor as a fraction of the peak MPKI.
+    mpki_floor_frac: Tuple[float, float]
+    half_ways: Tuple[float, float]
+    mem_blocking: Tuple[float, float]
+    activity: Tuple[float, float]
+
+    def draw(self, app_name: str) -> AppProfile:
+        """Deterministically instantiate a profile for ``app_name``."""
+        rng = rng_for(app_name, salt=f"archetype:{self.name}")
+
+        def pick(lo_hi: Tuple[float, float]) -> float:
+            lo, hi = lo_hi
+            return float(rng.uniform(lo, hi))
+
+        peak = pick(self.mpki_peak)
+        floor = peak * pick(self.mpki_floor_frac)
+        return AppProfile(
+            name=app_name,
+            base_cpi=pick(self.base_cpi),
+            fe_sens=pick(self.fe_sens),
+            be_sens=pick(self.be_sens),
+            ls_sens=pick(self.ls_sens),
+            miss_curve=MissRateCurve(
+                peak=peak, floor=floor, half_ways=pick(self.half_ways)
+            ),
+            mem_blocking=pick(self.mem_blocking),
+            activity=pick(self.activity),
+        )
+
+
+MEMORY_BOUND = Archetype(
+    name="memory_bound",
+    base_cpi=(0.60, 0.90),
+    fe_sens=(0.05, 0.15),
+    be_sens=(0.08, 0.20),
+    ls_sens=(0.15, 0.35),
+    mpki_peak=(12.0, 40.0),
+    mpki_floor_frac=(0.20, 0.40),
+    half_ways=(3.0, 9.0),
+    mem_blocking=(0.40, 0.60),
+    activity=(0.65, 0.90),
+)
+
+INT_COMPUTE = Archetype(
+    name="int_compute",
+    base_cpi=(0.45, 0.70),
+    fe_sens=(0.20, 0.45),
+    be_sens=(0.25, 0.50),
+    ls_sens=(0.05, 0.15),
+    mpki_peak=(1.0, 6.0),
+    mpki_floor_frac=(0.25, 0.50),
+    half_ways=(0.8, 3.0),
+    mem_blocking=(0.25, 0.40),
+    activity=(0.95, 1.20),
+)
+
+FP_COMPUTE = Archetype(
+    name="fp_compute",
+    base_cpi=(0.50, 0.80),
+    fe_sens=(0.08, 0.20),
+    be_sens=(0.40, 0.70),
+    ls_sens=(0.08, 0.20),
+    mpki_peak=(2.0, 9.0),
+    mpki_floor_frac=(0.25, 0.45),
+    half_ways=(1.5, 4.0),
+    mem_blocking=(0.30, 0.45),
+    activity=(1.05, 1.30),
+)
+
+FRONTEND_HEAVY = Archetype(
+    name="frontend_heavy",
+    base_cpi=(0.55, 0.85),
+    fe_sens=(0.40, 0.70),
+    be_sens=(0.10, 0.25),
+    ls_sens=(0.05, 0.18),
+    mpki_peak=(3.0, 10.0),
+    mpki_floor_frac=(0.25, 0.45),
+    half_ways=(1.5, 4.5),
+    mem_blocking=(0.30, 0.45),
+    activity=(0.85, 1.10),
+)
+
+BALANCED = Archetype(
+    name="balanced",
+    base_cpi=(0.50, 0.80),
+    fe_sens=(0.15, 0.35),
+    be_sens=(0.15, 0.35),
+    ls_sens=(0.10, 0.25),
+    mpki_peak=(4.0, 14.0),
+    mpki_floor_frac=(0.25, 0.45),
+    half_ways=(2.0, 6.0),
+    mem_blocking=(0.30, 0.50),
+    activity=(0.85, 1.15),
+)
+
+ARCHETYPES: Tuple[Archetype, ...] = (
+    MEMORY_BOUND,
+    INT_COMPUTE,
+    FP_COMPUTE,
+    FRONTEND_HEAVY,
+    BALANCED,
+)
+
+#: Archetype assignment for each SPEC CPU2006 benchmark used in the
+#: paper (§VII-A), following their published microarchitectural
+#: characterisations.
+SPEC_ARCHETYPE: Dict[str, Archetype] = {
+    "perlbench": FRONTEND_HEAVY,
+    "bzip2": INT_COMPUTE,
+    "gcc": BALANCED,
+    "mcf": MEMORY_BOUND,
+    "cactusADM": FP_COMPUTE,
+    "namd": FP_COMPUTE,
+    "soplex": MEMORY_BOUND,
+    "hmmer": INT_COMPUTE,
+    "libquantum": MEMORY_BOUND,
+    "lbm": MEMORY_BOUND,
+    "bwaves": MEMORY_BOUND,
+    "zeusmp": FP_COMPUTE,
+    "leslie3d": MEMORY_BOUND,
+    "milc": MEMORY_BOUND,
+    "h264ref": INT_COMPUTE,
+    "sjeng": INT_COMPUTE,
+    "GemsFDTD": MEMORY_BOUND,
+    "omnetpp": MEMORY_BOUND,
+    "xalancbmk": FRONTEND_HEAVY,
+    "sphinx3": MEMORY_BOUND,
+    "astar": BALANCED,
+    "gromacs": FP_COMPUTE,
+    "gamess": FP_COMPUTE,
+    "gobmk": FRONTEND_HEAVY,
+    "povray": FP_COMPUTE,
+    "specrand": INT_COMPUTE,
+    "calculix": FP_COMPUTE,
+    "wrf": BALANCED,
+}
+
+#: The 28 SPEC CPU2006 benchmark names from the paper, in its order.
+SPEC_APPS: Tuple[str, ...] = tuple(SPEC_ARCHETYPE)
+
+_PROFILE_CACHE: Dict[str, AppProfile] = {}
+
+
+def batch_profile(name: str) -> AppProfile:
+    """Profile of one SPEC-like benchmark by name (cached, deterministic)."""
+    if name not in SPEC_ARCHETYPE:
+        raise KeyError(
+            f"unknown batch benchmark {name!r}; known: {', '.join(SPEC_APPS)}"
+        )
+    if name not in _PROFILE_CACHE:
+        _PROFILE_CACHE[name] = SPEC_ARCHETYPE[name].draw(name)
+    return _PROFILE_CACHE[name]
+
+
+def all_batch_profiles() -> List[AppProfile]:
+    """Profiles of all 28 benchmarks, in :data:`SPEC_APPS` order."""
+    return [batch_profile(name) for name in SPEC_APPS]
+
+
+def train_test_split(
+    n_train: int = 16, seed: int = 2020
+) -> Tuple[List[str], List[str]]:
+    """Split the benchmarks into offline-training and testing sets.
+
+    The paper randomly selects 16 benchmarks whose full profiles are
+    characterised offline (the "known" rows of the reconstruction
+    matrices); mixes are then built only from the remaining ones so
+    training and testing never overlap.
+    """
+    if not 0 < n_train < len(SPEC_APPS):
+        raise ValueError(
+            f"n_train must be in (0, {len(SPEC_APPS)}), got {n_train}"
+        )
+    rng = np.random.default_rng(seed)
+    order = list(SPEC_APPS)
+    rng.shuffle(order)
+    return sorted(order[:n_train]), sorted(order[n_train:])
+
+
+def synthetic_population(
+    n_apps: int, seed: int = 0, prefix: str = "synth"
+) -> List[AppProfile]:
+    """Generate an arbitrary-size application population.
+
+    Useful for scaling studies beyond the 28 named benchmarks; each app
+    is drawn from a seeded-random archetype.
+    """
+    if n_apps <= 0:
+        raise ValueError(f"n_apps must be positive, got {n_apps}")
+    rng = np.random.default_rng(seed)
+    profiles = []
+    for i in range(n_apps):
+        archetype = ARCHETYPES[int(rng.integers(len(ARCHETYPES)))]
+        profiles.append(archetype.draw(f"{prefix}-{seed}-{i}"))
+    return profiles

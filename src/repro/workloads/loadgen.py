@@ -1,0 +1,154 @@
+"""Input-load traces for latency-critical services (paper §VIII-D).
+
+A :class:`LoadTrace` maps simulation time to a fractional load (relative
+to the service's knee QPS).  The paper's dynamic experiments use a
+diurnal pattern (Fig. 8a), constant load with a power-budget step
+(Fig. 8b), and a load step that forces core relocation (Fig. 8c).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A time-varying fractional load, ``load = fn(t_seconds)``."""
+
+    fn: Callable[[float], float]
+    description: str = ""
+
+    def load_at(self, t: float) -> float:
+        """Load fraction at time ``t`` (clamped to be non-negative)."""
+        return max(0.0, float(self.fn(t)))
+
+    def samples(self, times: Sequence[float]) -> Tuple[float, ...]:
+        """Load at each time in ``times``."""
+        return tuple(self.load_at(t) for t in times)
+
+    @classmethod
+    def constant(cls, load: float) -> "LoadTrace":
+        """Fixed load forever."""
+        if load < 0:
+            raise ValueError(f"load must be non-negative, got {load}")
+        return cls(fn=lambda t: load, description=f"constant {load:.0%}")
+
+    @classmethod
+    def diurnal(
+        cls, low: float = 0.2, high: float = 0.8, period: float = 1.0
+    ) -> "LoadTrace":
+        """Sinusoidal day/night pattern between ``low`` and ``high``.
+
+        The trace starts at ``low`` (t=0 is the trough), peaks at
+        ``period/2`` and returns to ``low`` at ``period`` — the
+        compressed diurnal pattern of Fig. 8a.
+        """
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got {low}, {high}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        mid = (low + high) / 2.0
+        amp = (high - low) / 2.0
+        return cls(
+            fn=lambda t: mid - amp * math.cos(2.0 * math.pi * t / period),
+            description=f"diurnal {low:.0%}-{high:.0%} period {period}s",
+        )
+
+    @classmethod
+    def flash_crowd(
+        cls,
+        base: float = 0.3,
+        peak: float = 1.2,
+        start: float = 0.5,
+        duration: float = 0.4,
+        decay: float = 0.2,
+    ) -> "LoadTrace":
+        """A flash-crowd spike: base load, a sudden surge, exponential decay.
+
+        The surge may exceed the knee (peak > 1), the scenario that
+        forces core relocation.  After ``start + duration`` the load
+        decays back to ``base`` with time constant ``decay``.
+        """
+        if not 0 <= base <= peak:
+            raise ValueError("need 0 <= base <= peak")
+        if duration <= 0 or decay <= 0:
+            raise ValueError("duration and decay must be positive")
+
+        def fn(t: float) -> float:
+            if t < start:
+                return base
+            if t < start + duration:
+                return peak
+            return base + (peak - base) * math.exp(
+                -(t - start - duration) / decay
+            )
+
+        return cls(
+            fn=fn,
+            description=(
+                f"flash crowd {base:.0%}->{peak:.0%} at {start}s "
+                f"for {duration}s"
+            ),
+        )
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], dt: float
+    ) -> "LoadTrace":
+        """Piecewise-constant trace from a sampled load series.
+
+        ``samples[i]`` applies on ``[i*dt, (i+1)*dt)``; the last sample
+        holds forever.  Useful for replaying recorded production load.
+        """
+        if not samples:
+            raise ValueError("samples must be non-empty")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if any(s < 0 for s in samples):
+            raise ValueError("samples must be non-negative")
+        values = tuple(samples)
+
+        def fn(t: float) -> float:
+            index = min(int(t / dt), len(values) - 1) if t >= 0 else 0
+            return values[index]
+
+        return cls(
+            fn=fn,
+            description=f"replay of {len(values)} samples at {dt}s",
+        )
+
+    def scaled(self, factor: float) -> "LoadTrace":
+        """A copy of this trace with every load multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return LoadTrace(
+            fn=lambda t: self.fn(t) * factor,
+            description=f"{self.description} x{factor:g}",
+        )
+
+    @classmethod
+    def steps(cls, levels: Sequence[Tuple[float, float]]) -> "LoadTrace":
+        """Piecewise-constant trace from ``(start_time, load)`` pairs.
+
+        ``levels`` must be sorted by start time; the first pair's load
+        also applies before its start time.
+        """
+        if not levels:
+            raise ValueError("levels must be non-empty")
+        starts = [s for s, _ in levels]
+        if starts != sorted(starts):
+            raise ValueError("levels must be sorted by start time")
+
+        def fn(t: float) -> float:
+            current = levels[0][1]
+            for start, load in levels:
+                if t >= start:
+                    current = load
+                else:
+                    break
+            return current
+
+        text = ", ".join(f"{load:.0%}@{start}s" for start, load in levels)
+        return cls(fn=fn, description=f"steps [{text}]")

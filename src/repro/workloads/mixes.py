@@ -1,0 +1,64 @@
+"""Workload mixes (paper §VII-A).
+
+The paper co-schedules each of the five TailBench services with 10
+multiprogrammed 16-application mixes drawn from the SPEC CPU2006
+benchmarks *not* used for offline training, for a total of 50 mixes.
+Each mix fills 16 cores by sampling a test benchmark per core (with
+replacement, as a 12-benchmark pool must fill 16 slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.batch import train_test_split
+from repro.workloads.latency_critical import LC_SERVICE_NAMES
+
+#: Mixes per latency-critical service in the paper's evaluation.
+MIXES_PER_SERVICE = 10
+
+#: Batch applications per mix (one per batch core at t=0).
+APPS_PER_MIX = 16
+
+
+@dataclass(frozen=True)
+class Mix:
+    """One evaluation colocation: an LC service plus 16 batch apps."""
+
+    lc_name: str
+    batch_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.batch_names:
+            raise ValueError("a mix needs at least one batch application")
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``"xapian/mix03"``."""
+        return f"{self.lc_name}({len(self.batch_names)} batch)"
+
+
+def paper_mixes(
+    seed: int = 2020,
+    n_train: int = 16,
+    mixes_per_service: int = MIXES_PER_SERVICE,
+    apps_per_mix: int = APPS_PER_MIX,
+    lc_names: Sequence[str] = LC_SERVICE_NAMES,
+) -> List[Mix]:
+    """The paper's 50 mixes (5 LC services x 10 batch mixes).
+
+    Deterministic given ``seed``; batch apps come only from the test
+    half of :func:`repro.workloads.batch.train_test_split` so training
+    and evaluation workloads never overlap.
+    """
+    _, test_apps = train_test_split(n_train=n_train, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    mixes = []
+    for lc_name in lc_names:
+        for _ in range(mixes_per_service):
+            picks = rng.choice(test_apps, size=apps_per_mix, replace=True)
+            mixes.append(Mix(lc_name=lc_name, batch_names=tuple(picks)))
+    return mixes

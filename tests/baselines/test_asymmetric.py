@@ -1,0 +1,102 @@
+"""Tests for the asymmetric-multicore baselines."""
+
+import pytest
+
+from repro.baselines.asymmetric import (
+    BIG,
+    SMALL,
+    AsymmetricOraclePolicy,
+    StaticAsymmetricPolicy,
+)
+from repro.sim.coreconfig import CoreConfig
+
+
+class TestOracle:
+    def test_only_big_and_small_cores(self, quiet_machine):
+        policy = AsymmetricOraclePolicy()
+        budget = quiet_machine.reference_max_power() * 0.7
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        for config in assignment.batch_configs:
+            if config is not None:
+                assert config.core in (BIG, SMALL)
+
+    def test_meets_power_budget(self, quiet_machine):
+        policy = AsymmetricOraclePolicy()
+        for cap in (0.8, 0.6, 0.5):
+            budget = quiet_machine.reference_max_power() * cap
+            assignment = policy.decide(quiet_machine, 0.8, budget)
+            measurement = quiet_machine.run_slice(assignment, 0.8)
+            assert measurement.total_power <= budget * 1.02
+
+    def test_meets_qos(self, quiet_machine):
+        policy = AsymmetricOraclePolicy()
+        budget = quiet_machine.reference_max_power() * 0.7
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        measurement = quiet_machine.run_slice(assignment, 0.8)
+        assert measurement.lc_p99 <= quiet_machine.lc_service.qos_latency_s
+
+    def test_generous_budget_prefers_big_cores(self, quiet_machine):
+        policy = AsymmetricOraclePolicy()
+        assignment = policy.decide(quiet_machine, 0.8, 1e9)
+        big_count = sum(
+            1 for c in assignment.batch_configs
+            if c is not None and c.core == BIG
+        )
+        assert big_count == len(assignment.batch_configs)
+
+    def test_tight_budget_prefers_small_cores(self, quiet_machine):
+        policy = AsymmetricOraclePolicy()
+        budget = quiet_machine.reference_max_power() * 0.5
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        small_count = sum(
+            1 for c in assignment.batch_configs
+            if c is not None and c.core == SMALL
+        )
+        assert small_count > 8
+
+    def test_lc_on_big_when_needed(self, quiet_machine):
+        # xapian at 80% load cannot meet QoS on {2,2,2} cores.
+        policy = AsymmetricOraclePolicy()
+        budget = quiet_machine.reference_max_power() * 0.7
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        assert assignment.lc_config.core == BIG
+
+    def test_zero_overhead(self):
+        assert AsymmetricOraclePolicy().overhead_fraction == 0.0
+
+
+class TestStatic5050:
+    def test_batch_always_on_small(self, quiet_machine):
+        policy = StaticAsymmetricPolicy()
+        budget = quiet_machine.reference_max_power()
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        for config in assignment.batch_configs:
+            if config is not None:
+                assert config.core == SMALL
+
+    def test_lc_owns_big_half(self, quiet_machine):
+        policy = StaticAsymmetricPolicy()
+        assignment = policy.decide(
+            quiet_machine, 0.8, quiet_machine.reference_max_power()
+        )
+        assert assignment.lc_cores == 16
+        assert assignment.lc_config.core == BIG
+
+    def test_tight_budget_gates_small_cores(self, quiet_machine):
+        policy = StaticAsymmetricPolicy()
+        budget = quiet_machine.reference_max_power() * 0.45
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        gated = sum(1 for c in assignment.batch_configs if c is None)
+        assert gated > 0
+
+    def test_never_beats_oracle(self, quiet_machine):
+        """The oracle dominates the static design by construction."""
+        budget = quiet_machine.reference_max_power() * 0.8
+        static = StaticAsymmetricPolicy().decide(quiet_machine, 0.8, budget)
+        oracle = AsymmetricOraclePolicy().decide(quiet_machine, 0.8, budget)
+        m_static = quiet_machine.run_slice(static, 0.8)
+        m_oracle = quiet_machine.run_slice(oracle, 0.8)
+        assert (
+            m_oracle.total_batch_instructions
+            >= m_static.total_batch_instructions * 0.99
+        )

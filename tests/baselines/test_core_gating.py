@@ -1,0 +1,135 @@
+"""Tests for the core-level gating baseline and UCP way partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.core_gating import (
+    CoreGatingPolicy,
+    GatingOrder,
+    ucp_way_allocation,
+)
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig
+from repro.workloads.batch import batch_profile
+
+
+class TestUCPWayAllocation:
+    def profiles(self):
+        names = ["mcf", "lbm", "namd", "povray", "gcc", "soplex"]
+        return [batch_profile(n) for n in names]
+
+    def test_budget_respected(self):
+        for budget in (6.0, 12.0, 24.0):
+            allocation = ucp_way_allocation(self.profiles(), budget)
+            assert sum(allocation) <= budget + 1e-9
+
+    def test_all_jobs_get_minimum(self):
+        allocation = ucp_way_allocation(self.profiles(), 28.0)
+        assert all(a >= CACHE_ALLOCS[0] for a in allocation)
+
+    def test_allocations_are_legal_levels(self):
+        allocation = ucp_way_allocation(self.profiles(), 28.0)
+        assert all(a in CACHE_ALLOCS for a in allocation)
+
+    def test_cache_hungry_jobs_win_ways(self):
+        profiles = [batch_profile("mcf"), batch_profile("namd")]
+        allocation = ucp_way_allocation(profiles, 4.5)
+        # mcf (memory-bound) has far higher marginal utility than namd.
+        assert allocation[0] > allocation[1]
+
+    def test_generous_budget_saturates(self):
+        allocation = ucp_way_allocation(self.profiles(), 1000.0)
+        assert all(a == CACHE_ALLOCS[-1] for a in allocation)
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ucp_way_allocation(self.profiles(), 1.0)
+        with pytest.raises(ValueError):
+            ucp_way_allocation(self.profiles(), 0.0)
+
+
+class TestCoreGatingPolicy:
+    def test_all_cores_widest_config(self, quiet_machine):
+        policy = CoreGatingPolicy()
+        budget = quiet_machine.reference_max_power()
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        for config in assignment.batch_configs:
+            if config is not None:
+                assert config.core == CoreConfig.widest()
+        assert assignment.lc_config.core == CoreConfig.widest()
+
+    def test_generous_budget_keeps_everything_on(self, quiet_machine):
+        policy = CoreGatingPolicy()
+        assignment = policy.decide(quiet_machine, 0.8, 1e9)
+        assert all(c is not None for c in assignment.batch_configs)
+
+    def test_tight_budget_gates_cores(self, quiet_machine):
+        policy = CoreGatingPolicy()
+        budget = quiet_machine.reference_max_power() * 0.5
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        gated = sum(1 for c in assignment.batch_configs if c is None)
+        assert gated > 0
+
+    def test_measured_power_meets_budget(self, quiet_machine):
+        policy = CoreGatingPolicy()
+        budget = quiet_machine.reference_max_power() * 0.6
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        measurement = quiet_machine.run_slice(assignment, 0.8)
+        assert measurement.total_power <= budget * 1.05
+
+    def test_descending_power_gates_hungriest_first(self, quiet_machine):
+        policy = CoreGatingPolicy(order=GatingOrder.DESCENDING_POWER)
+        budget = quiet_machine.reference_max_power() * 0.7
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        gated = [i for i, c in enumerate(assignment.batch_configs) if c is None]
+        if gated:
+            active = [i for i, c in enumerate(assignment.batch_configs)
+                      if c is not None]
+            wide = CoreConfig.widest()
+            gated_powers = [
+                quiet_machine.true_batch_power(i, wide) for i in gated
+            ]
+            active_powers = [
+                quiet_machine.true_batch_power(i, wide) for i in active
+            ]
+            # Apart from the smallest-slack refinement on the last core,
+            # the gated set should skew toward power-hungry jobs.
+            assert np.mean(gated_powers) > np.mean(active_powers)
+
+    def test_way_partition_variant(self, quiet_machine):
+        policy = CoreGatingPolicy(way_partition=True)
+        assignment = policy.decide(
+            quiet_machine, 0.8, quiet_machine.reference_max_power()
+        )
+        assert not assignment.shared_llc
+        assert assignment.cache_ways_used() <= quiet_machine.params.llc_ways
+
+    def test_no_partition_uses_shared_llc(self, quiet_machine):
+        policy = CoreGatingPolicy(way_partition=False)
+        assignment = policy.decide(
+            quiet_machine, 0.8, quiet_machine.reference_max_power()
+        )
+        assert assignment.shared_llc
+
+    def test_lc_cores_never_gated(self, quiet_machine):
+        policy = CoreGatingPolicy()
+        assignment = policy.decide(quiet_machine, 0.8, 30.0)
+        assert assignment.lc_cores == 16
+
+    def test_all_gating_orders_run(self, quiet_machine):
+        budget = quiet_machine.reference_max_power() * 0.6
+        for order in GatingOrder:
+            policy = CoreGatingPolicy(order=order)
+            assignment = policy.decide(quiet_machine, 0.8, budget)
+            assert len(assignment.batch_configs) == 16
+
+    def test_names(self):
+        assert CoreGatingPolicy().name == "core-gating"
+        assert CoreGatingPolicy(way_partition=True).name == "core-gating+wp"
+
+    def test_observe_is_noop(self, quiet_machine):
+        policy = CoreGatingPolicy()
+        assignment = policy.decide(
+            quiet_machine, 0.8, quiet_machine.reference_max_power()
+        )
+        measurement = quiet_machine.run_slice(assignment, 0.8)
+        policy.observe(measurement)  # must not raise

@@ -1,0 +1,56 @@
+"""Tests for the Flicker baseline (3MM3 + RBF + GA)."""
+
+import pytest
+
+from repro.baselines.flicker import FlickerMethod, FlickerPolicy
+from repro.core.ga import GAParams
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig
+
+FAST_GA = GAParams(population=12, generations=5)
+
+
+class TestFlickerPolicy:
+    def test_lc_pinned_wide(self, quiet_machine):
+        policy = FlickerPolicy(ga=FAST_GA)
+        budget = quiet_machine.reference_max_power() * 0.8
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        assert assignment.lc_config.core == CoreConfig.widest()
+        assert assignment.lc_cores == 16
+
+    def test_no_cache_partitioning(self, quiet_machine):
+        policy = FlickerPolicy(ga=FAST_GA)
+        assignment = policy.decide(
+            quiet_machine, 0.8, quiet_machine.reference_max_power()
+        )
+        assert assignment.shared_llc
+
+    def test_power_fallback_gates(self, quiet_machine):
+        policy = FlickerPolicy(ga=FAST_GA)
+        assignment = policy.decide(quiet_machine, 0.8, 40.0)
+        gated = sum(1 for c in assignment.batch_configs if c is None)
+        assert gated > 0
+
+    def test_assignment_is_runnable(self, quiet_machine):
+        policy = FlickerPolicy(ga=FAST_GA)
+        budget = quiet_machine.reference_max_power() * 0.7
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        measurement = quiet_machine.run_slice(assignment, 0.8)
+        assert measurement.total_batch_instructions > 0
+        policy.observe(measurement)
+
+    def test_profiling_fractions(self):
+        a = FlickerPolicy(method=FlickerMethod.PROFILE_ALL)
+        b = FlickerPolicy(method=FlickerMethod.PIN_LC)
+        assert sum(a.profiling_fractions()) == pytest.approx(0.9)
+        assert sum(b.profiling_fractions()) == pytest.approx(0.09)
+
+    def test_overheads_reflect_method(self):
+        a = FlickerPolicy(method=FlickerMethod.PROFILE_ALL)
+        b = FlickerPolicy(method=FlickerMethod.PIN_LC)
+        assert a.overhead_fraction > b.overhead_fraction > 0.05
+
+    def test_names(self):
+        assert "profile_all" in FlickerPolicy(
+            method=FlickerMethod.PROFILE_ALL
+        ).name
+        assert "pin_lc" in FlickerPolicy(method=FlickerMethod.PIN_LC).name

@@ -1,0 +1,35 @@
+"""Tests for the no-gating normalisation baseline."""
+
+import pytest
+
+from repro.baselines.no_gating import NoGatingPolicy
+from repro.sim.coreconfig import CoreConfig
+
+
+class TestNoGating:
+    def test_everything_widest(self, quiet_machine):
+        policy = NoGatingPolicy()
+        assignment = policy.decide(quiet_machine, 0.8, 10.0)
+        assert all(
+            c.core == CoreConfig.widest() for c in assignment.batch_configs
+        )
+        assert assignment.lc_config.core == CoreConfig.widest()
+        assert assignment.shared_llc
+
+    def test_budget_ignored(self, quiet_machine):
+        policy = NoGatingPolicy()
+        tiny = policy.decide(quiet_machine, 0.8, 1.0)
+        huge = policy.decide(quiet_machine, 0.8, 1e9)
+        assert tiny == huge
+
+    def test_zero_overhead(self):
+        assert NoGatingPolicy().overhead_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoGatingPolicy(lc_cores=-1)
+
+    def test_observe_noop(self, quiet_machine):
+        policy = NoGatingPolicy()
+        assignment = policy.decide(quiet_machine, 0.8, 10.0)
+        policy.observe(quiet_machine.run_slice(assignment, 0.8))

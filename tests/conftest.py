@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.machine import Machine, MachineParams
+from repro.sim.perf import PerformanceModel
+from repro.sim.power import PowerModel
+from repro.workloads.batch import batch_profile, train_test_split
+from repro.workloads.latency_critical import lc_service
+
+
+@pytest.fixture(scope="session")
+def perf():
+    """Default reconfigurable-core performance model."""
+    return PerformanceModel()
+
+
+@pytest.fixture(scope="session")
+def power():
+    """Default reconfigurable-core power model."""
+    return PowerModel()
+
+
+@pytest.fixture(scope="session")
+def fixed_perf():
+    """Fixed-core performance model (no reconfigurability penalty)."""
+    return PerformanceModel(reconfigurable=False)
+
+
+@pytest.fixture(scope="session")
+def train_test_names():
+    """The paper's 16/12 train/test benchmark split."""
+    return train_test_split()
+
+
+@pytest.fixture()
+def small_machine():
+    """A 32-core machine with xapian + 16 test batch jobs (seeded)."""
+    _, test_names = train_test_split()
+    profiles = [batch_profile(n) for n in (test_names * 2)[:16]]
+    return Machine(
+        lc_service=lc_service("xapian"),
+        batch_profiles=profiles,
+        params=MachineParams(),
+        seed=11,
+    )
+
+
+@pytest.fixture()
+def quiet_machine():
+    """Same workload but with all noise and phase drift disabled."""
+    _, test_names = train_test_split()
+    profiles = [batch_profile(n) for n in (test_names * 2)[:16]]
+    params = MachineParams(
+        profiling_noise=0.0, slice_noise=0.0, phase_drift=0.0
+    )
+    return Machine(
+        lc_service=lc_service("xapian"),
+        batch_profiles=profiles,
+        params=params,
+        seed=11,
+    )

@@ -1,0 +1,85 @@
+"""Tests for the rack-level power broker."""
+
+import pytest
+
+from repro.core.broker import BrokerParams, PowerBroker, Socket
+from repro.core.controller import ControllerConfig
+from repro.core.dds import DDSParams
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import build_machine_for_mix
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+FAST = ControllerConfig(
+    dds=DDSParams(initial_random_points=10, max_iter=5,
+                  points_per_iteration=3, n_threads=4),
+    seed=2,
+)
+
+
+def make_socket(name, mix_index, seed, load=0.6):
+    machine = build_machine_for_mix(paper_mixes()[mix_index], seed=seed)
+    policy = CuttleSysPolicy.for_machine(machine, seed=seed, config=FAST)
+    return Socket(name, machine, policy, LoadTrace.constant(load))
+
+
+class TestConstruction:
+    def test_equal_initial_split(self):
+        sockets = [make_socket("a", 0, 1), make_socket("b", 44, 2)]
+        broker = PowerBroker(sockets, rack_budget_w=200.0)
+        assert broker.budgets == {"a": 100.0, "b": 100.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerBroker([], 100.0)
+        with pytest.raises(ValueError):
+            PowerBroker([make_socket("a", 0, 1)], 0.0)
+        dup = [make_socket("a", 0, 1), make_socket("a", 44, 2)]
+        with pytest.raises(ValueError):
+            PowerBroker(dup, 100.0)
+        with pytest.raises(ValueError):
+            BrokerParams(step=0.0)
+        with pytest.raises(ValueError):
+            Socket("x", None, None, LoadTrace.constant(0.5),
+                   floor_fraction=0.0)
+
+
+class TestRun:
+    def test_budget_conservation(self):
+        sockets = [make_socket("a", 0, 1), make_socket("b", 44, 2)]
+        rack = 220.0
+        broker = PowerBroker(sockets, rack)
+        run = broker.run(n_slices=4)
+        for budgets in run.budgets:
+            assert sum(budgets.values()) == pytest.approx(rack, rel=1e-6)
+
+    def test_floor_respected(self):
+        sockets = [
+            make_socket("a", 0, 1, load=0.9),
+            make_socket("b", 44, 2, load=0.1),
+        ]
+        broker = PowerBroker(sockets, 200.0, BrokerParams(step=1.0))
+        run = broker.run(n_slices=6)
+        floor = 200.0 / 2 * sockets[1].floor_fraction
+        assert min(run.budget_series("b")) >= floor - 1e-6
+
+    def test_measurements_collected_per_socket(self):
+        sockets = [make_socket("a", 0, 1), make_socket("b", 44, 2)]
+        run = PowerBroker(sockets, 220.0).run(n_slices=3)
+        assert len(run.measurements) == 3
+        assert set(run.measurements[0]) == {"a", "b"}
+        assert run.total_batch_instructions() > 0
+        assert run.total_batch_instructions("a") < \
+            run.total_batch_instructions()
+
+    def test_frozen_broker_never_moves_budget(self):
+        sockets = [make_socket("a", 0, 1), make_socket("b", 44, 2)]
+        broker = PowerBroker(sockets, 220.0, BrokerParams(step=1e-12))
+        run = broker.run(n_slices=3)
+        series = run.budget_series("a")
+        assert max(series) - min(series) < 0.01
+
+    def test_n_slices_validation(self):
+        sockets = [make_socket("a", 0, 1)]
+        with pytest.raises(ValueError):
+            PowerBroker(sockets, 150.0).run(n_slices=0)

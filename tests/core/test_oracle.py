@@ -1,0 +1,61 @@
+"""Tests for the perfect-inference reconfigurable oracle."""
+
+import pytest
+
+from repro.core.dds import DDSParams
+from repro.core.oracle import OracleReconfigPolicy
+from repro.core.runtime import Policy
+
+FAST = DDSParams(initial_random_points=20, max_iter=10,
+                 points_per_iteration=4, n_threads=4)
+
+
+class TestOracleReconfig:
+    def test_satisfies_policy_protocol(self):
+        assert isinstance(OracleReconfigPolicy(), Policy)
+
+    def test_meets_budget_and_qos(self, quiet_machine):
+        policy = OracleReconfigPolicy(dds=FAST)
+        budget = quiet_machine.reference_max_power() * 0.6
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        m = quiet_machine.run_slice(assignment, 0.8)
+        assert m.total_power <= budget * 1.03
+        assert m.lc_p99 <= quiet_machine.lc_service.qos_latency_s
+
+    def test_lc_gets_true_min_power_config(self, quiet_machine):
+        policy = OracleReconfigPolicy(dds=FAST)
+        budget = quiet_machine.reference_max_power()
+        assignment = policy.decide(quiet_machine, 0.8, budget)
+        # xapian's true least-power QoS config at 80 % is {2,2,6}.
+        assert assignment.lc_config.core.label == "{2,2,6}"
+
+    def test_tight_budget_gates(self, quiet_machine):
+        policy = OracleReconfigPolicy(dds=FAST)
+        assignment = policy.decide(quiet_machine, 0.8, 45.0)
+        gated = sum(1 for c in assignment.batch_configs if c is None)
+        assert gated > 0
+
+    def test_upper_bounds_cuttlesys(self, quiet_machine):
+        """Oracle inference must not lose to SGD inference."""
+        from repro.core.controller import ControllerConfig
+        from repro.core.runtime import CuttleSysPolicy
+
+        budget = quiet_machine.reference_max_power() * 0.6
+        oracle_total = 0.0
+        policy = OracleReconfigPolicy(dds=FAST)
+        for _ in range(4):
+            a = policy.decide(quiet_machine, 0.8, budget)
+            m = quiet_machine.run_slice(a, 0.8)
+            oracle_total += m.total_batch_instructions
+
+        cuttlesys = CuttleSysPolicy.for_machine(
+            quiet_machine, seed=3,
+            config=ControllerConfig(seed=3, dds=FAST),
+        )
+        cs_total = 0.0
+        for _ in range(4):
+            a = cuttlesys.decide(quiet_machine, 0.8, budget)
+            m = quiet_machine.run_slice(a, 0.8)
+            cuttlesys.observe(m)
+            cs_total += m.total_batch_instructions
+        assert oracle_total >= cs_total * 0.9

@@ -1,0 +1,99 @@
+"""Tests for job churn: machine swap, controller reset, harness wiring."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.core.dds import DDSParams
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.churn_study import churn_cost, run_churn_study
+from repro.experiments.harness import build_machine_for_mix, run_policy
+from repro.workloads.batch import batch_profile, synthetic_population
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+FAST = ControllerConfig(
+    dds=DDSParams(initial_random_points=20, max_iter=8,
+                  points_per_iteration=4, n_threads=4),
+    seed=5,
+)
+
+
+class TestMachineReplace:
+    def test_swap_changes_truth(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        from repro.sim.coreconfig import CoreConfig, JointConfig
+
+        wide = JointConfig(CoreConfig.widest(), 2.0)
+        before = machine.true_batch_bips(3, wide)
+        machine.replace_batch_job(3, batch_profile("mcf"))
+        after = machine.true_batch_bips(3, wide)
+        assert before != after
+
+    def test_bad_index_rejected(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        with pytest.raises(ValueError):
+            machine.replace_batch_job(99, batch_profile("mcf"))
+
+
+class TestControllerReset:
+    def test_reset_clears_observations(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=5, config=FAST)
+        budget = machine.reference_max_power()
+        assignment = policy.decide(machine, 0.8, budget)
+        policy.observe(machine.run_slice(assignment, 0.8))
+        controller = policy.controller
+        row = controller._batch_row(2)
+        assert controller._bips_matrix.observed_count(row) > 0
+        policy.on_job_replaced(2)
+        assert controller._bips_matrix.observed_count(row) == 0
+        assert controller._power_matrix.observed_count(row) == 0
+
+    def test_reset_bad_index(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=5, config=FAST)
+        with pytest.raises(ValueError):
+            policy.controller.reset_job(99)
+
+    def test_decide_works_after_reset(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=5, config=FAST)
+        budget = machine.reference_max_power()
+        policy.decide(machine, 0.8, budget)
+        policy.on_job_replaced(0)
+        assignment = policy.decide(machine, 0.8, budget)
+        assert len(assignment.batch_configs) == 16
+
+
+class TestHarnessChurn:
+    def test_churn_events_recorded(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=5, config=FAST)
+        pool = synthetic_population(4, seed=9)
+        run = run_policy(
+            machine, policy, LoadTrace.constant(0.6),
+            power_cap_fraction=0.8, n_slices=7,
+            churn_period=2, churn_pool=pool,
+        )
+        assert len(run.churn_events) == 3  # slices 2, 4, 6
+        for slice_idx, slot, name in run.churn_events:
+            assert slice_idx % 2 == 0
+            assert 0 <= slot < 16
+            assert name.startswith("newcomer") or name.startswith("synth")
+
+    def test_churn_validation(self):
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=5, config=FAST)
+        with pytest.raises(ValueError):
+            run_policy(machine, policy, LoadTrace.constant(0.5),
+                       n_slices=2, churn_period=0, churn_pool=[])
+        with pytest.raises(ValueError):
+            run_policy(machine, policy, LoadTrace.constant(0.5),
+                       n_slices=2, churn_period=2, churn_pool=[])
+
+
+class TestChurnStudy:
+    def test_small_study(self):
+        outcomes = run_churn_study(n_slices=6, churn_period=2)
+        assert len(outcomes) == 4
+        assert churn_cost(outcomes, "cuttlesys") > 0.6

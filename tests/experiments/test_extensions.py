@@ -1,0 +1,121 @@
+"""Tests for the extension studies (DVFS comparison and ablations)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_dds_budget,
+    ablate_guards,
+    ablate_inference,
+    ablate_penalty_weight,
+    ablate_training_size,
+    ablate_variants,
+    render_ablation,
+)
+from repro.experiments.dvfs_comparison import (
+    SCHEMES,
+    render_dvfs_comparison,
+    run_dvfs_comparison,
+)
+
+
+class TestDVFSComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_dvfs_comparison(caps=(0.9, 0.5))
+
+    def test_all_schemes_present(self, result):
+        for cap in result.caps:
+            assert set(result.total_bips[cap]) == set(SCHEMES)
+
+    def test_tight_caps_hurt(self, result):
+        for scheme in SCHEMES:
+            assert result.total_bips[0.5][scheme] <= \
+                result.total_bips[0.9][scheme] + 1e-9
+
+    def test_razor_margins_erode_dvfs(self, result):
+        assert result.dvfs_headroom_loss(0.5) < 1.0
+
+    def test_reconfig_beats_core_gating_at_tight_cap(self, result):
+        assert result.advantage(0.5, over="core-gating") > 1.1
+
+    def test_leakage_scale_validation(self):
+        with pytest.raises(ValueError):
+            run_dvfs_comparison(leakage_scale=0.0)
+
+    def test_render(self, result):
+        text = render_dvfs_comparison(result)
+        assert "dvfs-razor" in text
+        assert "reconfig" in text
+
+
+class TestAblations:
+    def test_inference_gap(self):
+        sgd, oracle = ablate_inference(n_slices=4)
+        assert oracle.batch_instructions_b >= sgd.batch_instructions_b * 0.95
+        assert sgd.qos_violations == 0
+
+    def test_guards(self):
+        with_guards, without = ablate_guards(n_slices=4)
+        assert with_guards.qos_violations == 0
+        # Disabling guards may or may not violate on a short run, but
+        # must not be safer than the default.
+        assert without.qos_violations + without.power_violations >= \
+            with_guards.qos_violations + with_guards.power_violations
+
+    def test_variants(self):
+        with_variants, without = ablate_variants(n_slices=4)
+        assert with_variants.qos_violations == 0
+
+    def test_training_size(self):
+        rows = ablate_training_size(sizes=(8, 16), n_slices=3)
+        assert len(rows) == 2
+        assert all(r.batch_instructions_b > 0 for r in rows)
+
+    def test_penalty_weight(self):
+        rows = ablate_penalty_weight(weights=(0.25, 16.0))
+        assert len(rows) == 2
+        # A heavy penalty must not bust the budget.
+        assert rows[-1].power_violations == 0
+
+    def test_dds_budget_monotone_ish(self):
+        result = ablate_dds_budget(iterations=(5, 80))
+        assert result[80] >= result[5]
+
+    def test_render(self):
+        rows = ablate_training_size(sizes=(8,), n_slices=2)
+        text = render_ablation("probe", rows)
+        assert "probe" in text
+        assert "8 training apps" in text
+
+
+class TestAreaEquivalence:
+    def test_shape(self):
+        from repro.experiments.area_equivalence import (
+            render_area_equivalence,
+            run_area_equivalence,
+        )
+
+        results = run_area_equivalence(caps=(0.9, 0.5), n_slices=4)
+        assert set(results) == {0.9, 0.5}
+        reconf, fixed = results[0.5]
+        assert reconf.design == "reconfig-32"
+        assert fixed.design == "fixed-38"
+        # Dark silicon: the fixed design's advantage shrinks with the cap.
+        def ratio(cap):
+            a, b = results[cap]
+            return a.batch_instructions_b / b.batch_instructions_b
+
+        assert ratio(0.5) > ratio(0.9)
+        text = render_area_equivalence(results)
+        assert "fixed-38" in text
+
+
+class TestTransitionCostAblation:
+    def test_higher_cost_never_helps(self):
+        from repro.experiments.ablations import ablate_transition_cost
+
+        rows = ablate_transition_cost(
+            transitions_s=(50e-6, 10e-3), n_slices=4
+        )
+        assert rows[0].batch_instructions_b >= \
+            rows[1].batch_instructions_b * 0.98

@@ -1,0 +1,52 @@
+"""Tests for the full-evaluation orchestrator and the report command."""
+
+import pytest
+
+from repro.experiments.full_eval import (
+    default_sections,
+    render_report,
+    run_full_evaluation,
+)
+
+
+class TestSections:
+    def test_catalogue_covers_paper_and_extensions(self):
+        titles = [title for title, _ in default_sections()]
+        text = " ".join(titles)
+        for token in ("Fig. 1", "Table II", "Fig. 5", "Fig. 7", "Fig. 8",
+                      "Fig. 9", "Fig. 10", "Flicker", "ablations", "DVFS",
+                      "bandwidth", "churn", "scalability"):
+            assert token in text
+
+    def test_only_filter(self):
+        results = run_full_evaluation(n_slices=2, only=["fig9"])
+        assert len(results) == 1
+        assert "Fig. 9" in results[0].title
+        assert results[0].error is None
+        assert "RBF" in results[0].body
+
+    def test_only_filter_compacts_punctuation(self):
+        results = run_full_evaluation(n_slices=2, only=["fig 9"])
+        assert len(results) == 1
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ValueError):
+            run_full_evaluation(only=["fig99"])
+
+
+class TestReport:
+    def test_render_report(self):
+        results = run_full_evaluation(n_slices=2, only=["fig9"])
+        report = render_report(results)
+        assert report.startswith("# CuttleSys reproduction")
+        assert "## Fig. 9" in report
+        assert "```" in report
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(["report", "--only", "fig9", "--out", str(out)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.read_text().startswith("# CuttleSys reproduction")

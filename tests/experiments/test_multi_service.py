@@ -1,0 +1,132 @@
+"""Tests for multi-service machines and the two-service controller."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.core.dds import DDSParams
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import run_policy
+from repro.experiments.multi_service import (
+    build_two_service_machine,
+    run_multi_service,
+)
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.machine import Assignment, LCAllocation
+from repro.workloads.loadgen import LoadTrace
+
+FAST = ControllerConfig(
+    dds=DDSParams(initial_random_points=15, max_iter=6,
+                  points_per_iteration=3, n_threads=4),
+    seed=3,
+)
+
+WIDE4 = JointConfig(CoreConfig.widest(), 4.0)
+NARROW1 = JointConfig(CoreConfig.narrowest(), 1.0)
+
+
+class TestMachineMultiService:
+    def test_lc_services_list(self):
+        machine = build_two_service_machine(seed=1)
+        assert len(machine.lc_services) == 2
+        assert machine.lc_service is machine.lc_services[0]
+
+    def test_assignment_requires_matching_extras(self):
+        machine = build_two_service_machine(n_batch=4, seed=1)
+        bad = Assignment(
+            lc_cores=8, lc_config=WIDE4,
+            batch_configs=(NARROW1,) * 4,
+        )
+        with pytest.raises(ValueError):
+            machine.run_slice(bad, 0.4)
+
+    def test_run_slice_reports_both_services(self):
+        machine = build_two_service_machine(n_batch=4, seed=1)
+        assignment = Assignment(
+            lc_cores=8, lc_config=WIDE4,
+            batch_configs=(NARROW1,) * 4,
+            extra_lc=(LCAllocation(cores=8, config=WIDE4),),
+        )
+        m = machine.run_slice(assignment, 0.4, extra_loads=(0.35,))
+        assert m.lc_p99 > 0
+        assert len(m.extra_lc_p99) == 1
+        assert m.extra_lc_p99[0] > 0
+        assert m.extra_lc_core_power[0] > 0
+        assert m.extra_lc_loads == (0.35,)
+
+    def test_total_power_includes_both_services(self):
+        machine = build_two_service_machine(n_batch=4, seed=1)
+        both = Assignment(
+            lc_cores=8, lc_config=WIDE4,
+            batch_configs=(NARROW1,) * 4,
+            extra_lc=(LCAllocation(cores=8, config=WIDE4),),
+        )
+        m = machine.run_slice(both, 0.4, extra_loads=(0.35,))
+        floor = (
+            8 * m.lc_core_power
+            + 8 * m.extra_lc_core_power[0]
+            + machine.power.llc_power()
+        )
+        assert m.total_power > floor * 0.99
+
+    def test_cache_budget_counts_both_services(self):
+        machine = build_two_service_machine(n_batch=7, seed=1)
+        four = JointConfig(CoreConfig.narrowest(), 4.0)
+        over = Assignment(
+            lc_cores=8, lc_config=WIDE4,
+            batch_configs=(four,) * 7,  # 28 + 4 + 4 > 32
+            extra_lc=(LCAllocation(cores=8, config=WIDE4),),
+        )
+        with pytest.raises(ValueError):
+            machine.run_slice(over, 0.4, extra_loads=(0.35,))
+
+    def test_lc_allocation_validation(self):
+        with pytest.raises(ValueError):
+            LCAllocation(cores=0, config=WIDE4)
+
+    def test_profile_samples_both_services(self):
+        machine = build_two_service_machine(n_batch=4, seed=1)
+        sample = machine.profile(
+            0.4, lc_cores=8, extra_loads=(0.35,), extra_lc_cores=(8,)
+        )
+        assert len(sample.extra_lc_power_hi) == 1
+        assert sample.extra_lc_power_hi[0] > sample.extra_lc_power_lo[0]
+
+
+class TestControllerMultiService:
+    def test_initial_core_split(self):
+        machine = build_two_service_machine(seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=3, config=FAST)
+        split = policy.controller.lc_cores_by_service
+        assert len(split) == 2
+        assert sum(split) == 16
+
+    def test_decide_produces_extra_allocations(self):
+        machine = build_two_service_machine(seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=3, config=FAST)
+        budget = machine.reference_max_power() * 0.8
+        assignment = policy.decide(machine, 0.4, budget, extra_loads=(0.35,))
+        assert len(assignment.extra_lc) == 1
+        assert assignment.total_lc_cores == 16
+
+    def test_extra_loads_length_enforced(self):
+        machine = build_two_service_machine(seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=3, config=FAST)
+        with pytest.raises(ValueError):
+            policy.controller.decide(0.4, 100.0)  # missing extra load
+
+    def test_full_loop_meets_both_qos(self):
+        machine = build_two_service_machine(seed=1)
+        policy = CuttleSysPolicy.for_machine(machine, seed=3, config=FAST)
+        run = run_policy(
+            machine, policy, LoadTrace.constant(0.4),
+            power_cap_fraction=0.8, n_slices=6,
+            extra_traces=(LoadTrace.constant(0.3),),
+        )
+        assert run.qos_violations() <= 1  # transient exploration at most
+
+    def test_services_get_distinct_configs(self):
+        result = run_multi_service(n_slices=8, seed=3)
+        (_, cfg_a), (_, cfg_b) = result.final_allocations
+        # xapian is LS-bound, silo is near-insensitive: their steady
+        # configurations should not both be the conservative fallback.
+        assert not (cfg_a == cfg_b == "{6,6,6}/4w")

@@ -1,0 +1,56 @@
+"""Tests for the scalability study and PolicyRun CSV export."""
+
+import csv
+
+import pytest
+
+from repro.baselines import NoGatingPolicy
+from repro.experiments.harness import build_machine_for_mix, run_policy
+from repro.experiments.scalability import (
+    render_scalability,
+    run_scalability,
+)
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_scalability(core_counts=(16, 32), n_slices=3)
+
+    def test_shapes(self, points):
+        assert [p.n_cores for p in points] == [16, 32]
+        assert [p.n_batch_jobs for p in points] == [8, 16]
+
+    def test_quality_reasonable(self, points):
+        for p in points:
+            assert 0.5 < p.quality <= 1.1
+
+    def test_decision_cost_positive(self, points):
+        for p in points:
+            assert p.decision_ms > 0
+
+    def test_render(self, points):
+        text = render_scalability(points)
+        assert "cores" in text
+        assert "quality" in text
+
+
+class TestCSVExport:
+    def test_round_trip(self, tmp_path):
+        machine = build_machine_for_mix(
+            paper_mixes()[0], seed=1, reconfigurable=False
+        )
+        run = run_policy(
+            machine, NoGatingPolicy(), LoadTrace.constant(0.5), n_slices=3
+        )
+        path = tmp_path / "run.csv"
+        run.to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["lc_config"] == "{6,6,6}/4w"
+        assert float(rows[0]["load"]) == pytest.approx(0.5)
+        assert float(rows[1]["power_w"]) > 0
+        assert int(rows[2]["active_batch"]) == 16

@@ -1,0 +1,139 @@
+"""Tests for miss-rate curves and the way-partition ledger."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.cache import (
+    SHARED_HALF_WAY_PENALTY,
+    MissRateCurve,
+    WayPartition,
+)
+
+curves = st.builds(
+    MissRateCurve,
+    peak=st.floats(1.0, 50.0),
+    floor=st.floats(0.0, 1.0),
+    half_ways=st.floats(0.5, 10.0),
+)
+
+
+class TestMissRateCurve:
+    def test_no_cache_gives_peak(self):
+        curve = MissRateCurve(peak=20.0, floor=2.0, half_ways=2.0)
+        assert curve.mpki(0.0) == pytest.approx(20.0)
+
+    def test_half_ways_halves_capacity_misses(self):
+        curve = MissRateCurve(peak=20.0, floor=2.0, half_ways=2.0)
+        assert curve.mpki(2.0) == pytest.approx(2.0 + 18.0 / 2.0)
+        assert curve.mpki(4.0) == pytest.approx(2.0 + 18.0 / 4.0)
+
+    @given(curves, st.floats(0.0, 30.0), st.floats(0.0, 30.0))
+    def test_monotone_decreasing(self, curve, a, b):
+        lo, hi = sorted((a, b))
+        assert curve.mpki(hi) <= curve.mpki(lo) + 1e-12
+
+    @given(curves, st.floats(0.0, 30.0))
+    def test_never_below_floor(self, curve, ways):
+        assert curve.mpki(ways) >= curve.floor - 1e-12
+
+    @given(curves, st.floats(0.0, 30.0))
+    def test_shared_penalty_inflates(self, curve, ways):
+        plain = curve.mpki(ways)
+        shared = curve.mpki(ways, shared=True)
+        assert shared >= plain
+        capacity = plain - curve.floor
+        assert shared == pytest.approx(
+            curve.floor + capacity * SHARED_HALF_WAY_PENALTY
+        )
+
+    def test_utility_positive_for_growth(self):
+        curve = MissRateCurve(peak=20.0, floor=2.0, half_ways=2.0)
+        assert curve.utility(1.0, 4.0) > 0
+        assert curve.utility(4.0, 1.0) < 0
+        assert curve.utility(2.0, 2.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MissRateCurve(peak=1.0, floor=2.0, half_ways=1.0)
+        with pytest.raises(ValueError):
+            MissRateCurve(peak=1.0, floor=-0.1, half_ways=1.0)
+        with pytest.raises(ValueError):
+            MissRateCurve(peak=1.0, floor=0.5, half_ways=0.0)
+        curve = MissRateCurve(peak=5.0, floor=1.0, half_ways=2.0)
+        with pytest.raises(ValueError):
+            curve.mpki(-1.0)
+
+
+class TestWayPartition:
+    def test_assign_and_read_back(self):
+        part = WayPartition(total_ways=32)
+        part.assign("a", 4.0)
+        part.assign("b", 0.5)
+        assert part.ways_of("a") == 4.0
+        assert part.ways_of("b") == 0.5
+        assert part.ways_of("missing") == 0.0
+        assert part.allocated == pytest.approx(4.5)
+        assert part.free_ways == pytest.approx(27.5)
+
+    def test_reassignment_replaces(self):
+        part = WayPartition(total_ways=8)
+        part.assign("a", 4.0)
+        part.assign("a", 2.0)
+        assert part.allocated == pytest.approx(2.0)
+
+    def test_over_budget_rejected(self):
+        part = WayPartition(total_ways=4)
+        part.assign("a", 4.0)
+        with pytest.raises(ValueError):
+            part.assign("b", 0.5)
+        # Failed assignment must not corrupt state.
+        assert part.allocated == pytest.approx(4.0)
+
+    def test_zero_assign_releases(self):
+        part = WayPartition(total_ways=4)
+        part.assign("a", 2.0)
+        part.assign("a", 0.0)
+        assert part.ways_of("a") == 0.0
+        assert "a" not in part.allocations
+
+    def test_release_is_idempotent(self):
+        part = WayPartition(total_ways=4)
+        part.assign("a", 2.0)
+        part.release("a")
+        part.release("a")
+        assert part.allocated == 0.0
+
+    def test_negative_rejected(self):
+        part = WayPartition(total_ways=4)
+        with pytest.raises(ValueError):
+            part.assign("a", -1.0)
+        with pytest.raises(ValueError):
+            WayPartition(total_ways=0)
+
+    def test_half_way_sharing_pairs_in_order(self):
+        part = WayPartition(total_ways=32)
+        part.assign("a", 0.5)
+        part.assign("b", 0.5)
+        part.assign("c", 0.5)
+        assert part.is_shared("a")
+        assert part.is_shared("b")
+        assert not part.is_shared("c")  # odd one out owns its way
+
+    def test_full_way_holders_never_shared(self):
+        part = WayPartition(total_ways=32)
+        part.assign("a", 1.0)
+        part.assign("b", 0.5)
+        assert not part.is_shared("a")
+        assert not part.is_shared("b")
+
+    def test_physical_ways_pairs_halves(self):
+        part = WayPartition(total_ways=32)
+        for name in "abcd":
+            part.assign(name, 0.5)
+        part.assign("e", 2.0)
+        assert part.physical_ways_used() == pytest.approx(2.0 + 2.0)
+        part.assign("f", 0.5)
+        assert part.physical_ways_used() == pytest.approx(2.0 + math.ceil(5 / 2))

@@ -1,0 +1,109 @@
+"""Tests for the DVFS model."""
+
+import pytest
+
+from repro.sim.cache import MissRateCurve
+from repro.sim.coreconfig import CoreConfig
+from repro.sim.dvfs import (
+    DVFSLevel,
+    DVFSModel,
+    legacy_ladder,
+    razor_thin_ladder,
+)
+from repro.sim.perf import AppProfile
+
+
+def profile(mem_heavy=False):
+    if mem_heavy:
+        curve = MissRateCurve(peak=35.0, floor=10.0, half_ways=6.0)
+        return AppProfile("mem", 0.7, 0.08, 0.1, 0.2, curve,
+                          mem_blocking=0.55, activity=0.8)
+    curve = MissRateCurve(peak=2.0, floor=0.8, half_ways=1.5)
+    return AppProfile("cpu", 0.5, 0.3, 0.4, 0.1, curve,
+                      mem_blocking=0.3, activity=1.1)
+
+
+@pytest.fixture
+def model():
+    return DVFSModel(legacy_ladder())
+
+
+class TestLadders:
+    def test_both_ladders_descend_in_frequency(self):
+        for ladder in (legacy_ladder(), razor_thin_ladder()):
+            freqs = [lvl.frequency_ghz for lvl in ladder]
+            assert freqs == sorted(freqs, reverse=True)
+
+    def test_same_frequencies_different_voltages(self):
+        legacy = legacy_ladder()
+        razor = razor_thin_ladder()
+        assert [l.frequency_ghz for l in legacy] == \
+            [r.frequency_ghz for r in razor]
+        # Razor-thin: lowest level keeps voltage near nominal.
+        assert razor[-1].vdd > legacy[-1].vdd
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            DVFSLevel(0.0, 0.8)
+        with pytest.raises(ValueError):
+            DVFSLevel(2.0, 0.0)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            DVFSModel(())
+        with pytest.raises(ValueError):
+            DVFSModel((DVFSLevel(2.0, 0.6), DVFSLevel(3.0, 0.7)))
+
+
+class TestPerformance:
+    def test_bips_decreases_with_level(self, model):
+        p = profile()
+        bips = [model.bips(p, lvl, 2.0) for lvl in range(model.n_levels())]
+        assert bips == sorted(bips, reverse=True)
+
+    def test_memory_bound_jobs_lose_less(self, model):
+        cpu = profile()
+        mem = profile(mem_heavy=True)
+        bottom = model.n_levels() - 1
+
+        def retention(p):
+            return model.bips(p, bottom, 2.0) / model.bips(p, 0, 2.0)
+
+        assert retention(mem) > retention(cpu)
+
+    def test_nominal_matches_fixed_perf_model(self, model):
+        p = profile()
+        direct = model.perf.bips(p, CoreConfig(6, 6, 6), 2.0)
+        assert model.bips(p, 0, 2.0) == pytest.approx(direct, rel=1e-9)
+
+    def test_level_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.bips(profile(), -1, 2.0)
+        with pytest.raises(ValueError):
+            model.bips(profile(), model.n_levels(), 2.0)
+
+
+class TestPower:
+    def test_power_decreases_with_level(self, model):
+        p = profile()
+        watts = [
+            model.core_power(p, lvl) for lvl in range(model.n_levels())
+        ]
+        assert watts == sorted(watts, reverse=True)
+
+    def test_legacy_saves_more_than_razor(self):
+        p = profile()
+        legacy = DVFSModel(legacy_ladder())
+        razor = DVFSModel(razor_thin_ladder())
+        bottom = legacy.n_levels() - 1
+        assert legacy.core_power(p, bottom) < razor.core_power(p, bottom)
+
+    def test_nominal_matches_power_model(self, model):
+        p = profile()
+        direct = model.power.core_power(p, CoreConfig(6, 6, 6))
+        assert model.core_power(p, 0) == pytest.approx(direct, rel=1e-9)
+
+    def test_utilization_scaling(self, model):
+        p = profile()
+        assert model.core_power(p, 2, utilization=0.3) < \
+            model.core_power(p, 2, utilization=1.0)

@@ -1,0 +1,148 @@
+"""Tests for the memory-bandwidth contention model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.coreconfig import CoreConfig, JointConfig
+from repro.sim.machine import Assignment, Machine, MachineParams
+from repro.sim.memory import LINE_BYTES, MemoryDemand, MemorySystem
+from repro.workloads.batch import batch_profile, train_test_split
+from repro.workloads.latency_critical import lc_service
+
+
+def demand(core_s=1e-10, mem_s=5e-11, mpki=5.0, cap=math.inf):
+    return MemoryDemand(
+        core_seconds=core_s,
+        mem_seconds=mem_s,
+        misses_per_unit=mpki / 1000.0,
+        rate_cap=cap,
+    )
+
+
+class TestMemoryDemand:
+    def test_rate_shrinks_with_multiplier(self):
+        d = demand()
+        assert d.rate(2.0) < d.rate(1.0)
+
+    def test_rate_cap_binds(self):
+        d = demand(cap=1000.0)
+        assert d.rate(1.0) == 1000.0
+
+    def test_bandwidth_formula(self):
+        d = demand(mpki=10.0)
+        assert d.bandwidth(1.0) == pytest.approx(
+            d.rate(1.0) * 0.01 * LINE_BYTES
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryDemand(0.0, 1e-10, 0.005)
+        with pytest.raises(ValueError):
+            MemoryDemand(1e-10, -1e-10, 0.005)
+        with pytest.raises(ValueError):
+            MemoryDemand(1e-10, 1e-10, -0.1)
+
+
+class TestMemorySystem:
+    def test_disabled_by_default(self):
+        system = MemorySystem()
+        assert not system.enabled
+        assert system.solve([demand()] * 100) == 1.0
+
+    def test_light_load_no_inflation(self):
+        system = MemorySystem(peak_bandwidth_gbps=1000.0)
+        assert system.solve([demand()]) == pytest.approx(1.0, abs=0.05)
+
+    def test_heavy_load_inflates(self):
+        system = MemorySystem(peak_bandwidth_gbps=10.0)
+        heavy = [demand(mpki=30.0) for _ in range(16)]
+        assert system.solve(heavy) > 1.2
+
+    @given(st.floats(10.0, 500.0), st.integers(1, 32))
+    @settings(max_examples=30)
+    def test_multiplier_at_least_one(self, bandwidth, n):
+        system = MemorySystem(peak_bandwidth_gbps=bandwidth)
+        assert system.solve([demand() for _ in range(n)]) >= 1.0
+
+    def test_more_jobs_more_contention(self):
+        system = MemorySystem(peak_bandwidth_gbps=30.0)
+        few = system.solve([demand(mpki=20.0) for _ in range(4)])
+        many = system.solve([demand(mpki=20.0) for _ in range(16)])
+        assert many > few
+
+    def test_multiplier_at_monotone(self):
+        system = MemorySystem(peak_bandwidth_gbps=50.0)
+        assert system.multiplier_at(0.8) > system.multiplier_at(0.3)
+        assert system.multiplier_at(0.0) == 1.0
+
+    def test_utilization_bounded_by_fixed_point(self):
+        system = MemorySystem(peak_bandwidth_gbps=20.0)
+        heavy = [demand(mpki=30.0) for _ in range(16)]
+        m = system.solve(heavy)
+        rho = system.utilization(heavy, m)
+        # Throttling keeps demand near/below the peak at the fixed point.
+        assert rho < 1.3
+
+    def test_empty_demands(self):
+        assert MemorySystem(peak_bandwidth_gbps=10.0).solve([]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(peak_bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            MemorySystem(queue_factor=-1.0)
+        with pytest.raises(ValueError):
+            MemorySystem(max_utilization=1.0)
+        with pytest.raises(ValueError):
+            MemorySystem(iterations=0)
+
+
+class TestMachineIntegration:
+    def build(self, bandwidth):
+        _, test = train_test_split()
+        profiles = [batch_profile(n) for n in (test * 2)[:16]]
+        return Machine(
+            lc_service=lc_service("xapian"),
+            batch_profiles=profiles,
+            params=MachineParams(
+                peak_memory_bandwidth_gbps=bandwidth,
+                profiling_noise=0.0, slice_noise=0.0, phase_drift=0.0,
+            ),
+            seed=3,
+        )
+
+    def assignment(self):
+        wide = JointConfig(CoreConfig.widest(), 1.0)
+        return Assignment(
+            lc_cores=16,
+            lc_config=JointConfig(CoreConfig.widest(), 4.0),
+            batch_configs=tuple(wide for _ in range(16)),
+        )
+
+    def test_contention_slows_everything(self):
+        free = self.build(math.inf).run_slice(self.assignment(), 0.8)
+        tight = self.build(50.0).run_slice(self.assignment(), 0.8)
+        assert tight.memory_stall_multiplier > 1.0
+        assert free.memory_stall_multiplier == 1.0
+        assert tight.total_batch_instructions < free.total_batch_instructions
+        assert tight.lc_p99 > free.lc_p99
+
+    def test_narrow_configs_reduce_contention(self):
+        machine = self.build(50.0)
+        narrow = JointConfig(CoreConfig.narrowest(), 1.0)
+        low = Assignment(
+            lc_cores=16,
+            lc_config=JointConfig(CoreConfig.widest(), 4.0),
+            batch_configs=tuple(narrow for _ in range(16)),
+        )
+        wide_run = machine.run_slice(self.assignment(), 0.8)
+        narrow_run = machine.run_slice(low, 0.8)
+        assert narrow_run.memory_stall_multiplier < \
+            wide_run.memory_stall_multiplier
+
+    def test_disabled_has_unit_multiplier(self):
+        m = self.build(math.inf).run_slice(self.assignment(), 0.8)
+        assert m.memory_stall_multiplier == 1.0

@@ -1,0 +1,121 @@
+"""Property-based invariants of the performance model.
+
+Hypothesis generates arbitrary valid application profiles and checks
+the structural properties every scheduler in this repo relies on:
+monotonicity in widths and cache, positivity, consistency between the
+scalar and row APIs, and the core/memory split.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import MissRateCurve
+from repro.sim.coreconfig import (
+    CACHE_ALLOCS,
+    CORE_CONFIGS,
+    JOINT_CONFIGS,
+    CoreConfig,
+)
+from repro.sim.perf import AppProfile, PerformanceModel
+from repro.sim.power import PowerModel
+
+perf = PerformanceModel()
+power = PowerModel()
+
+
+@st.composite
+def profiles(draw):
+    peak = draw(st.floats(0.5, 40.0))
+    return AppProfile(
+        name="hyp",
+        base_cpi=draw(st.floats(0.3, 1.5)),
+        fe_sens=draw(st.floats(0.0, 0.8)),
+        be_sens=draw(st.floats(0.0, 0.8)),
+        ls_sens=draw(st.floats(0.0, 0.8)),
+        miss_curve=MissRateCurve(
+            peak=peak,
+            floor=draw(st.floats(0.0, 1.0)) * peak,
+            half_ways=draw(st.floats(0.5, 10.0)),
+        ),
+        mem_blocking=draw(st.floats(0.1, 0.7)),
+        ls_mlp_sens=draw(st.floats(0.0, 0.5)),
+        activity=draw(st.floats(0.5, 1.5)),
+    )
+
+
+configs = st.sampled_from(CORE_CONFIGS)
+ways = st.sampled_from(CACHE_ALLOCS)
+
+
+class TestPerfInvariants:
+    @given(profiles(), configs, ways)
+    @settings(max_examples=80)
+    def test_cpi_positive_and_split_consistent(self, profile, config, w):
+        core, mem = perf.cpi_split(profile, config, w)
+        assert core > 0
+        assert mem >= 0
+        assert perf.cpi(profile, config, w) == pytest.approx(core + mem)
+
+    @given(profiles(), ways)
+    @settings(max_examples=60)
+    def test_widest_config_is_fastest(self, profile, w):
+        best = perf.bips(profile, CoreConfig.widest(), w)
+        for config in (CoreConfig(4, 4, 4), CoreConfig.narrowest(),
+                       CoreConfig(6, 2, 6), CoreConfig(2, 6, 4)):
+            assert perf.bips(profile, config, w) <= best + 1e-12
+
+    @given(profiles(), configs)
+    @settings(max_examples=60)
+    def test_more_cache_never_hurts(self, profile, config):
+        bips = [perf.bips(profile, config, w) for w in sorted(CACHE_ALLOCS)]
+        assert all(b <= a + 1e-12 for b, a in zip(bips, bips[1:]))
+
+    @given(profiles(), configs, ways)
+    @settings(max_examples=60)
+    def test_memory_multiplier_slows_down(self, profile, config, w):
+        base = perf.bips(profile, config, w)
+        slowed = perf.bips(profile, config, w, mem_multiplier=2.0)
+        assert slowed <= base + 1e-12
+        # A pure-compute profile is immune.
+        if profile.miss_curve.mpki(w) == 0:
+            assert slowed == pytest.approx(base)
+
+    @given(profiles())
+    @settings(max_examples=30)
+    def test_row_matches_scalar_api(self, profile):
+        row = perf.bips_row(profile)
+        for joint in (JOINT_CONFIGS[0], JOINT_CONFIGS[53], JOINT_CONFIGS[107]):
+            assert row[joint.index] == pytest.approx(
+                perf.bips(profile, joint.core, joint.cache_ways)
+            )
+
+    @given(profiles(), configs, ways)
+    @settings(max_examples=40)
+    def test_shared_way_never_helps(self, profile, config, w):
+        assert perf.bips(profile, config, w, shared_way=True) <= \
+            perf.bips(profile, config, w) + 1e-12
+
+
+class TestPowerInvariants:
+    @given(profiles(), configs)
+    @settings(max_examples=60)
+    def test_power_positive_and_bounded(self, profile, config):
+        watts = power.core_power(profile, config)
+        assert 0 < watts < 20
+
+    @given(profiles(), configs, st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_utilization_monotone(self, profile, config, util):
+        busy = power.core_power(profile, config, utilization=1.0)
+        partial = power.core_power(profile, config, utilization=util)
+        idle = power.core_power(profile, config, utilization=0.0)
+        assert idle - 1e-12 <= partial <= busy + 1e-12
+
+    @given(profiles())
+    @settings(max_examples=40)
+    def test_widest_core_burns_most(self, profile):
+        row = power.power_row(profile)
+        assert np.argmax(row) >= row.size - 4  # a widest-core column
+        assert row[-1] == np.max(row)

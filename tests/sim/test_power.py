@@ -1,0 +1,132 @@
+"""Tests for the McPAT-substitute power model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import MissRateCurve
+from repro.sim.coreconfig import (
+    CACHE_ALLOCS,
+    CORE_CONFIGS,
+    N_CACHE_ALLOCS,
+    CoreConfig,
+)
+from repro.sim.perf import AppProfile
+from repro.sim.power import PowerModel, PowerParams
+
+
+@pytest.fixture
+def profile():
+    return AppProfile(
+        name="p",
+        base_cpi=0.6,
+        fe_sens=0.2,
+        be_sens=0.3,
+        ls_sens=0.15,
+        miss_curve=MissRateCurve(peak=10.0, floor=2.0, half_ways=3.0),
+        activity=1.0,
+    )
+
+
+class TestPowerParams:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PowerParams(fe_dynamic=-0.1)
+        with pytest.raises(ValueError):
+            PowerParams(llc_leakage_per_way=-1.0)
+
+
+class TestPowerModel:
+    def test_power_monotone_in_width(self, power, profile):
+        for narrow, wide in ((CoreConfig(2, 2, 2), CoreConfig(4, 4, 4)),
+                             (CoreConfig(4, 4, 4), CoreConfig(6, 6, 6)),
+                             (CoreConfig(2, 6, 6), CoreConfig(6, 6, 6))):
+            assert power.core_power(profile, narrow) < power.core_power(
+                profile, wide
+            )
+
+    def test_utilization_scales_dynamic_only(self, power, profile):
+        config = CoreConfig.widest()
+        idle = power.core_power(profile, config, utilization=0.0)
+        busy = power.core_power(profile, config, utilization=1.0)
+        assert 0 < idle < busy
+        # Idle power is pure leakage: independent of activity.
+        lazy = AppProfile(
+            name="lazy",
+            base_cpi=profile.base_cpi,
+            fe_sens=profile.fe_sens,
+            be_sens=profile.be_sens,
+            ls_sens=profile.ls_sens,
+            miss_curve=profile.miss_curve,
+            activity=0.5,
+        )
+        assert power.core_power(lazy, config, utilization=0.0) == pytest.approx(
+            idle
+        )
+
+    def test_utilization_validation(self, power, profile):
+        with pytest.raises(ValueError):
+            power.core_power(profile, CoreConfig.widest(), utilization=1.5)
+        with pytest.raises(ValueError):
+            power.core_power(profile, CoreConfig.widest(), utilization=-0.1)
+
+    def test_reconfig_energy_penalty(self, profile):
+        reconf = PowerModel(reconfigurable=True)
+        fixed = PowerModel(reconfigurable=False)
+        config = CoreConfig(4, 2, 6)
+        ratio = reconf.core_power(profile, config) / fixed.core_power(
+            profile, config
+        )
+        assert ratio == pytest.approx(1.18)
+
+    def test_superlinear_dynamic_scaling(self, profile):
+        """Narrowing saves proportionally more dynamic power than width."""
+        power = PowerModel(reconfigurable=False)
+        # With superlinear scaling, a {2,2,2} core must burn less than
+        # 1/3 of the section power of a {6,6,6} core (plus overheads).
+        p = power.params
+        small = power.core_power(profile, CoreConfig.narrowest())
+        big = power.core_power(profile, CoreConfig.widest())
+        overhead = p.other_dynamic * profile.activity + p.other_leakage
+        section_small = small - overhead
+        section_big = big - overhead
+        assert section_small / section_big < 1.0 / 3.0
+
+    def test_gated_power_small(self, power, profile):
+        assert power.gated_core_power() < 0.2
+        assert power.gated_core_power() < power.core_power(
+            profile, CoreConfig.narrowest(), utilization=0.0
+        )
+
+    def test_llc_power_scales_with_ways(self):
+        assert PowerModel(llc_ways=32).llc_power() == pytest.approx(
+            2 * PowerModel(llc_ways=16).llc_power()
+        )
+
+    def test_power_row_constant_across_cache_allocs(self, power, profile):
+        """Paper formulation: P_{i,j} depends on the core config only."""
+        row = power.power_row(profile)
+        grouped = row.reshape(len(CORE_CONFIGS), N_CACHE_ALLOCS)
+        for core_block in grouped:
+            assert np.allclose(core_block, core_block[0])
+
+    def test_power_row_positive_and_ordered(self, power, profile):
+        row = power.power_row(profile)
+        assert np.all(row > 0)
+        widest = row[-1]
+        narrowest = row[0]
+        assert widest > narrowest
+
+    def test_activity_scales_power(self, power):
+        def prof(act):
+            return AppProfile(
+                name="a",
+                base_cpi=0.6,
+                fe_sens=0.1,
+                be_sens=0.1,
+                ls_sens=0.1,
+                miss_curve=MissRateCurve(peak=5.0, floor=1.0, half_ways=2.0),
+                activity=act,
+            )
+
+        assert power.core_power(prof(1.2), CoreConfig.widest()) > \
+            power.core_power(prof(0.8), CoreConfig.widest())

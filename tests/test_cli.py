@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, POLICIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mix == 0
+        assert args.policy == "cuttlesys"
+        assert args.cap == 0.7
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_experiment_catalogue_complete(self):
+        assert "fig5c" in EXPERIMENTS
+        assert "dvfs" in EXPERIMENTS
+        assert "ablations" in EXPERIMENTS
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "32-core" in out
+        assert "reference max power" in out
+
+    def test_list_mixes(self, capsys):
+        assert main(["list-mixes"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 50
+        assert "xapian" in out
+        assert "silo" in out
+
+    def test_characterize_single_service(self, capsys):
+        assert main(["characterize", "--service", "moses"]) == 0
+        out = capsys.readouterr().out
+        assert "moses" in out
+        assert "{6,2,4}" in out
+
+    def test_run_baseline(self, capsys):
+        code = main(
+            ["run", "--policy", "core-gating", "--slices", "2", "--mix", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core-gating" in out
+        assert "p99/QoS" in out
+
+    def test_run_cuttlesys(self, capsys):
+        assert main(["run", "--slices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cuttlesys" in out
+
+    def test_run_bad_mix(self, capsys):
+        assert main(["run", "--mix", "99"]) == 2
+        assert "mix index" in capsys.readouterr().err
+
+    def test_experiment_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "RBF" in out
+
+    def test_all_policies_constructible(self):
+        from repro.experiments.harness import build_machine_for_mix
+        from repro.workloads.mixes import paper_mixes
+
+        machine = build_machine_for_mix(paper_mixes()[0], seed=1)
+        for name, factory in POLICIES.items():
+            policy = factory(machine, 1)
+            assert hasattr(policy, "decide")
+            assert hasattr(policy, "observe")
+
+
+class TestExperimentDispatch:
+    """Fast experiment names dispatch end to end through the CLI."""
+
+    def test_experiment_fig1(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "xapian" in out and "silo" in out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "training apps" in out
+
+    def test_experiment_flicker(self, capsys):
+        assert main(["experiment", "flicker", "--slices", "2"]) == 0
+        assert "Flicker" in capsys.readouterr().out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "describe"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "32-core" in proc.stdout

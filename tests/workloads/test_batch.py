@@ -1,0 +1,114 @@
+"""Tests for the SPEC-like batch workload population."""
+
+import pytest
+
+from repro.sim.perf import AppProfile
+from repro.workloads.batch import (
+    ARCHETYPES,
+    SPEC_APPS,
+    SPEC_ARCHETYPE,
+    batch_profile,
+    all_batch_profiles,
+    rng_for,
+    synthetic_population,
+    train_test_split,
+)
+
+
+class TestSpecPopulation:
+    def test_all_28_benchmarks_present(self):
+        assert len(SPEC_APPS) == 28
+        assert "mcf" in SPEC_APPS
+        assert "povray" in SPEC_APPS
+
+    def test_every_benchmark_has_archetype(self):
+        for name in SPEC_APPS:
+            assert SPEC_ARCHETYPE[name] in ARCHETYPES
+
+    def test_profiles_deterministic(self):
+        a = batch_profile("mcf")
+        b = batch_profile("mcf")
+        assert a is b  # cached
+        assert a.base_cpi == batch_profile("mcf").base_cpi
+
+    def test_profiles_are_valid_app_profiles(self):
+        for profile in all_batch_profiles():
+            assert isinstance(profile, AppProfile)
+            assert profile.base_cpi > 0
+
+    def test_distinct_apps_get_distinct_parameters(self):
+        names = list(SPEC_APPS)
+        cpis = {batch_profile(n).base_cpi for n in names}
+        assert len(cpis) > len(names) // 2
+
+    def test_memory_bound_apps_have_high_mpki(self):
+        mcf = batch_profile("mcf")  # memory-bound archetype
+        namd = batch_profile("namd")  # FP compute archetype
+        assert mcf.miss_curve.peak > namd.miss_curve.peak
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            batch_profile("nosuchapp")
+
+    def test_archetype_draw_in_ranges(self):
+        for archetype in ARCHETYPES:
+            profile = archetype.draw(f"probe-{archetype.name}")
+            lo, hi = archetype.base_cpi
+            assert lo <= profile.base_cpi <= hi
+            lo, hi = archetype.fe_sens
+            assert lo <= profile.fe_sens <= hi
+            assert profile.miss_curve.floor <= profile.miss_curve.peak
+
+
+class TestTrainTestSplit:
+    def test_default_sizes(self):
+        train, test = train_test_split()
+        assert len(train) == 16
+        assert len(test) == 12
+
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split()
+        assert not set(train) & set(test)
+        assert set(train) | set(test) == set(SPEC_APPS)
+
+    def test_deterministic_given_seed(self):
+        assert train_test_split(seed=5) == train_test_split(seed=5)
+        assert train_test_split(seed=5) != train_test_split(seed=6)
+
+    def test_custom_size(self):
+        train, test = train_test_split(n_train=8)
+        assert len(train) == 8
+        assert len(test) == 20
+
+    @pytest.mark.parametrize("n", [0, 28, 99])
+    def test_invalid_sizes(self, n):
+        with pytest.raises(ValueError):
+            train_test_split(n_train=n)
+
+
+class TestSyntheticPopulation:
+    def test_size_and_determinism(self):
+        a = synthetic_population(10, seed=1)
+        b = synthetic_population(10, seed=1)
+        assert len(a) == 10
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.base_cpi for p in a] == [p.base_cpi for p in b]
+
+    def test_different_seed_different_population(self):
+        a = synthetic_population(10, seed=1)
+        b = synthetic_population(10, seed=2)
+        assert [p.base_cpi for p in a] != [p.base_cpi for p in b]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            synthetic_population(0)
+
+
+class TestRngFor:
+    def test_stable_across_calls(self):
+        assert rng_for("x").integers(1000) == rng_for("x").integers(1000)
+
+    def test_salt_changes_stream(self):
+        a = rng_for("x", salt="a").integers(10**9)
+        b = rng_for("x", salt="b").integers(10**9)
+        assert a != b

@@ -1,0 +1,191 @@
+"""Tests for the TailBench-like latency-critical services."""
+
+import pytest
+
+from repro.sim.coreconfig import CORE_CONFIGS, CoreConfig
+from repro.sim.perf import PerformanceModel
+from repro.sim.power import PowerModel
+from repro.workloads.latency_critical import (
+    CALIBRATION_CORES,
+    KNEE_UTILIZATION,
+    LC_SERVICE_NAMES,
+    _SPECS,
+    lc_service,
+    make_services,
+    service_variants,
+)
+
+#: Fig. 1's lowest-power QoS-meeting config at 80 % load, per service.
+PAPER_BEST_CONFIGS = {
+    "xapian": CoreConfig(2, 2, 6),
+    "masstree": CoreConfig(4, 2, 4),
+    "imgdnn": CoreConfig(4, 2, 4),
+    "moses": CoreConfig(6, 2, 4),
+    "silo": CoreConfig(2, 2, 4),
+}
+
+#: Paper §VII-A knee loads (QPS on 16 cores).
+PAPER_MAX_QPS = {
+    "xapian": 22000,
+    "masstree": 17000,
+    "imgdnn": 8000,
+    "moses": 8000,
+    "silo": 24000,
+}
+
+
+class TestCalibration:
+    def test_five_services(self):
+        services = make_services()
+        assert set(services) == set(LC_SERVICE_NAMES)
+        assert len(LC_SERVICE_NAMES) == 5
+
+    @pytest.mark.parametrize("name", LC_SERVICE_NAMES)
+    def test_max_qps_matches_paper(self, name):
+        assert lc_service(name).max_qps == PAPER_MAX_QPS[name]
+
+    @pytest.mark.parametrize("name", LC_SERVICE_NAMES)
+    def test_knee_utilization(self, name, perf):
+        """At 100 % load on 16 widest cores, utilization sits at the knee."""
+        service = lc_service(name)
+        util = service.utilization(
+            perf, CoreConfig.widest(), 4.0, load=1.0,
+            n_cores=CALIBRATION_CORES,
+        )
+        assert util == pytest.approx(KNEE_UTILIZATION, rel=1e-6)
+
+    @pytest.mark.parametrize("name", LC_SERVICE_NAMES)
+    def test_paper_best_config_at_80pct_load(self, name, perf):
+        """The lowest-power QoS config at 80 % load matches Fig. 1."""
+        service = lc_service(name)
+        power_model = PowerModel()
+        best, best_power = None, float("inf")
+        for config in CORE_CONFIGS:
+            latency = service.tail_latency(perf, config, 4.0, 0.8, 16)
+            if latency > service.qos_latency_s:
+                continue
+            util = min(1.0, service.utilization(perf, config, 4.0, 0.8, 16))
+            watts = power_model.core_power(
+                service.profile, config, utilization=util
+            )
+            if watts < best_power:
+                best, best_power = config, watts
+        assert best == PAPER_BEST_CONFIGS[name]
+
+    @pytest.mark.parametrize("name", LC_SERVICE_NAMES)
+    def test_low_load_allows_lower_configs(self, name, perf):
+        """At 20 % load, strictly more configurations meet QoS (Fig. 1)."""
+        service = lc_service(name)
+
+        def feasible(load):
+            return sum(
+                1
+                for config in CORE_CONFIGS
+                if service.tail_latency(perf, config, 4.0, load, 16)
+                <= service.qos_latency_s
+            )
+
+        assert feasible(0.2) > feasible(0.8)
+
+    def test_back_end_never_matters(self, perf):
+        """All five services are nearly BE-insensitive (Fig. 1: BE=2)."""
+        for name in LC_SERVICE_NAMES:
+            profile = lc_service(name).profile
+            assert profile.be_sens < 0.1
+            assert profile.be_sens < profile.fe_sens + profile.ls_sens
+
+
+class TestServiceBehaviour:
+    def test_latency_monotone_in_load(self, perf):
+        service = lc_service("xapian")
+        config = CoreConfig.widest()
+        latencies = [
+            service.tail_latency(perf, config, 4.0, load, 16)
+            for load in (0.2, 0.5, 0.8, 1.0)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_latency_monotone_in_cores(self, perf):
+        service = lc_service("masstree")
+        config = CoreConfig(4, 2, 4)
+        more = service.tail_latency(perf, config, 4.0, 0.8, 24)
+        fewer = service.tail_latency(perf, config, 4.0, 0.8, 12)
+        assert more <= fewer
+
+    def test_meets_qos_consistent_with_latency(self, perf):
+        service = lc_service("silo")
+        config = CoreConfig.widest()
+        assert service.meets_qos(perf, config, 4.0, 0.5, 16)
+        narrow = CoreConfig.narrowest()
+        overloaded = service.meets_qos(perf, narrow, 0.5, 1.0, 4)
+        assert not overloaded
+
+    def test_qps_at_load(self):
+        service = lc_service("moses")
+        assert service.qps_at_load(0.5) == pytest.approx(4000.0)
+        with pytest.raises(ValueError):
+            service.qps_at_load(-0.1)
+
+    def test_unknown_service(self):
+        with pytest.raises(KeyError):
+            lc_service("memcached")
+
+    def test_validation(self):
+        service = lc_service("silo")
+        with pytest.raises(ValueError):
+            type(service)(
+                profile=service.profile,
+                work_instructions=-1.0,
+                service_scv=1.0,
+                max_qps=100.0,
+                qos_latency_s=0.01,
+            )
+
+
+class TestServiceVariants:
+    def test_deterministic(self):
+        a = service_variants("xapian", 3, seed=1)
+        b = service_variants("xapian", 3, seed=1)
+        assert [v.work_instructions for v in a] == [
+            v.work_instructions for v in b
+        ]
+
+    def test_distinct_from_base_and_each_other(self):
+        base = lc_service("xapian")
+        variants = service_variants("xapian", 4, seed=1)
+        assert len(variants) == 4
+        sens = {v.profile.ls_sens for v in variants}
+        assert len(sens) == 4
+        assert base.profile.ls_sens not in sens
+
+    def test_variants_keep_archetype_shape(self):
+        """A xapian variant stays LS-dominated, a moses variant FE-heavy."""
+        for variant in service_variants("xapian", 3, seed=2):
+            assert variant.profile.ls_sens > variant.profile.fe_sens
+        for variant in service_variants("moses", 3, seed=2):
+            assert variant.profile.fe_sens > variant.profile.ls_sens
+
+    def test_names_are_suffixed(self):
+        variants = service_variants("silo", 2, seed=0)
+        assert [v.name for v in variants] == ["silo-v0", "silo-v1"]
+
+    def test_zero_variants(self):
+        assert service_variants("silo", 0) == ()
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            service_variants("nope", 1)
+        with pytest.raises(ValueError):
+            service_variants("silo", -1)
+        with pytest.raises(ValueError):
+            service_variants("silo", 1, jitter=1.5)
+
+
+class TestPerfModelCaching:
+    def test_cache_keyed_on_model(self):
+        default = lc_service("xapian")
+        fixed = lc_service("xapian", PerformanceModel(reconfigurable=False))
+        # Different calibration models give different work calibration.
+        assert default.work_instructions != fixed.work_instructions
+        # Same model object -> same cached service.
+        assert lc_service("xapian") is default

@@ -1,0 +1,84 @@
+"""Tests for load traces."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.loadgen import LoadTrace
+
+
+class TestConstant:
+    @given(st.floats(0.0, 2.0))
+    def test_constant_everywhere(self, load):
+        trace = LoadTrace.constant(load)
+        for t in (0.0, 0.5, 100.0):
+            assert trace.load_at(t) == load
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LoadTrace.constant(-0.1)
+
+
+class TestDiurnal:
+    def test_starts_at_trough(self):
+        trace = LoadTrace.diurnal(low=0.2, high=0.8, period=1.0)
+        assert trace.load_at(0.0) == pytest.approx(0.2)
+
+    def test_peaks_at_half_period(self):
+        trace = LoadTrace.diurnal(low=0.2, high=0.8, period=1.0)
+        assert trace.load_at(0.5) == pytest.approx(0.8)
+
+    def test_periodic(self):
+        trace = LoadTrace.diurnal(low=0.2, high=0.8, period=2.0)
+        assert trace.load_at(0.3) == pytest.approx(trace.load_at(2.3))
+
+    @given(st.floats(0.0, 10.0))
+    def test_bounded(self, t):
+        trace = LoadTrace.diurnal(low=0.1, high=0.9, period=1.0)
+        assert 0.1 - 1e-9 <= trace.load_at(t) <= 0.9 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTrace.diurnal(low=0.9, high=0.2)
+        with pytest.raises(ValueError):
+            LoadTrace.diurnal(period=0.0)
+
+
+class TestSteps:
+    def test_piecewise_semantics(self):
+        trace = LoadTrace.steps([(0.0, 0.2), (1.0, 0.9), (2.0, 0.4)])
+        assert trace.load_at(0.0) == 0.2
+        assert trace.load_at(0.99) == 0.2
+        assert trace.load_at(1.0) == 0.9
+        assert trace.load_at(1.5) == 0.9
+        assert trace.load_at(2.0) == 0.4
+        assert trace.load_at(99.0) == 0.4
+
+    def test_before_first_step_uses_first_level(self):
+        trace = LoadTrace.steps([(1.0, 0.5)])
+        assert trace.load_at(0.0) == 0.5
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            LoadTrace.steps([(1.0, 0.5), (0.5, 0.2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LoadTrace.steps([])
+
+
+class TestSamplesAndClamping:
+    def test_samples(self):
+        trace = LoadTrace.steps([(0.0, 0.1), (1.0, 0.7)])
+        assert trace.samples([0.0, 1.0, 2.0]) == (0.1, 0.7, 0.7)
+
+    def test_negative_fn_clamped(self):
+        trace = LoadTrace(fn=lambda t: math.sin(t) - 2.0)
+        assert trace.load_at(0.0) == 0.0
+
+    def test_description_present(self):
+        assert "diurnal" in LoadTrace.diurnal().description
+        assert "constant" in LoadTrace.constant(0.5).description
+        assert "steps" in LoadTrace.steps([(0.0, 0.5)]).description

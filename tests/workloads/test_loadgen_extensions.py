@@ -1,0 +1,78 @@
+"""Tests for the extended load-trace constructors."""
+
+import pytest
+
+from repro.workloads.loadgen import LoadTrace
+
+
+class TestFlashCrowd:
+    def test_phases(self):
+        trace = LoadTrace.flash_crowd(base=0.3, peak=1.2, start=0.5,
+                                      duration=0.4, decay=0.1)
+        assert trace.load_at(0.0) == 0.3
+        assert trace.load_at(0.49) == 0.3
+        assert trace.load_at(0.5) == 1.2
+        assert trace.load_at(0.89) == 1.2
+
+    def test_decay_returns_to_base(self):
+        trace = LoadTrace.flash_crowd(base=0.3, peak=1.2, start=0.5,
+                                      duration=0.4, decay=0.1)
+        just_after = trace.load_at(0.95)
+        later = trace.load_at(2.0)
+        assert 0.3 < just_after < 1.2
+        assert later == pytest.approx(0.3, abs=0.01)
+
+    def test_decay_is_monotone(self):
+        trace = LoadTrace.flash_crowd()
+        t0 = trace.load_at(1.0)
+        t1 = trace.load_at(1.2)
+        t2 = trace.load_at(1.5)
+        assert t0 >= t1 >= t2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTrace.flash_crowd(base=1.5, peak=1.0)
+        with pytest.raises(ValueError):
+            LoadTrace.flash_crowd(duration=0.0)
+        with pytest.raises(ValueError):
+            LoadTrace.flash_crowd(decay=0.0)
+
+
+class TestFromSamples:
+    def test_replay_semantics(self):
+        trace = LoadTrace.from_samples([0.1, 0.5, 0.9], dt=0.1)
+        assert trace.load_at(0.0) == 0.1
+        assert trace.load_at(0.05) == 0.1
+        assert trace.load_at(0.1) == 0.5
+        assert trace.load_at(0.25) == 0.9
+
+    def test_last_sample_holds(self):
+        trace = LoadTrace.from_samples([0.1, 0.5], dt=0.1)
+        assert trace.load_at(100.0) == 0.5
+
+    def test_negative_time_uses_first(self):
+        trace = LoadTrace.from_samples([0.1, 0.5], dt=0.1)
+        assert trace.load_at(-1.0) == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTrace.from_samples([], dt=0.1)
+        with pytest.raises(ValueError):
+            LoadTrace.from_samples([0.1], dt=0.0)
+        with pytest.raises(ValueError):
+            LoadTrace.from_samples([-0.1], dt=0.1)
+
+
+class TestScaled:
+    def test_multiplies(self):
+        trace = LoadTrace.constant(0.4).scaled(2.0)
+        assert trace.load_at(0.0) == pytest.approx(0.8)
+
+    def test_compose_with_diurnal(self):
+        base = LoadTrace.diurnal(low=0.2, high=0.8, period=1.0)
+        scaled = base.scaled(0.5)
+        assert scaled.load_at(0.5) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadTrace.constant(0.5).scaled(-1.0)

@@ -1,0 +1,52 @@
+"""Tests for the paper's workload mixes."""
+
+import pytest
+
+from repro.workloads.batch import train_test_split
+from repro.workloads.latency_critical import LC_SERVICE_NAMES
+from repro.workloads.mixes import APPS_PER_MIX, Mix, paper_mixes
+
+
+class TestPaperMixes:
+    def test_fifty_mixes(self):
+        mixes = paper_mixes()
+        assert len(mixes) == 50
+
+    def test_ten_per_service(self):
+        mixes = paper_mixes()
+        for name in LC_SERVICE_NAMES:
+            assert sum(1 for m in mixes if m.lc_name == name) == 10
+
+    def test_sixteen_apps_each(self):
+        for mix in paper_mixes():
+            assert len(mix.batch_names) == APPS_PER_MIX
+
+    def test_only_test_benchmarks_used(self):
+        _, test_names = train_test_split()
+        allowed = set(test_names)
+        for mix in paper_mixes():
+            assert set(mix.batch_names) <= allowed
+
+    def test_deterministic(self):
+        assert paper_mixes(seed=3) == paper_mixes(seed=3)
+        assert paper_mixes(seed=3) != paper_mixes(seed=4)
+
+    def test_mixes_differ_from_each_other(self):
+        mixes = paper_mixes()
+        assert len({m.batch_names for m in mixes}) > 40
+
+    def test_label(self):
+        mix = paper_mixes()[0]
+        assert mix.lc_name in mix.label
+        assert "16 batch" in mix.label
+
+    def test_custom_sizes(self):
+        mixes = paper_mixes(mixes_per_service=2, apps_per_mix=4)
+        assert len(mixes) == 10
+        assert all(len(m.batch_names) == 4 for m in mixes)
+
+
+class TestMixValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Mix(lc_name="xapian", batch_names=())

@@ -1,0 +1,87 @@
+"""Tests for explicit service-time distribution shapes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.queueing import (
+    DiscreteEventQueue,
+    MGkQueue,
+    ServiceDistribution,
+)
+
+
+class TestServiceDistribution:
+    def test_deterministic(self):
+        d = ServiceDistribution(kind="deterministic")
+        assert d.quantile(0.99, mean=2.0) == 2.0
+        samples = d.sample(100, 2.0, np.random.default_rng(0))
+        assert np.all(samples == 2.0)
+
+    def test_lognormal_mean_preserved(self):
+        d = ServiceDistribution(kind="lognormal", scv=1.5)
+        samples = d.sample(200_000, 3.0, np.random.default_rng(1))
+        assert np.mean(samples) == pytest.approx(3.0, rel=0.02)
+
+    def test_bimodal_mean_and_scv(self):
+        d = ServiceDistribution(kind="bimodal", scv=2.0, long_fraction=0.05)
+        samples = d.sample(400_000, 1.0, np.random.default_rng(2))
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.02)
+        scv = np.var(samples) / np.mean(samples) ** 2
+        assert scv == pytest.approx(2.0, rel=0.1)
+
+    def test_bimodal_q99_is_long_class(self):
+        d = ServiceDistribution(kind="bimodal", scv=2.0, long_fraction=0.05)
+        q99 = d.quantile(0.99, mean=1.0)
+        q50 = d.quantile(0.5, mean=1.0)
+        assert q99 > 3 * q50  # the tail is the long-query class
+
+    def test_long_ratio_solved_monotonically(self):
+        low = ServiceDistribution(kind="bimodal", scv=1.0)
+        high = ServiceDistribution(kind="bimodal", scv=4.0)
+        assert high.long_ratio > low.long_ratio > 1.0
+
+    def test_explicit_long_ratio_respected(self):
+        d = ServiceDistribution(kind="bimodal", scv=1.0, long_ratio=10.0)
+        assert d.long_ratio == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceDistribution(kind="pareto")
+        with pytest.raises(ValueError):
+            ServiceDistribution(scv=-1.0)
+        with pytest.raises(ValueError):
+            ServiceDistribution(long_fraction=0.0)
+        d = ServiceDistribution()
+        with pytest.raises(ValueError):
+            d.quantile(1.5, 1.0)
+        with pytest.raises(ValueError):
+            d.quantile(0.75, 1.0)  # unsupported lognormal quantile
+
+
+class TestQueueIntegration:
+    def test_analytical_uses_distribution_quantile(self):
+        bimodal = MGkQueue(
+            arrival_rate=100.0, service_time_mean=0.001, service_scv=2.0,
+            servers=16,
+            distribution=ServiceDistribution(kind="bimodal", scv=2.0),
+        )
+        lognormal = MGkQueue(
+            arrival_rate=100.0, service_time_mean=0.001, service_scv=2.0,
+            servers=16,
+        )
+        assert bimodal.p99_latency() != lognormal.p99_latency()
+
+    def test_des_matches_analytical_bimodal(self):
+        dist = ServiceDistribution(kind="bimodal", scv=2.0)
+        servers, mean = 16, 0.001
+        rho = 0.5
+        analytical = MGkQueue(
+            rho * servers / mean, mean, 2.0, servers, distribution=dist
+        ).p99_latency()
+        des = DiscreteEventQueue(
+            rho * servers / mean, mean, 2.0, servers, distribution=dist
+        )
+        empirical = np.median(
+            [des.p99_latency(3.0, np.random.default_rng(s)) for s in range(5)]
+        )
+        assert analytical == pytest.approx(empirical, rel=0.4)
