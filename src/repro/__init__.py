@@ -19,7 +19,18 @@ Quickstart::
     result = policy.run(machine, LoadTrace.constant(0.8),
                         power_cap_fraction=0.7, n_slices=10)
     print(result.summary())
+
+Observability: pass a :class:`repro.telemetry.Telemetry` session to
+``run_policy(telemetry=...)`` to record nested phase spans, counters,
+and per-quantum predicted-vs-measured accuracy; export as Chrome trace
+JSON or JSONL (see docs/observability.md).
 """
+
+from repro.logs import install_null_handler
+
+# Library default: repro.* loggers stay silent unless the application
+# (or the CLI's --verbose flag) configures handlers.
+install_null_handler()
 
 from repro.core import (
     CuttleSysPolicy,
@@ -41,6 +52,7 @@ from repro.sim import (
     PerformanceModel,
     PowerModel,
 )
+from repro.telemetry import Telemetry
 from repro.workloads import LCService, LoadTrace, Mix, lc_service, paper_mixes
 
 __version__ = "1.0.0"
@@ -65,6 +77,7 @@ __all__ = [
     "RBFSurrogate",
     "ResourceController",
     "SGDParams",
+    "Telemetry",
     "build_machine_for_mix",
     "lc_service",
     "paper_mixes",

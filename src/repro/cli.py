@@ -6,8 +6,14 @@ Commands:
 * ``list-mixes``            — the paper's 50 evaluation mixes
 * ``characterize``          — Fig. 1 service characterisation
 * ``run``                   — run one policy on one mix and print the timeline
+  (``--trace``/``--jsonl``/``--metrics``/``--decisions-csv`` export the
+  run's telemetry; see docs/observability.md)
 * ``experiment``            — regenerate one paper table/figure by name
 * ``report``                — run the full evaluation, write a markdown report
+* ``telemetry-report``      — summarise a JSONL telemetry log
+
+``--verbose/-v`` (repeatable) raises logging of the ``repro.*``
+hierarchy to INFO then DEBUG.
 """
 
 from __future__ import annotations
@@ -15,6 +21,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional, Sequence
+
+from repro.logs import configure as configure_logging
 
 from repro.baselines import (
     AsymmetricOraclePolicy,
@@ -93,6 +101,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         reconfigurable=args.policy in RECONFIGURABLE_POLICIES,
     )
     policy = POLICIES[args.policy](machine, args.seed)
+    telemetry = None
+    wants_telemetry = (
+        args.trace or args.jsonl or args.metrics or args.decisions_csv
+    )
+    if wants_telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     run = run_policy(
         machine,
         policy,
@@ -100,6 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         power_cap_fraction=args.cap,
         n_slices=args.slices,
         max_power_w=reference,
+        telemetry=telemetry,
     )
     qos = machine.lc_service.qos_latency_s
     print(f"mix {args.mix} ({mix.lc_name}), cap {args.cap:.0%}, "
@@ -111,6 +128,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{i:>5}  {label:<13} {a.lc_cores:>5}  "
               f"{m.lc_p99 / qos:>7.2f}  {m.total_power:>9.1f}")
     print(run.summary())
+    if telemetry is not None:
+        try:
+            if args.trace:
+                n = telemetry.write_chrome_trace(args.trace)
+                print(f"wrote {args.trace} ({n} trace events; open in "
+                      f"chrome://tracing or ui.perfetto.dev)")
+            if args.jsonl:
+                n = telemetry.write_jsonl(args.jsonl)
+                print(f"wrote {args.jsonl} ({n} lines)")
+            if args.decisions_csv:
+                n = telemetry.decisions_to_csv(args.decisions_csv)
+                print(f"wrote {args.decisions_csv} ({n} quanta)")
+        except OSError as exc:
+            print(f"error: cannot write telemetry output: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.metrics:
+            print()
+            print(telemetry.report())
+    return 0
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl, render_jsonl_report
+
+    try:
+        records = read_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    print(render_jsonl_report(records))
     return 0
 
 
@@ -245,6 +293,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=7,
                         help="global random seed (default: 7)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v logs at INFO, -vv at DEBUG")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("describe", help="print the simulated system (Table I)")
@@ -265,6 +315,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="LC load fraction (default 0.8)")
     run.add_argument("--slices", type=int, default=10,
                      help="decision quanta to run (default 10)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a Chrome trace_event JSON of the run")
+    run.add_argument("--jsonl", default=None, metavar="PATH",
+                     help="write the telemetry event log as JSON Lines")
+    run.add_argument("--decisions-csv", default=None, metavar="PATH",
+                     help="write per-quantum predicted-vs-measured CSV")
+    run.add_argument("--metrics", action="store_true",
+                     help="print the telemetry metrics report")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -282,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quanta for run-based experiments")
     report.add_argument("--only", nargs="*", default=None,
                         help="substring filters on section titles")
+
+    telemetry_report = sub.add_parser(
+        "telemetry-report", help="summarise a JSONL telemetry log"
+    )
+    telemetry_report.add_argument("log", help="JSONL log written by "
+                                  "`run --jsonl` or Telemetry.write_jsonl")
     return parser
 
 
@@ -289,6 +353,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging(args.verbose)
     handlers = {
         "describe": _cmd_describe,
         "report": _cmd_report,
@@ -296,6 +362,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "characterize": _cmd_characterize,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "telemetry-report": _cmd_telemetry_report,
     }
     return handlers[args.command](args)
 

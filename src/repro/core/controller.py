@@ -22,7 +22,7 @@ end-of-slice measurements, like the real system.
 
 from __future__ import annotations
 
-import time
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.core.dds import DDSParams, DDSSearch
 from repro.core.ga import GAParams, GeneticSearch
+from repro.logs import get_logger
+from repro.telemetry.tracer import Tracer, tracer_of
 from repro.core.matrices import (
     ObservedMatrix,
     latency_training_rows,
@@ -56,6 +58,8 @@ from repro.workloads.latency_critical import LC_SERVICE_NAMES, service_variants
 
 #: Load grid used to bucket latency observations and training rows.
 LOAD_GRID: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+log = get_logger("core.controller")
 
 
 def nearest_load_bucket(load: float) -> float:
@@ -110,7 +114,13 @@ class ControllerConfig:
 
 @dataclass
 class StepTimings:
-    """Wall-clock overheads of one decision (Table II)."""
+    """Wall-clock overheads of one decision (Table II).
+
+    Since the telemetry refactor these are *derived from tracer
+    spans* (``sgd`` + ``lc_scan`` and ``search`` respectively), so the
+    controller, Table II, and any exported trace all report the same
+    numbers from one measurement path.
+    """
 
     sgd_s: float = 0.0
     search_s: float = 0.0
@@ -119,6 +129,26 @@ class StepTimings:
     def total_s(self) -> float:
         """Total decision overhead excluding the fixed 2 ms profiling."""
         return self.sgd_s + self.search_s
+
+
+@dataclass(frozen=True)
+class DecisionPrediction:
+    """What the controller *expected* of the assignment it just made.
+
+    Captured every quantum so the harness can pair predictions with
+    the subsequent slice's measurements — turning the Fig. 5 offline
+    accuracy experiment into a continuously tracked online metric.
+    NaN marks quantities the controller had no prediction for (gated
+    jobs, cold-start latency rows).
+    """
+
+    #: Per-batch-job predicted BIPS with the time-multiplexing share
+    #: applied (comparable to ``SliceMeasurement.batch_bips``).
+    bips: Tuple[float, ...]
+    #: Predicted p99 per hosted LC service, primary first (seconds).
+    p99_s: Tuple[float, ...]
+    #: Predicted total chip power (cores + gated residuals + LLC), W.
+    power_w: float
 
 
 class ResourceController:
@@ -130,9 +160,17 @@ class ResourceController:
         train_profiles: Sequence[AppProfile],
         train_services: Sequence,  # Sequence[LCService]
         config: ControllerConfig = ControllerConfig(),
+        telemetry=None,
     ) -> None:
         self.machine = machine
         self.config = config
+        # The controller always times its phases through a tracer (one
+        # shared measurement path for StepTimings, Table II and trace
+        # exports); without a session it uses a private one.
+        self.telemetry = None
+        self.tracer: Tracer = Tracer()
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
         self._rng = np.random.default_rng(config.seed)
         self.n_batch = len(machine.batch_profiles)
         self.n_train = len(train_profiles)
@@ -148,6 +186,8 @@ class ResourceController:
         self._last_assignment: Optional[Assignment] = None
         self._last_x: Optional[np.ndarray] = None
         self.timings: List[StepTimings] = []
+        #: Predicted outcomes of the most recent :meth:`decide`.
+        self.last_prediction: Optional[DecisionPrediction] = None
 
         # Offline characterisation of the known applications (the rows
         # the collaborative filter learns structure from).
@@ -188,6 +228,27 @@ class ResourceController:
             self._searcher = DDSSearch(config.dds)
         else:
             self._searcher = GeneticSearch(config.ga)
+        self._reconstructor.tracer = self.tracer
+        self._searcher.tracer = self.tracer
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Route spans/metrics into a :class:`repro.telemetry.Telemetry`.
+
+        The session's tracer replaces the controller's private one so
+        phase spans nest inside whatever the harness records (quantum,
+        decide, slice), and counters (core reclamations/yields,
+        emergency core-offs) land in the session's registry.
+        """
+        self.telemetry = telemetry
+        tracer = tracer_of(telemetry)
+        self.tracer = tracer
+        self._reconstructor.tracer = tracer
+        self._searcher.tracer = tracer
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Increment a session counter, if a session is attached."""
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(n)
 
     # ------------------------------------------------------------------
     # Matrix bookkeeping.
@@ -346,28 +407,44 @@ class ResourceController:
                 f"got {len(extra_loads)}"
             )
         self._age_observations()
-        timings = StepTimings()
 
-        t0 = time.perf_counter()
-        bips_hat = self._reconstructor.reconstruct(self._bips_matrix)
-        power_hat = self._reconstructor.reconstruct(self._power_matrix)
-        loads = [load, *extra_loads]
-        selections = []
-        # The paper relocates at most one core per timeslice; with
-        # several services the most recently violating one wins it.
-        reclaim_available = True
-        for idx in range(self.n_services):
-            joint, cores, watts, reclaimed = self._select_lc(
-                loads[idx],
-                power_hat[self._lc_power_row(idx)],
-                service_idx=idx,
-                allow_reclaim=reclaim_available,
-            )
-            if reclaimed:
-                reclaim_available = False
-            selections.append((joint, cores, watts))
-        lc_joint, lc_cores, lc_power = selections[0]
-        timings.sgd_s = time.perf_counter() - t0
+        with self.tracer.span("sgd", category="controller") as sgd_span:
+            bips_hat = self._reconstructor.reconstruct(self._bips_matrix)
+            power_hat = self._reconstructor.reconstruct(self._power_matrix)
+
+        with self.tracer.span("lc_scan", category="controller") as lc_span:
+            loads = [load, *extra_loads]
+            selections = []
+            predicted_p99 = []
+            # The paper relocates at most one core per timeslice; with
+            # several services the most recently violating one wins it.
+            reclaim_available = True
+            for idx in range(self.n_services):
+                previous_cores = self.lc_cores_by_service[idx]
+                joint, cores, watts, reclaimed, p99_hat = self._select_lc(
+                    loads[idx],
+                    power_hat[self._lc_power_row(idx)],
+                    service_idx=idx,
+                    allow_reclaim=reclaim_available,
+                )
+                if reclaimed:
+                    reclaim_available = False
+                    self._count("core_reclamations")
+                    log.info(
+                        "service %d reclaims a core (now %d): QoS "
+                        "predicted unreachable at load %.2f",
+                        idx, cores, loads[idx],
+                    )
+                elif cores < previous_cores:
+                    self._count("core_yields")
+                    log.info(
+                        "service %d yields a core back to batch (now %d)",
+                        idx, cores,
+                    )
+                selections.append((joint, cores, watts))
+                predicted_p99.append(p99_hat)
+            lc_joint, lc_cores, lc_power = selections[0]
+        timings = StepTimings(sgd_s=sgd_span.duration_s + lc_span.duration_s)
 
         batch_bips = bips_hat[self.n_train:self.n_train + self.n_batch]
         batch_power = power_hat[self.n_train:self.n_train + self.n_batch]
@@ -393,15 +470,17 @@ class ResourceController:
             time_share=time_share,
         )
 
-        t0 = time.perf_counter()
-        result = self._searcher.search(
-            objective,
-            n_dims=self.n_batch,
-            n_confs=N_JOINT_CONFIGS,
-            rng=self._rng,
-            initial=self._last_x,
-        )
-        timings.search_s = time.perf_counter() - t0
+        with self.tracer.span(
+            "search", category="controller", explorer=self.config.explorer
+        ) as search_span:
+            result = self._searcher.search(
+                objective,
+                n_dims=self.n_batch,
+                n_confs=N_JOINT_CONFIGS,
+                rng=self._rng,
+                initial=self._last_x,
+            )
+        timings.search_s = search_span.duration_s
         self.timings.append(timings)
 
         x = result.best_x
@@ -409,9 +488,19 @@ class ResourceController:
         configs: List[Optional[JointConfig]] = [
             JointConfig.from_index(int(i)) for i in x
         ]
-        configs = self._power_fallback(
-            configs, batch_power * time_share, reserved_power, target_power
-        )
+        with self.tracer.span("power_fallback", category="controller"):
+            active_before = sum(1 for c in configs if c is not None)
+            configs = self._power_fallback(
+                configs, batch_power * time_share, reserved_power,
+                target_power,
+            )
+            gated = active_before - sum(1 for c in configs if c is not None)
+            if gated > 0:
+                self._count("emergency_core_off", gated)
+                log.info(
+                    "power fallback gated %d batch job(s) to meet "
+                    "%.1f W", gated, target_power,
+                )
         assignment = Assignment(
             lc_cores=lc_cores,
             lc_config=lc_joint if lc_cores > 0 else None,
@@ -421,9 +510,50 @@ class ResourceController:
                 for joint, cores, _ in selections[1:]
             ),
         )
+        self.last_prediction = self._predict_assignment(
+            assignment, batch_bips, batch_power, predicted_p99,
+            reserved_power, batch_cores, time_share,
+        )
         self.lc_cores_by_service = [cores for _, cores, _ in selections]
         self._last_assignment = assignment
         return assignment
+
+    def _predict_assignment(
+        self,
+        assignment: Assignment,
+        batch_bips: np.ndarray,
+        batch_power: np.ndarray,
+        predicted_p99: Sequence[float],
+        reserved_power: float,
+        batch_cores: int,
+        time_share: float,
+    ) -> DecisionPrediction:
+        """Bundle the decision's predicted BIPS/p99/power for telemetry.
+
+        Mirrors the machine's measurement accounting (time-multiplexing
+        share, gated-core residuals) so the prediction is directly
+        comparable to the next :class:`SliceMeasurement`.
+        """
+        bips_pred = []
+        power_pred = 0.0
+        active = 0
+        for j, cfg in enumerate(assignment.batch_configs):
+            if cfg is None:
+                bips_pred.append(math.nan)
+            else:
+                active += 1
+                bips_pred.append(float(batch_bips[j, cfg.index]) * time_share)
+                power_pred += float(batch_power[j, cfg.index]) * time_share
+        gated_cores = batch_cores - min(batch_cores, active)
+        power_pred += (
+            gated_cores * self.machine.power.gated_core_power()
+            + reserved_power
+        )
+        return DecisionPrediction(
+            bips=tuple(bips_pred),
+            p99_s=tuple(predicted_p99),
+            power_w=power_pred,
+        )
 
     def _select_lc(
         self,
@@ -431,12 +561,15 @@ class ResourceController:
         lc_power_row: np.ndarray,
         service_idx: int = 0,
         allow_reclaim: bool = True,
-    ) -> Tuple[JointConfig, int, float, bool]:
+    ) -> Tuple[JointConfig, int, float, bool, float]:
         """Choose one LC service's configuration and core count.
 
-        Returns ``(config, cores, power, reclaimed)`` (§VI-A,
-        §VIII-D3); ``allow_reclaim`` arbitrates the one-core-per-
-        timeslice relocation budget among multiple services.
+        Returns ``(config, cores, power, reclaimed, predicted_p99)``
+        (§VI-A, §VIII-D3); ``allow_reclaim`` arbitrates the one-core-
+        per-timeslice relocation budget among multiple services.
+        ``predicted_p99`` is the reconstructed tail latency of the
+        chosen configuration (NaN on the cold-start path, where the
+        controller runs conservative without a prediction).
         """
         service = self.machine.lc_services[service_idx]
         bucket = nearest_load_bucket(load)
@@ -450,7 +583,19 @@ class ResourceController:
             # one slice has been measured.
             return conservative, lc_cores, float(
                 lc_power_row[conservative.index]
-            ), False
+            ), False, math.nan
+
+        # Memoise the per-core-count latency reconstructions: the scan,
+        # the downgrade fallback and the final prediction record all
+        # read the same rows, and each reconstruction costs real time.
+        latency_cache: Dict[int, np.ndarray] = {}
+
+        def predict(n_cores: int) -> np.ndarray:
+            if n_cores not in latency_cache:
+                latency_cache[n_cores] = self._predict_latency(
+                    bucket, n_cores, service_idx
+                )
+            return latency_cache[n_cores]
 
         def best_config(
             n_cores: int, guard: Optional[float] = None
@@ -462,7 +607,7 @@ class ResourceController:
             samples is uncertain); ties break toward smaller cache
             allocations, freeing ways for the batch jobs (§VI-A).
             """
-            latency = self._predict_latency(bucket, n_cores, service_idx)
+            latency = predict(n_cores)
             if guard is None:
                 guard = self._qos_guard(bucket, n_cores, service_idx)
             target = qos * (1.0 - guard)
@@ -491,7 +636,8 @@ class ResourceController:
             # unreachable does the controller reclaim one core per
             # timeslice (§VI-A).
             choice = self._safest_downgrade(
-                bucket, lc_cores, lc_power_row, qos, service_idx
+                bucket, lc_cores, lc_power_row, qos, service_idx,
+                latency=predict(lc_cores),
             )
             if choice is None:
                 if allow_reclaim:
@@ -511,9 +657,7 @@ class ResourceController:
             # rate-limited by hysteresis (the current regime must have
             # been measured at least twice) so each new core count is
             # validated before descending further.
-            latency_fewer = self._predict_latency(
-                bucket, lc_cores - 1, service_idx
-            )
+            latency_fewer = predict(lc_cores - 1)
             slack_target = qos * (1.0 - self.config.lc_slack_to_yield)
             fewer_choice = best_config(lc_cores - 1)
             if (
@@ -525,7 +669,8 @@ class ResourceController:
                 lc_cores -= 1
                 choice = fewer_choice
         lc_power = float(lc_power_row[choice.index])
-        return choice, lc_cores, lc_power, reclaimed
+        predicted_p99 = float(predict(lc_cores)[choice.index])
+        return choice, lc_cores, lc_power, reclaimed, predicted_p99
 
     def _safest_downgrade(
         self,
@@ -534,9 +679,11 @@ class ResourceController:
         lc_power_row: np.ndarray,
         qos: float,
         service_idx: int = 0,
+        latency: Optional[np.ndarray] = None,
     ) -> Optional[JointConfig]:
         """Lowest-latency config that meets raw QoS and saves power."""
-        latency = self._predict_latency(bucket, n_cores, service_idx)
+        if latency is None:
+            latency = self._predict_latency(bucket, n_cores, service_idx)
         wide_power = lc_power_row[
             JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1]).index
         ]

@@ -28,6 +28,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.telemetry.tracer import NULL_TRACER
+
 Objective = Callable[[np.ndarray], float]
 
 
@@ -72,6 +74,9 @@ class DDSResult:
 class DDSSearch:
     """Parallel DDS over discrete decision vectors."""
 
+    #: Telemetry tracer; the shared no-op unless a session attaches one.
+    tracer = NULL_TRACER
+
     def __init__(self, params: DDSParams = DDSParams()) -> None:
         self.params = params
 
@@ -92,6 +97,26 @@ class DDSSearch:
         searched.  ``initial`` seeds one starting point (e.g. the
         previous quantum's decision) alongside the random ones.
         """
+        with self.tracer.span(
+            "dds.search", category="dds", n_dims=n_dims
+        ) as span:
+            result = self._search(
+                objective, n_dims, n_confs, rng, fixed, initial,
+                record_explored,
+            )
+            span.set(evaluations=result.evaluations)
+            return result
+
+    def _search(
+        self,
+        objective: Objective,
+        n_dims: int,
+        n_confs: int,
+        rng: np.random.Generator,
+        fixed: Optional[Sequence[Tuple[int, int]]] = None,
+        initial: Optional[np.ndarray] = None,
+        record_explored: bool = False,
+    ) -> DDSResult:
         if n_dims <= 0:
             raise ValueError("n_dims must be positive")
         if n_confs <= 1:

@@ -53,6 +53,16 @@ class CuttleSysPolicy:
     def __init__(self, controller: ResourceController) -> None:
         self.controller = controller
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Route controller and machine spans/metrics into a session."""
+        self.controller.attach_telemetry(telemetry)
+        self.controller.machine.attach_telemetry(telemetry)
+
+    @property
+    def last_prediction(self):
+        """Predicted BIPS/p99/power of the most recent decision."""
+        return self.controller.last_prediction
+
     @classmethod
     def for_machine(
         cls,

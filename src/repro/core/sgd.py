@@ -32,6 +32,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.matrices import ObservedMatrix
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,9 @@ class SGDDiagnostics:
 class PQReconstructor:
     """Reconstructs missing entries of an :class:`ObservedMatrix`."""
 
+    #: Telemetry tracer; the shared no-op unless a session attaches one.
+    tracer = NULL_TRACER
+
     def __init__(self, params: SGDParams = SGDParams()) -> None:
         self.params = params
         self.last_diagnostics: Optional[SGDDiagnostics] = None
@@ -101,6 +105,15 @@ class PQReconstructor:
         Observed entries are copied through verbatim — the controller
         always trusts measurements over predictions (§IV-B).
         """
+        with self.tracer.span(
+            "sgd.reconstruct", category="sgd", n_rows=matrix.n_rows
+        ) as span:
+            result = self._reconstruct(matrix)
+            if self.last_diagnostics is not None:
+                span.set(iterations=self.last_diagnostics.iterations)
+            return result
+
+    def _reconstruct(self, matrix: ObservedMatrix) -> np.ndarray:
         mask = matrix.mask
         if not mask.any():
             raise ValueError("cannot reconstruct a matrix with no observations")

@@ -8,9 +8,17 @@ evaluation section plus this repo's extension studies.  Used by the
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.logs import get_logger
+from repro.telemetry.tracer import Tracer
+
+log = get_logger("experiments.full_eval")
+
+#: Section wall-clock times come from one module-level tracer, so a
+#: report run can also be exported as a trace if ever needed.
+_tracer = Tracer()
 
 
 @dataclass(frozen=True)
@@ -24,17 +32,19 @@ class SectionResult:
 
 
 def _section(title: str, producer: Callable[[], str]) -> SectionResult:
-    start = time.perf_counter()
-    try:
-        body = producer()
-        error = None
-    except Exception as exc:  # pragma: no cover - defensive reporting
-        body = ""
-        error = f"{type(exc).__name__}: {exc}"
+    with _tracer.span("section", category="report", title=title) as span:
+        try:
+            body = producer()
+            error = None
+        except Exception as exc:  # pragma: no cover - defensive reporting
+            body = ""
+            error = f"{type(exc).__name__}: {exc}"
+            log.warning("section %r failed: %s", title, error)
+    log.info("section %r took %.1f s", title, span.duration_s)
     return SectionResult(
         title=title,
         body=body,
-        seconds=time.perf_counter() - start,
+        seconds=span.duration_s,
         error=error,
     )
 

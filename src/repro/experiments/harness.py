@@ -8,18 +8,24 @@ accounts the policy's scheduling overheads against batch throughput.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.logs import get_logger
 from repro.sim.machine import Machine, MachineParams, SliceMeasurement
 from repro.sim.perf import PerformanceModel
 from repro.sim.power import PowerModel
+from repro.telemetry.metrics import DecisionRecord
+from repro.telemetry.tracer import tracer_of
 from repro.workloads.batch import batch_profile
 from repro.workloads.latency_critical import lc_service
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import Mix
+
+log = get_logger("experiments.harness")
 
 
 def build_machine_for_mix(
@@ -66,6 +72,10 @@ class PolicyRun:
 
     policy_name: str
     power_budget_w: float
+    #: QoS target of the primary LC service (seconds).
+    qos_s: float = 0.0
+    #: QoS targets of the extra LC services, in service order.
+    qos_extra_s: Tuple[float, ...] = ()
     measurements: List[SliceMeasurement] = field(default_factory=list)
     loads: List[float] = field(default_factory=list)
     budgets: List[float] = field(default_factory=list)
@@ -100,8 +110,8 @@ class PolicyRun:
         """Slices where any hosted service's p99 exceeded its QoS target."""
         count = 0
         for m in self.measurements:
-            violated = m.lc_p99 > self._qos and m.assignment.lc_cores > 0
-            for p99, qos in zip(m.extra_lc_p99, self._qos_extra):
+            violated = m.lc_p99 > self.qos_s and m.assignment.lc_cores > 0
+            for p99, qos in zip(m.extra_lc_p99, self.qos_extra_s):
                 violated = violated or p99 > qos
             if violated:
                 count += 1
@@ -119,45 +129,61 @@ class PolicyRun:
         """Max measured p99 over the run, as a multiple of QoS."""
         if not self.measurements:
             return 0.0
-        return max(m.lc_p99 for m in self.measurements) / self._qos
-
-    _qos: float = 0.0
-    _qos_extra: tuple = ()
+        return max(m.lc_p99 for m in self.measurements) / self.qos_s
 
     def to_csv(self, path) -> None:
         """Write one row per slice (for external plotting/analysis).
 
         Columns: slice index, load, budget W, measured power W, LC
         p99 s, QoS target s, LC cores, LC config, active batch jobs,
-        batch instructions.
+        batch instructions — plus, on multi-service machines, one
+        ``lc<k>_p99_s`` / ``lc<k>_qos_s`` / ``lc<k>_cores`` triple per
+        extra hosted service.
         """
         import csv
 
+        n_extra = len(self.qos_extra_s)
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(
-                [
-                    "slice", "load", "budget_w", "power_w", "lc_p99_s",
-                    "qos_s", "lc_cores", "lc_config", "active_batch",
-                    "batch_instructions",
-                ]
-            )
+            header = [
+                "slice", "load", "budget_w", "power_w", "lc_p99_s",
+                "qos_s", "lc_cores", "lc_config", "active_batch",
+                "batch_instructions",
+            ]
+            for k in range(1, n_extra + 1):
+                header.extend(
+                    [f"lc{k}_p99_s", f"lc{k}_qos_s", f"lc{k}_cores"]
+                )
+            writer.writerow(header)
             for i, m in enumerate(self.measurements):
                 a = m.assignment
-                writer.writerow(
-                    [
-                        i,
-                        f"{self.loads[i]:.4f}",
-                        f"{self.budgets[i]:.3f}",
-                        f"{m.total_power:.3f}",
-                        f"{m.lc_p99:.6f}",
-                        f"{self._qos:.6f}",
-                        a.lc_cores,
-                        a.lc_config.label if a.lc_config else "",
-                        len(a.active_batch_indices),
-                        f"{m.total_batch_instructions:.0f}",
-                    ]
-                )
+                row = [
+                    i,
+                    f"{self.loads[i]:.4f}",
+                    f"{self.budgets[i]:.3f}",
+                    f"{m.total_power:.3f}",
+                    f"{m.lc_p99:.6f}",
+                    f"{self.qos_s:.6f}",
+                    a.lc_cores,
+                    a.lc_config.label if a.lc_config else "",
+                    len(a.active_batch_indices),
+                    f"{m.total_batch_instructions:.0f}",
+                ]
+                for k in range(n_extra):
+                    p99 = (
+                        m.extra_lc_p99[k] if k < len(m.extra_lc_p99) else 0.0
+                    )
+                    cores = (
+                        a.extra_lc[k].cores if k < len(a.extra_lc) else 0
+                    )
+                    row.extend(
+                        [
+                            f"{p99:.6f}",
+                            f"{self.qos_extra_s[k]:.6f}",
+                            cores,
+                        ]
+                    )
+                writer.writerow(row)
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -169,6 +195,37 @@ class PolicyRun:
             f"{self.power_violations()} power violations "
             f"(budget {self.power_budget_w:.1f} W)"
         )
+
+
+def _record_decision(telemetry, quantum: int, policy,
+                     measurement: SliceMeasurement) -> None:
+    """Pair the policy's prediction with the slice's measurements.
+
+    Works for any :class:`Policy`: policies without a
+    ``last_prediction`` (the baselines) contribute measured-only
+    records whose predicted side is NaN, which the error histograms
+    simply skip.
+    """
+    prediction = getattr(policy, "last_prediction", None)
+    n_jobs = len(measurement.batch_bips)
+    measured_p99 = (measurement.lc_p99, *measurement.extra_lc_p99)
+    if prediction is None:
+        predicted_bips: Tuple[float, ...] = (math.nan,) * n_jobs
+        predicted_p99: Tuple[float, ...] = (math.nan,) * len(measured_p99)
+        predicted_power = math.nan
+    else:
+        predicted_bips = tuple(prediction.bips)
+        predicted_p99 = tuple(prediction.p99_s)
+        predicted_power = prediction.power_w
+    telemetry.record_decision(DecisionRecord(
+        quantum=quantum,
+        predicted_bips=predicted_bips,
+        measured_bips=tuple(float(b) for b in measurement.batch_bips),
+        predicted_p99_s=predicted_p99,
+        measured_p99_s=measured_p99,
+        predicted_power_w=predicted_power,
+        measured_power_w=measurement.total_power,
+    ))
 
 
 def run_policy(
@@ -183,6 +240,7 @@ def run_policy(
     churn_pool: Optional[Sequence] = None,
     churn_seed: int = 0,
     extra_traces: Sequence[LoadTrace] = (),
+    telemetry=None,
 ) -> PolicyRun:
     """Drive ``policy`` on ``machine`` for ``n_slices`` decision quanta.
 
@@ -200,6 +258,14 @@ def run_policy(
     Multi-service machines take one :class:`LoadTrace` per extra LC
     service in ``extra_traces``; the policy's ``decide`` must accept an
     ``extra_loads`` keyword (CuttleSys does).
+
+    ``telemetry`` takes a :class:`repro.telemetry.Telemetry` session:
+    the harness emits nested ``quantum`` > ``decide``/``observe`` spans
+    (policy and machine phases nest inside), records one
+    predicted-vs-measured :class:`DecisionRecord` per quantum, and
+    counts QoS/power violations, reconfigurations and job churn.  Any
+    :class:`Policy` benefits; policies exposing ``attach_telemetry``
+    (CuttleSys) additionally emit their internal phase spans.
     """
     if n_slices <= 0:
         raise ValueError("n_slices must be positive")
@@ -216,47 +282,101 @@ def run_policy(
     run = PolicyRun(
         policy_name=policy.name,
         power_budget_w=reference * power_cap_fraction,
+        qos_s=machine.lc_service.qos_latency_s,
+        qos_extra_s=tuple(
+            s.qos_latency_s for s in machine.lc_services[1:]
+        ),
         overhead_fraction=policy.overhead_fraction,
     )
-    run._qos = machine.lc_service.qos_latency_s
-    run._qos_extra = tuple(
-        s.qos_latency_s for s in machine.lc_services[1:]
-    )
+
+    tracer = tracer_of(telemetry)
+    if telemetry is not None:
+        machine.attach_telemetry(telemetry)
+        attach = getattr(policy, "attach_telemetry", None)
+        if attach is not None:
+            attach(telemetry)
+        log.info(
+            "running %s for %d slices (budget %.1f W, telemetry on)",
+            policy.name, n_slices, run.power_budget_w,
+        )
 
     churn_rng = np.random.default_rng(churn_seed)
     load_estimate = trace.load_at(0.0)
     extra_estimates = tuple(t.load_at(0.0) for t in extra_traces)
     for i in range(n_slices):
-        if churn_period is not None and i > 0 and i % churn_period == 0:
-            slot = int(churn_rng.integers(len(machine.batch_profiles)))
-            newcomer = churn_pool[int(churn_rng.integers(len(churn_pool)))]
-            machine.replace_batch_job(slot, newcomer)
-            notify = getattr(policy, "on_job_replaced", None)
-            if notify is not None:
-                notify(slot)
-            run.churn_events.append((i, slot, newcomer.name))
-        fraction = (
-            power_cap_trace[i] if power_cap_trace is not None
-            else power_cap_fraction
-        )
-        budget = reference * fraction
-        if extra_traces:
-            assignment = policy.decide(
-                machine, load_estimate, budget, extra_loads=extra_estimates
+        with tracer.span("quantum", category="harness", index=i):
+            if churn_period is not None and i > 0 and i % churn_period == 0:
+                slot = int(churn_rng.integers(len(machine.batch_profiles)))
+                newcomer = churn_pool[int(churn_rng.integers(len(churn_pool)))]
+                machine.replace_batch_job(slot, newcomer)
+                notify = getattr(policy, "on_job_replaced", None)
+                if notify is not None:
+                    notify(slot)
+                run.churn_events.append((i, slot, newcomer.name))
+                if telemetry is not None:
+                    telemetry.counter("job_churn").inc()
+                    tracer.instant(
+                        "job_churn", category="harness",
+                        slot=slot, app=newcomer.name,
+                    )
+                log.debug(
+                    "slice %d: batch slot %d replaced by %s",
+                    i, slot, newcomer.name,
+                )
+            fraction = (
+                power_cap_trace[i] if power_cap_trace is not None
+                else power_cap_fraction
             )
-        else:
-            assignment = policy.decide(machine, load_estimate, budget)
-        actual_load = trace.load_at(machine.time_s)
-        actual_extras = tuple(
-            t.load_at(machine.time_s) for t in extra_traces
-        )
-        measurement = machine.run_slice(
-            assignment, actual_load, extra_loads=actual_extras
-        )
-        policy.observe(measurement)
-        run.measurements.append(measurement)
-        run.loads.append(actual_load)
-        run.budgets.append(budget)
-        load_estimate = actual_load
-        extra_estimates = actual_extras
+            budget = reference * fraction
+            with tracer.span("decide", category="harness"):
+                if extra_traces:
+                    assignment = policy.decide(
+                        machine, load_estimate, budget,
+                        extra_loads=extra_estimates,
+                    )
+                else:
+                    assignment = policy.decide(machine, load_estimate, budget)
+            actual_load = trace.load_at(machine.time_s)
+            actual_extras = tuple(
+                t.load_at(machine.time_s) for t in extra_traces
+            )
+            measurement = machine.run_slice(
+                assignment, actual_load, extra_loads=actual_extras
+            )
+            with tracer.span("observe", category="harness"):
+                policy.observe(measurement)
+            run.measurements.append(measurement)
+            run.loads.append(actual_load)
+            run.budgets.append(budget)
+            if telemetry is not None:
+                _record_decision(telemetry, i, policy, measurement)
+                metrics = telemetry.metrics
+                metrics.counter("reconfigurations").inc(
+                    measurement.reconfigurations
+                )
+                qos_violated = (
+                    measurement.lc_p99 > run.qos_s
+                    and assignment.lc_cores > 0
+                ) or any(
+                    p99 > qos
+                    for p99, qos in zip(
+                        measurement.extra_lc_p99, run.qos_extra_s
+                    )
+                )
+                if qos_violated:
+                    metrics.counter("qos_violations").inc()
+                    log.info(
+                        "slice %d: QoS violated (p99 %.2f ms, target "
+                        "%.2f ms)", i, measurement.lc_p99 * 1e3,
+                        run.qos_s * 1e3,
+                    )
+                if measurement.total_power > budget * 1.02:
+                    metrics.counter("power_violations").inc()
+                metrics.gauge("power_w").set(measurement.total_power)
+                metrics.gauge("lc_load").set(actual_load)
+                metrics.histogram("slice.lc_p99_ms").observe(
+                    measurement.lc_p99 * 1e3
+                )
+            load_estimate = actual_load
+            extra_estimates = actual_extras
     return run

@@ -9,11 +9,14 @@ implementation (wall-clock of a realistic 32-row reconstruction and a
 The training-set-size sensitivity reproduces §VIII-A2: more offline-
 characterised applications lower the reconstruction error but raise its
 cost (the paper: 8 apps -> 20 % error, 16 -> <10 %, 24 -> 8 %).
+
+Timing comes from the telemetry tracer (``sgd.reconstruct`` and
+``dds.search`` spans), so these tables measure through the same path
+as any exported run trace.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -27,6 +30,7 @@ from repro.experiments.reporting import format_table, relative_error_percent
 from repro.sim.coreconfig import CoreConfig, JointConfig, N_JOINT_CONFIGS
 from repro.sim.perf import PerformanceModel
 from repro.sim.power import PowerModel
+from repro.telemetry.tracer import Tracer
 from repro.workloads.batch import SPEC_APPS, batch_profile, train_test_split
 
 HI = JointConfig(CoreConfig.widest(), 1.0)
@@ -78,14 +82,16 @@ def run_table2(
 ) -> OverheadResult:
     """Measure the three overhead components on this implementation."""
     matrix, _, _ = _profiled_matrix(n_train=16)
+    tracer = Tracer()
     reconstructor = PQReconstructor(sgd_params)
-    sgd_times = []
+    reconstructor.tracer = tracer
     for _ in range(repeats):
-        t0 = time.perf_counter()
         # Three reconstructions per quantum (throughput, latency, power).
         for _ in range(3):
             reconstructor.reconstruct(matrix)
-        sgd_times.append(time.perf_counter() - t0)
+    # One quantum's SGD cost = three consecutive reconstruction spans.
+    per_call = np.array(tracer.durations_s("sgd.reconstruct"))
+    sgd_times = per_call.reshape(repeats, 3).sum(axis=1)
 
     perf = PerformanceModel()
     power = PowerModel()
@@ -97,12 +103,11 @@ def run_table2(
         max_ways=32,
     )
     searcher = DDSSearch(dds_params)
-    dds_times = []
+    searcher.tracer = tracer
     for r in range(repeats):
         rng = np.random.default_rng(seed + r)
-        t0 = time.perf_counter()
         searcher.search(objective, n_dims=16, n_confs=N_JOINT_CONFIGS, rng=rng)
-        dds_times.append(time.perf_counter() - t0)
+    dds_times = tracer.durations_s("dds.search")
 
     return OverheadResult(
         profiling_ms=2.0,  # two 1 ms samples (fixed by the schedule)
@@ -118,12 +123,13 @@ def run_training_set_sensitivity(
     """§VIII-A2: accuracy/cost as the offline training set grows."""
     errors: Dict[int, float] = {}
     times: Dict[int, float] = {}
+    tracer = Tracer()
     for size in sizes:
         matrix, test, n_train = _profiled_matrix(n_train=size)
         reconstructor = PQReconstructor(sgd_params)
-        t0 = time.perf_counter()
+        reconstructor.tracer = tracer
         full = reconstructor.reconstruct(matrix)
-        times[size] = (time.perf_counter() - t0) * 1e3
+        times[size] = tracer.durations_s("sgd.reconstruct")[-1] * 1e3
         err = relative_error_percent(full[n_train:], test)
         errors[size] = float(np.median(np.abs(err)))
     return TrainingSetSensitivity(

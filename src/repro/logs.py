@@ -1,0 +1,65 @@
+"""Standard-library logging for the ``repro.*`` hierarchy.
+
+Every module logs through ``logging.getLogger("repro.<area>")`` (use
+:func:`get_logger`).  As a library, ``repro`` installs only a
+``NullHandler`` on the root ``repro`` logger (done in
+``repro/__init__``), so importing it never configures global logging;
+applications — including ``python -m repro`` via ``--verbose/-v`` —
+opt in with :func:`configure`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+#: Root logger name of the hierarchy.
+ROOT = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("core.controller")`` and
+    ``get_logger("repro.core.controller")`` both yield
+    ``repro.core.controller``; no argument yields the root.
+    """
+    if not name:
+        return logging.getLogger(ROOT)
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def install_null_handler() -> None:
+    """Library default: swallow records unless the app configures sinks."""
+    logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map ``-v`` counts to levels: 0=WARNING, 1=INFO, >=2=DEBUG."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root at the level
+    implied by ``verbosity`` (idempotent: reconfigures, never stacks
+    duplicate handlers).  Returns the root logger.
+    """
+    root = logging.getLogger(ROOT)
+    root.setLevel(verbosity_to_level(verbosity))
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    return root

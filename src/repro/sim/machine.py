@@ -32,6 +32,7 @@ from repro.sim.coreconfig import CoreConfig, JointConfig
 from repro.sim.memory import MemoryDemand, MemorySystem
 from repro.sim.perf import AppProfile, PerformanceModel
 from repro.sim.power import PowerModel
+from repro.telemetry.tracer import NULL_TRACER, tracer_of
 from repro.workloads.latency_critical import LCService
 
 
@@ -243,6 +244,9 @@ class SliceMeasurement:
 class Machine:
     """A 32-core reconfigurable multicore hosting one LC + batch jobs."""
 
+    #: Telemetry tracer; the shared no-op unless a session attaches one.
+    trace = NULL_TRACER
+
     def __init__(
         self,
         lc_service: LCService,
@@ -272,6 +276,10 @@ class Machine:
             peak_bandwidth_gbps=params.peak_memory_bandwidth_gbps,
             queue_factor=params.memory_queue_factor,
         )
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Route profiling/slice/reconfigure spans into a session."""
+        self.trace = tracer_of(telemetry)
 
     # ------------------------------------------------------------------
     # Ground truth (no noise): what the oracle and matrices are built on.
@@ -370,6 +378,16 @@ class Machine:
         sampled at); extra services take theirs via ``extra_loads`` /
         ``extra_lc_cores``.
         """
+        with self.trace.span("machine.profile", category="machine"):
+            return self._profile(load, lc_cores, extra_loads, extra_lc_cores)
+
+    def _profile(
+        self,
+        load: float,
+        lc_cores: int = 16,
+        extra_loads: Sequence[float] = (),
+        extra_lc_cores: Sequence[int] = (),
+    ) -> ProfilingSample:
         hi = JointConfig(CoreConfig.widest(), 1.0)
         lo = JointConfig(CoreConfig.narrowest(), 1.0)
         n = len(self.batch_profiles)
@@ -458,6 +476,17 @@ class Machine:
         services take one fractional load per extra service in
         ``extra_loads``.
         """
+        with self.trace.span("slice", category="machine") as span:
+            measurement = self._run_slice(assignment, load, extra_loads)
+            span.set(reconfigurations=measurement.reconfigurations)
+            return measurement
+
+    def _run_slice(
+        self,
+        assignment: Assignment,
+        load: float,
+        extra_loads: Sequence[float] = (),
+    ) -> SliceMeasurement:
         self._validate(assignment)
         if len(extra_loads) != len(assignment.extra_lc):
             raise ValueError(
@@ -490,7 +519,9 @@ class Machine:
             extra_loads=extra_loads,
         )
 
-        reconfigured = self._reconfigured_jobs(assignment)
+        with self.trace.span("reconfigure", category="machine") as rspan:
+            reconfigured = self._reconfigured_jobs(assignment)
+            rspan.set(n_cores=len(reconfigured))
         transition_factor = 1.0 - p.reconfig_transition_s / p.timeslice_s
 
         batch_bips = np.zeros(n_jobs)

@@ -1,0 +1,133 @@
+"""Observability for the scheduler stack: tracing, metrics, exporters.
+
+``repro.telemetry`` gives every run of the Fig. 3 decision loop a
+first-class record of *where the time went* and *how good the
+predictions were*:
+
+* a :class:`Tracer` of nested monotonic-clock spans around each phase
+  (profile, SGD reconstruction, LC scan, DDS search, reconfigure,
+  slice execution) — a no-op when disabled;
+* a :class:`MetricsRegistry` of counters/gauges/histograms plus
+  per-quantum :class:`DecisionRecord` entries pairing predicted
+  against measured BIPS/p99/power (the Fig. 5 accuracy quantity,
+  tracked online);
+* exporters to JSONL, Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto), and text/CSV reports.
+
+Typical use::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    run = run_policy(machine, policy, trace, n_slices=20,
+                     telemetry=telemetry)
+    telemetry.write_chrome_trace("run_trace.json")
+    print(telemetry.report())
+
+See ``docs/observability.md`` for the full tour, including how the
+Table II scheduling-overhead rows are derived from spans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.exporters import (
+    chrome_trace_events,
+    decisions_to_csv,
+    read_jsonl,
+    render_jsonl_report,
+    render_metrics_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    DecisionRecord,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    signed_error_percent,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    Instant,
+    NullTracer,
+    Span,
+    Tracer,
+    tracer_of,
+)
+
+
+class Telemetry:
+    """One run's telemetry session: a tracer plus a metrics registry.
+
+    This is the object handed to ``run_policy(telemetry=...)`` and the
+    CLI's ``--trace``/``--metrics`` flags.  ``enabled=False`` builds a
+    session around the shared :data:`NULL_TRACER`, which instrumented
+    code treats as "don't record" at near-zero cost.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer() if enabled else NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+    # -- convenience pass-throughs -------------------------------------
+
+    def span(self, name: str, category: str = "", **args):
+        """Open a span on the session's tracer."""
+        return self.tracer.span(name, category=category, **args)
+
+    def instant(self, name: str, category: str = "", **args) -> None:
+        """Emit a marker event on the session's tracer."""
+        self.tracer.instant(name, category=category, **args)
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def record_decision(self, record: DecisionRecord) -> None:
+        self.metrics.record_decision(record)
+
+    # -- exports -------------------------------------------------------
+
+    def write_chrome_trace(self, path_or_file) -> int:
+        """Write the Chrome ``trace_event`` JSON; returns event count."""
+        return write_chrome_trace(self, path_or_file)
+
+    def write_jsonl(self, path_or_file) -> int:
+        """Write the JSONL event log; returns line count."""
+        return write_jsonl(self, path_or_file)
+
+    def decisions_to_csv(self, path_or_file) -> int:
+        """Write the per-quantum predicted-vs-measured CSV."""
+        return decisions_to_csv(self.metrics.decisions, path_or_file)
+
+    def report(self) -> str:
+        """Human-readable metrics + span-duration summary."""
+        tracer = self.tracer if isinstance(self.tracer, Tracer) else None
+        return render_metrics_report(self.metrics, tracer)
+
+
+__all__ = [
+    "Counter",
+    "DecisionRecord",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace_events",
+    "decisions_to_csv",
+    "read_jsonl",
+    "render_jsonl_report",
+    "render_metrics_report",
+    "signed_error_percent",
+    "tracer_of",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,368 @@
+"""Telemetry exporters: JSONL, Chrome trace_event JSON, text/CSV.
+
+Three sinks for one :class:`repro.telemetry.Telemetry` session:
+
+* :func:`write_jsonl` — every span, instant, counter, histogram and
+  decision record as one JSON object per line.  This is the archival
+  format ``python -m repro telemetry-report`` reads back.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` format
+  (JSON object with a ``traceEvents`` array of ``"ph": "X"`` complete
+  events), loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+  Span nesting renders as stacked slices on one track.
+* :func:`render_metrics_report` / :func:`decisions_to_csv` — a
+  human-readable metrics summary and a per-quantum CSV of predicted
+  vs measured values.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry.metrics import DecisionRecord, MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+
+def _open(path_or_file, mode: str = "w"):
+    if hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode, newline=""), True
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other oddballs to plain JSON types."""
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return None if math.isnan(value) else value
+    item = getattr(value, "item", None)
+    if item is not None:
+        try:
+            return _jsonable(item())
+        except Exception:
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def _jsonable_args(args: Dict) -> Dict:
+    return {str(k): _jsonable(v) for k, v in args.items()}
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+def write_jsonl(telemetry, path_or_file) -> int:
+    """Write the session as JSON Lines; returns the line count.
+
+    Line types (``"type"`` field): ``span``, ``instant``, ``counter``,
+    ``gauge``, ``histogram``, ``decision``.
+    """
+    handle, owned = _open(path_or_file)
+    lines = 0
+    try:
+        for span in telemetry.tracer.spans:
+            handle.write(json.dumps({
+                "type": "span",
+                "name": span.name,
+                "cat": span.category,
+                "start_us": span.start_ns / 1e3,
+                "dur_us": span.duration_ns / 1e3,
+                "depth": span.depth,
+                "id": span.id,
+                "parent": span.parent,
+                "args": _jsonable_args(span.args),
+            }) + "\n")
+            lines += 1
+        for instant in telemetry.tracer.instants:
+            handle.write(json.dumps({
+                "type": "instant",
+                "name": instant.name,
+                "cat": instant.category,
+                "ts_us": instant.timestamp_ns / 1e3,
+                "args": _jsonable_args(instant.args),
+            }) + "\n")
+            lines += 1
+        metrics = telemetry.metrics
+        for name, counter in sorted(metrics.counters.items()):
+            handle.write(json.dumps({
+                "type": "counter", "name": name, "value": counter.value,
+            }) + "\n")
+            lines += 1
+        for name, gauge in sorted(metrics.gauges.items()):
+            handle.write(json.dumps({
+                "type": "gauge", "name": name, "value": gauge.value,
+            }) + "\n")
+            lines += 1
+        for name, hist in sorted(metrics.histograms.items()):
+            handle.write(json.dumps({
+                "type": "histogram",
+                "name": name,
+                "summary": {
+                    k: _jsonable(v) for k, v in hist.summary().items()
+                },
+            }) + "\n")
+            lines += 1
+        for record in metrics.decisions:
+            handle.write(json.dumps({
+                "type": "decision",
+                "quantum": record.quantum,
+                "predicted_bips": _jsonable(record.predicted_bips),
+                "measured_bips": _jsonable(record.measured_bips),
+                "predicted_p99_s": _jsonable(record.predicted_p99_s),
+                "measured_p99_s": _jsonable(record.measured_p99_s),
+                "predicted_power_w": _jsonable(record.predicted_power_w),
+                "measured_power_w": _jsonable(record.measured_power_w),
+            }) + "\n")
+            lines += 1
+    finally:
+        if owned:
+            handle.close()
+    return lines
+
+
+def read_jsonl(path_or_file) -> List[Dict]:
+    """Parse a JSONL event log back into a list of dicts."""
+    handle, owned = _open(path_or_file, mode="r")
+    try:
+        return [json.loads(line) for line in handle if line.strip()]
+    finally:
+        if owned:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+
+def chrome_trace_events(telemetry) -> List[Dict]:
+    """The session as Chrome ``trace_event`` dicts (``ph: X``/``i``)."""
+    events: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": "repro scheduler"},
+    }]
+    for span in telemetry.tracer.spans:
+        events.append({
+            "name": span.name,
+            "cat": span.category or "scheduler",
+            "ph": "X",
+            "ts": span.start_ns / 1e3,   # trace_event wants microseconds
+            "dur": span.duration_ns / 1e3,
+            "pid": 1,
+            "tid": 1,
+            "args": _jsonable_args(span.args),
+        })
+    for instant in telemetry.tracer.instants:
+        events.append({
+            "name": instant.name,
+            "cat": instant.category or "scheduler",
+            "ph": "i",
+            "ts": instant.timestamp_ns / 1e3,
+            "pid": 1,
+            "tid": 1,
+            "s": "t",
+            "args": _jsonable_args(instant.args),
+        })
+    return events
+
+
+def write_chrome_trace(telemetry, path_or_file) -> int:
+    """Write Chrome trace JSON; returns the number of trace events."""
+    events = chrome_trace_events(telemetry)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.telemetry",
+            "counters": {
+                n: c.value
+                for n, c in sorted(telemetry.metrics.counters.items())
+            },
+        },
+    }
+    handle, owned = _open(path_or_file)
+    try:
+        json.dump(payload, handle)
+    finally:
+        if owned:
+            handle.close()
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Text / CSV reports
+# ----------------------------------------------------------------------
+
+def render_metrics_report(metrics: MetricsRegistry,
+                          tracer: Optional[Tracer] = None) -> str:
+    """Human-readable summary: counters, histograms, span durations."""
+    lines: List[str] = ["telemetry metrics report", "=" * 24]
+    if metrics.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name, counter in sorted(metrics.counters.items()):
+            lines.append(f"  {name:<36} {counter.value}")
+    if metrics.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name, gauge in sorted(metrics.gauges.items()):
+            lines.append(f"  {name:<36} {gauge.value:.4g}")
+    if metrics.histograms:
+        lines.append("")
+        lines.append(
+            f"histograms:{'':<29} count    mean     p50     p95     p99"
+        )
+        for name, hist in sorted(metrics.histograms.items()):
+            s = hist.summary()
+            lines.append(
+                f"  {name:<36} {s['count']:>5} "
+                f"{s['mean']:>7.2f} {s['p50']:>7.2f} "
+                f"{s['p95']:>7.2f} {s['p99']:>7.2f}"
+            )
+    if tracer is not None and tracer.spans:
+        lines.append("")
+        lines.append(
+            f"span durations (ms):{'':<20} count    mean     p50     p95"
+        )
+        by_name: Dict[str, Histogram] = {}
+        from repro.telemetry.metrics import Histogram as _H
+        for span in tracer.spans:
+            by_name.setdefault(span.name, _H(span.name)).observe(
+                span.duration_s * 1e3
+            )
+        for name in sorted(by_name):
+            s = by_name[name].summary()
+            lines.append(
+                f"  {name:<36} {s['count']:>5} "
+                f"{s['mean']:>7.3f} {s['p50']:>7.3f} {s['p95']:>7.3f}"
+            )
+    if metrics.decisions:
+        lines.append("")
+        lines.append(f"decision records: {len(metrics.decisions)} quanta")
+    return "\n".join(lines)
+
+
+def decisions_to_csv(decisions: Sequence[DecisionRecord],
+                     path_or_file) -> int:
+    """Per-quantum predicted-vs-measured CSV; returns rows written."""
+    import csv
+
+    handle, owned = _open(path_or_file)
+    try:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "quantum",
+            "predicted_gmean_bips", "measured_gmean_bips", "bips_err_pct",
+            "predicted_p99_s", "measured_p99_s", "p99_err_pct",
+            "predicted_power_w", "measured_power_w", "power_err_pct",
+        ])
+        rows = 0
+        for rec in decisions:
+            bips_errs = rec.bips_errors_percent()
+            p99_errs = rec.p99_errors_percent()
+            pred_bips = [b for b in rec.predicted_bips if not math.isnan(b)]
+            meas_bips = [
+                b for b in rec.measured_bips if not math.isnan(b) and b > 0
+            ]
+
+            def gmean(xs: List[float]) -> float:
+                pos = [x for x in xs if x > 0]
+                if not pos:
+                    return math.nan
+                return math.exp(sum(math.log(x) for x in pos) / len(pos))
+
+            def fmt(x: float) -> str:
+                return "" if math.isnan(x) else f"{x:.6g}"
+
+            writer.writerow([
+                rec.quantum,
+                fmt(gmean(pred_bips)),
+                fmt(gmean(meas_bips)),
+                fmt(sum(bips_errs) / len(bips_errs)) if bips_errs else "",
+                fmt(rec.predicted_p99_s[0] if rec.predicted_p99_s
+                    else math.nan),
+                fmt(rec.measured_p99_s[0] if rec.measured_p99_s
+                    else math.nan),
+                fmt(p99_errs[0]) if p99_errs else "",
+                fmt(rec.predicted_power_w),
+                fmt(rec.measured_power_w),
+                fmt(rec.power_error_percent()),
+            ])
+            rows += 1
+        return rows
+    finally:
+        if owned:
+            handle.close()
+
+
+def render_jsonl_report(records: Iterable[Dict]) -> str:
+    """Summarise a parsed JSONL event log (``telemetry-report`` CLI).
+
+    Aggregates span durations by name (count/total/mean/p95) — this is
+    exactly how the Table II scheduling-overhead rows are derived from
+    a trace — and echoes counters, histograms, and the decision count.
+    """
+    from repro.telemetry.metrics import Histogram as _H
+
+    spans: Dict[str, _H] = {}
+    counters: Dict[str, float] = {}
+    histograms: List[Dict] = []
+    decisions = 0
+    instants = 0
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "span":
+            spans.setdefault(rec["name"], _H(rec["name"])).observe(
+                rec["dur_us"] / 1e3
+            )
+        elif kind == "counter":
+            counters[rec["name"]] = rec["value"]
+        elif kind == "histogram":
+            histograms.append(rec)
+        elif kind == "decision":
+            decisions += 1
+        elif kind == "instant":
+            instants += 1
+    lines = ["telemetry report", "=" * 16]
+    if spans:
+        lines.append("")
+        lines.append(
+            f"span durations (ms):{'':<16} count   total    mean     p95"
+        )
+        for name in sorted(spans):
+            s = spans[name].summary()
+            total = sum(spans[name].samples)
+            lines.append(
+                f"  {name:<32} {s['count']:>5} {total:>7.1f} "
+                f"{s['mean']:>7.3f} {s['p95']:>7.3f}"
+            )
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<36} {counters[name]}")
+    if histograms:
+        lines.append("")
+        lines.append(
+            f"histograms:{'':<25} count    mean     p50     p95     p99"
+        )
+        for rec in sorted(histograms, key=lambda r: r["name"]):
+            s = rec["summary"]
+
+            def num(key: str) -> str:
+                v = s.get(key)
+                return f"{v:>7.2f}" if isinstance(v, (int, float)) else "      -"
+
+            lines.append(
+                f"  {rec['name']:<32} {s.get('count', 0):>5} "
+                f"{num('mean')} {num('p50')} {num('p95')} {num('p99')}"
+            )
+    lines.append("")
+    lines.append(f"decision records: {decisions}, instants: {instants}")
+    return "\n".join(lines)

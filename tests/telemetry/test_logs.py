@@ -1,0 +1,75 @@
+"""Tests for the stdlib logging wiring."""
+
+import io
+import logging
+
+from repro.logs import (
+    ROOT,
+    configure,
+    get_logger,
+    install_null_handler,
+    verbosity_to_level,
+)
+
+
+def _cleanup():
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_normalises_names(self):
+        assert get_logger("core.controller").name == "repro.core.controller"
+        assert get_logger("repro.sim").name == "repro.sim"
+        assert get_logger().name == "repro"
+
+    def test_library_import_installs_null_handler(self):
+        import repro  # noqa: F401  (import side effect under test)
+
+        root = logging.getLogger(ROOT)
+        assert any(
+            isinstance(h, logging.NullHandler) for h in root.handlers
+        )
+
+    def test_install_null_handler_idempotent_enough(self):
+        install_null_handler()
+        # No exception, and records are swallowed without config.
+        get_logger("core.controller").warning("quiet")
+
+
+class TestVerbosity:
+    def test_mapping(self):
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(9) == logging.DEBUG
+
+
+class TestConfigure:
+    def test_configure_routes_records(self):
+        stream = io.StringIO()
+        configure(verbosity=1, stream=stream)
+        try:
+            get_logger("experiments.harness").info("hello %d", 7)
+            assert "hello 7" in stream.getvalue()
+            assert "repro.experiments.harness" in stream.getvalue()
+        finally:
+            _cleanup()
+
+    def test_configure_does_not_stack_handlers(self):
+        try:
+            configure(verbosity=1, stream=io.StringIO())
+            configure(verbosity=2, stream=io.StringIO())
+            root = logging.getLogger(ROOT)
+            streams = [
+                h for h in root.handlers
+                if isinstance(h, logging.StreamHandler)
+                and not isinstance(h, logging.NullHandler)
+            ]
+            assert len(streams) == 1
+            assert root.level == logging.DEBUG
+        finally:
+            _cleanup()

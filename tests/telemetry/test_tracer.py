@@ -1,0 +1,173 @@
+"""Tests for the span/event tracer."""
+
+import time
+
+import pytest
+
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    tracer_of,
+)
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.002)
+        assert len(tracer.spans) == 1
+        span = tracer.spans[0]
+        assert span.name == "work"
+        assert span.duration_s >= 0.002
+        assert span.end_ns == span.start_ns + span.duration_ns
+
+    def test_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["leaf"].depth == 2
+        assert by_name["outer"].parent == -1
+        assert by_name["inner"].parent == by_name["outer"].id
+        assert by_name["leaf"].parent == by_name["inner"].id
+
+    def test_children_close_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        # Completion order: child first.
+        assert [s.name for s in tracer.spans] == ["child", "parent"]
+        parent = tracer.spans[1]
+        child = tracer.spans[0]
+        assert child.start_ns >= parent.start_ns
+        assert child.end_ns <= parent.end_ns
+
+    def test_children_of_uses_time_containment(self):
+        tracer = Tracer()
+        with tracer.span("quantum"):
+            with tracer.span("sgd"):
+                pass
+            with tracer.span("search"):
+                pass
+        with tracer.span("quantum"):
+            with tracer.span("sgd"):
+                pass
+        first = [s for s in tracer.spans if s.name == "quantum"][0]
+        names = sorted(c.name for c in tracer.children_of(first))
+        assert names == ["search", "sgd"]
+
+    def test_sibling_spans_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert all(s.depth == 0 and s.parent == -1 for s in tracer.spans)
+
+    def test_span_args_at_open_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("search", explorer="dds") as span:
+            span.set(evaluations=123)
+        assert tracer.spans[0].args == {"explorer": "dds",
+                                        "evaluations": 123}
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0].duration_ns >= 0
+        # The stack is clean for the next span.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].depth == 0
+
+    def test_durations_s_filters_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("sgd"):
+                pass
+        with tracer.span("other"):
+            pass
+        assert len(tracer.durations_s("sgd")) == 3
+        assert tracer.durations_s("missing") == []
+
+    def test_instants(self):
+        tracer = Tracer()
+        tracer.instant("churn", slot=3)
+        assert len(tracer.instants) == 1
+        assert tracer.instants[0].name == "churn"
+        assert tracer.instants[0].args == {"slot": 3}
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            tracer.instant("y")
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.instants == []
+        with tracer.span("fresh"):
+            pass
+        assert tracer.spans[0].id == 0
+
+
+class TestNullTracer:
+    def test_span_is_shared_singleton(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", category="z", arg=1)
+        assert a is b  # no allocation on the disabled path
+
+    def test_noop_context_manager(self):
+        with NULL_TRACER.span("x") as span:
+            span.set(key="value")
+        assert NULL_TRACER.spans == []
+        assert span.duration_s == 0.0
+
+    def test_records_nothing(self):
+        NULL_TRACER.instant("evt")
+        assert NULL_TRACER.instants == []
+        assert NULL_TRACER.durations_s("evt") == []
+        assert NULL_TRACER.enabled is False
+
+    def test_disabled_overhead_is_small(self):
+        """The no-op path must be within an order of magnitude of a
+        bare function call — guards the <5 % benchmark criterion."""
+        tracer = NULL_TRACER
+        n = 10_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tracer.span("hot"):
+                pass
+        per_call = (time.perf_counter() - t0) / n
+        assert per_call < 5e-6  # 5 µs is generous; typically ~100 ns
+
+
+class TestTracerOf:
+    def test_none_gives_null(self):
+        assert tracer_of(None) is NULL_TRACER
+
+    def test_tracer_passes_through(self):
+        tracer = Tracer()
+        assert tracer_of(tracer) is tracer
+        assert tracer_of(NULL_TRACER) is NULL_TRACER
+
+    def test_session_like_object(self):
+        class Session:
+            def __init__(self):
+                self.tracer = Tracer()
+
+        session = Session()
+        assert tracer_of(session) is session.tracer
+
+    def test_unrelated_object_gives_null(self):
+        assert tracer_of(object()) is NULL_TRACER
+        assert isinstance(tracer_of(42), NullTracer)

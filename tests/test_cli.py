@@ -112,3 +112,77 @@ class TestExperimentDispatch:
         )
         assert proc.returncode == 0
         assert "32-core" in proc.stdout
+
+
+class TestTelemetryFlags:
+    def test_run_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code = main(["run", "--slices", "2", "--trace", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        payload = json.loads(path.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "quantum" in names and "sgd" in names
+
+    def test_run_metrics_report(self, capsys):
+        assert main(["run", "--slices", "2", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry metrics report" in out
+        assert "prediction_error" in out
+
+    def test_run_jsonl_then_telemetry_report(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["run", "--slices", "2", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["telemetry-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "span durations" in out
+        assert "decision records: 2" in out
+
+    def test_run_decisions_csv(self, capsys, tmp_path):
+        path = tmp_path / "decisions.csv"
+        code = main(
+            ["run", "--slices", "2", "--decisions-csv", str(path)]
+        )
+        assert code == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 quanta
+        assert "predicted_power_w" in lines[0]
+
+    def test_telemetry_report_missing_file(self, capsys, tmp_path):
+        assert main(["telemetry-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_to_unwritable_path_fails_cleanly(self, capsys):
+        code = main(
+            ["run", "--slices", "1", "--trace", "/nonexistent-dir/t.json"]
+        )
+        assert code == 2
+        assert "cannot write telemetry output" in capsys.readouterr().err
+
+    def test_telemetry_report_malformed_file(self, capsys, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n{broken")
+        assert main(["telemetry-report", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_without_flags_skips_telemetry(self, capsys):
+        assert main(["run", "--slices", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry metrics report" not in out
+
+    def test_verbose_flag_enables_logging(self, capsys):
+        import logging
+
+        assert main(["-v", "run", "--slices", "1"]) == 0
+        root = logging.getLogger("repro")
+        try:
+            assert root.level == logging.INFO
+        finally:
+            for handler in list(root.handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
