@@ -7,8 +7,11 @@ Commands:
 * ``characterize``          — Fig. 1 service characterisation
 * ``run``                   — run one policy on one mix and print the timeline
   (``--trace``/``--jsonl``/``--metrics``/``--decisions-csv`` export the
-  run's telemetry; see docs/observability.md)
+  run's telemetry, ``--faults SPEC`` injects faults; see
+  docs/observability.md and docs/robustness.md)
 * ``experiment``            — regenerate one paper table/figure by name
+* ``fault-study``           — hardened vs unhardened control under the
+  default fault scenarios (docs/robustness.md)
 * ``report``                — run the full evaluation, write a markdown report
 * ``telemetry-report``      — summarise a JSONL telemetry log
 
@@ -101,6 +104,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         reconfigurable=args.policy in RECONFIGURABLE_POLICIES,
     )
     policy = POLICIES[args.policy](machine, args.seed)
+    faults = None
+    if args.faults:
+        from repro.faults import FaultInjector, FaultSpecError, parse_fault_spec
+
+        try:
+            specs = parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        faults = FaultInjector(specs, seed=args.seed)
     telemetry = None
     wants_telemetry = (
         args.trace or args.jsonl or args.metrics or args.decisions_csv
@@ -117,6 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_slices=args.slices,
         max_power_w=reference,
         telemetry=telemetry,
+        faults=faults,
     )
     qos = machine.lc_service.qos_latency_s
     print(f"mix {args.mix} ({mix.lc_name}), cap {args.cap:.0%}, "
@@ -128,6 +142,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{i:>5}  {label:<13} {a.lc_cores:>5}  "
               f"{m.lc_p99 / qos:>7.2f}  {m.total_power:>9.1f}")
     print(run.summary())
+    if faults is not None:
+        injected = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(faults.injected.items())
+        ) or "none"
+        print(f"faults injected: {injected} "
+              f"({run.degraded_quanta} degraded quanta)")
     if telemetry is not None:
         try:
             if args.trace:
@@ -270,6 +290,52 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fault_study(args: argparse.Namespace) -> int:
+    from repro.experiments.fault_study import (
+        render_fault_study, run_fault_study, study_totals,
+    )
+    from repro.faults import default_scenarios, scenario_by_name
+
+    if args.scenario:
+        try:
+            scenarios = tuple(
+                scenario_by_name(name, seed=args.seed)
+                for name in args.scenario
+            )
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        scenarios = default_scenarios(args.seed)
+    n_mixes = len(paper_mixes())
+    for mix_index in args.mixes:
+        if not 0 <= mix_index < n_mixes:
+            print(f"error: mix index must be in [0, {n_mixes})",
+                  file=sys.stderr)
+            return 2
+    exit_code = 0
+    for mix_index in args.mixes:
+        outcomes = run_fault_study(
+            mix_index=mix_index,
+            cap=args.cap,
+            load=args.load,
+            n_slices=args.slices,
+            seed=args.seed,
+            scenarios=scenarios,
+        )
+        print(f"mix {mix_index}:")
+        print(render_fault_study(outcomes))
+        print()
+        totals = study_totals(outcomes)
+        hard = totals.get("hardened", {})
+        if hard.get("aborted", 0):
+            exit_code = 1
+    if exit_code:
+        print("error: hardened controller aborted at least one run",
+              file=sys.stderr)
+    return exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.full_eval import render_report, run_full_evaluation
 
@@ -323,6 +389,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write per-quantum predicted-vs-measured CSV")
     run.add_argument("--metrics", action="store_true",
                      help="print the telemetry metrics report")
+    run.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject faults, e.g. "
+                     "'drop_sample:rate=0.2;cap_drop:magnitude=0.6,start=4' "
+                     "(see docs/robustness.md)")
+
+    fault_study = sub.add_parser(
+        "fault-study",
+        help="hardened vs unhardened control under injected faults",
+    )
+    fault_study.add_argument("--mixes", type=int, nargs="+", default=[0],
+                             help="mix indices to study (default: 0)")
+    fault_study.add_argument("--cap", type=float, default=0.7,
+                             help="power cap fraction (default 0.7)")
+    fault_study.add_argument("--load", type=float, default=0.7,
+                             help="LC load fraction (default 0.7)")
+    fault_study.add_argument("--slices", type=int, default=12,
+                             help="decision quanta per run (default 12)")
+    fault_study.add_argument("--scenario", nargs="*", default=None,
+                             help="restrict to named default scenarios")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -362,6 +447,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "characterize": _cmd_characterize,
         "run": _cmd_run,
         "experiment": _cmd_experiment,
+        "fault-study": _cmd_fault_study,
         "telemetry-report": _cmd_telemetry_report,
     }
     return handlers[args.command](args)

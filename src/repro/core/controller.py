@@ -98,6 +98,28 @@ class ControllerConfig:
     #: Design-space explorer: "dds" (CuttleSys) or "ga" (ablation).
     explorer: str = "dds"
     seed: int = 0
+    #: Master switch for the graceful-degradation paths below.  With it
+    #: off the controller behaves like the original reproduction: a
+    #: non-finite observation raises out of the ingest path and there is
+    #: no safe mode or reconfiguration quarantine (the "unhardened" arm
+    #: of experiments/fault_study.py).
+    hardened: bool = True
+    #: Reject a runtime observation further than this many robust
+    #: standard deviations (median absolute deviation, MAD) from the
+    #: offline-characterised population at the same configuration.
+    outlier_mad_threshold: float = 6.0
+    #: Consecutive bad quanta (rejected samples, stuck sensors) before
+    #: the controller stops trusting its reconstructions and falls back
+    #: to the safe-mode assignment.
+    safe_mode_after: int = 3
+    #: Clean quanta required before safe mode is exited.
+    safe_mode_hold: int = 4
+    #: Consecutive failed reconfigurations of one core before it is
+    #: quarantined (no further reconfiguration requests).
+    quarantine_after: int = 3
+    #: How many quanta a quarantined core is left alone before the
+    #: controller retries reconfiguring it.
+    quarantine_quanta: int = 6
 
     def __post_init__(self) -> None:
         if self.initial_lc_cores < 1:
@@ -110,6 +132,12 @@ class ControllerConfig:
             raise ValueError("lc_slack_to_yield must be in (0, 1)")
         if self.explorer not in ("dds", "ga"):
             raise ValueError(f"unknown explorer {self.explorer!r}")
+        if self.outlier_mad_threshold <= 0:
+            raise ValueError("outlier_mad_threshold must be positive")
+        for name in ("safe_mode_after", "safe_mode_hold",
+                     "quarantine_after", "quarantine_quanta"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
 
 
 @dataclass
@@ -188,6 +216,24 @@ class ResourceController:
         self.timings: List[StepTimings] = []
         #: Predicted outcomes of the most recent :meth:`decide`.
         self.last_prediction: Optional[DecisionPrediction] = None
+
+        # Graceful-degradation state (docs/robustness.md).  The
+        # controller counts sample rejections per quantum; runs of bad
+        # quanta drive the safe-mode state machine, and per-core
+        # reconfiguration-failure streaks drive the quarantine.
+        self._rejections_this_quantum = 0
+        self._bad_quanta_streak = 0
+        self._safe_mode_remaining = 0
+        self._last_profile_powers: Optional[Tuple[float, ...]] = None
+        self._reconfig_fail_streak = np.zeros(self.n_batch, dtype=int)
+        self._quarantine = np.zeros(self.n_batch, dtype=int)
+        self._quarantine_config: List[Optional[JointConfig]] = [
+            None for _ in range(self.n_batch)
+        ]
+        #: Most recent assignment whose slice came back clean (finite
+        #: measurements, QoS met).  The harness reuses it when a policy
+        #: exception degrades a quantum.
+        self.last_good_assignment: Optional[Assignment] = None
 
         # Offline characterisation of the known applications (the rows
         # the collaborative filter learns structure from).
@@ -311,35 +357,208 @@ class ResourceController:
             if self.config.observation_max_age is not None:
                 matrix.expire(self.config.observation_max_age)
 
+    # ------------------------------------------------------------------
+    # Observation sanitisation (hardened mode; docs/robustness.md).
+    # ------------------------------------------------------------------
+
+    def _sample_ok(self, matrix: ObservedMatrix, col: int,
+                   value: float, mad_check: bool = True) -> bool:
+        """Whether a runtime observation is credible enough to ingest.
+
+        Rejects non-finite and negative values outright, then applies a
+        MAD-based outlier test against the offline-characterised
+        (known-row) population at the same configuration: a sample more
+        than ``outlier_mad_threshold`` robust standard deviations from
+        the training median — with a floor of half the median, so
+        heterogeneous-but-legitimate applications are not rejected — is
+        treated as corrupted.
+
+        ``mad_check=False`` skips the population test; tail-latency
+        samples use it because a saturated service legitimately posts
+        p99s tens of times above the historical median, and rejecting
+        them would hide exactly the QoS violations the reclaim ladder
+        must react to.
+        """
+        if not np.isfinite(value) or value < 0:
+            return False
+        if not mad_check:
+            return True
+        known = matrix.values[matrix.known_rows, col]
+        if known.size < 4:
+            return True
+        med = float(np.median(known))
+        mad_sigma = float(np.median(np.abs(known - med))) * 1.4826
+        scale = max(mad_sigma, abs(med) * 0.5, 1e-12)
+        return abs(value - med) <= self.config.outlier_mad_threshold * scale
+
+    def _observe(self, matrix: ObservedMatrix, row: int, col: int,
+                 value: float, mad_check: bool = True) -> bool:
+        """Ingest one runtime observation, sanitised when hardened.
+
+        Returns True if the observation entered the matrix.  Unhardened
+        controllers keep the original behaviour: the matrix itself
+        raises on non-finite values (the failure mode the fault study's
+        unhardened arm exhibits).
+        """
+        if self.config.hardened and not self._sample_ok(
+            matrix, col, value, mad_check=mad_check
+        ):
+            self._rejections_this_quantum += 1
+            self._count("faults.detected.bad_sample")
+            log.debug(
+                "rejected observation %.4g at config %d (non-finite or "
+                "outlier)", value, col,
+            )
+            return False
+        matrix.observe(row, col, value)
+        return True
+
+    def _detect_stuck_sensor(self, sample: ProfilingSample) -> bool:
+        """Flag bit-identical consecutive power samples (frozen sensor).
+
+        Profiling noise makes exact repeats of every power reading
+        across consecutive quanta vanishingly unlikely; equality means
+        the sensor path is stuck and this quantum's power samples must
+        not be ingested.  On a noise-free machine that premise fails —
+        honest repeats are the norm — so detection is disabled there.
+        """
+        if self.machine.params.profiling_noise <= 0:
+            return False
+        powers = (
+            tuple(float(p) for p in sample.batch_power_hi)
+            + tuple(float(p) for p in sample.batch_power_lo)
+            + (float(sample.lc_power_hi), float(sample.lc_power_lo))
+        )
+        stuck = (
+            self._last_profile_powers is not None
+            and powers == self._last_profile_powers
+            and any(p != 0.0 for p in powers)
+        )
+        self._last_profile_powers = powers
+        return stuck
+
     def ingest_profiling(self, sample: ProfilingSample) -> None:
-        """Fold the two 1 ms samples into the matrices (Fig. 3, step 1)."""
+        """Fold the two 1 ms samples into the matrices (Fig. 3, step 1).
+
+        Hardened controllers sanitise each sample (non-finite and
+        MAD-outlier values are rejected and counted) and skip power
+        ingestion entirely when the power sensor path reports
+        bit-identical readings two quanta running (stuck sensor).
+        """
+        power_ok = True
+        if self.config.hardened and self._detect_stuck_sensor(sample):
+            power_ok = False
+            self._rejections_this_quantum += 1
+            self._count("faults.detected.stuck_sensor")
+            log.warning(
+                "power sensors returned bit-identical samples two quanta "
+                "running; discarding this quantum's power samples"
+            )
         for j in range(self.n_batch):
             row = self._batch_row(j)
-            self._bips_matrix.observe(row, sample.hi_joint_index,
-                                      sample.batch_bips_hi[j])
-            self._bips_matrix.observe(row, sample.lo_joint_index,
-                                      sample.batch_bips_lo[j])
-            self._power_matrix.observe(row, sample.hi_joint_index,
-                                       sample.batch_power_hi[j])
-            self._power_matrix.observe(row, sample.lo_joint_index,
-                                       sample.batch_power_lo[j])
-        self._power_matrix.observe(self._lc_power_row(0),
-                                   sample.hi_joint_index, sample.lc_power_hi)
-        self._power_matrix.observe(self._lc_power_row(0),
-                                   sample.lo_joint_index, sample.lc_power_lo)
-        for idx, (hi, lo) in enumerate(
-            zip(sample.extra_lc_power_hi, sample.extra_lc_power_lo), start=1
+            self._observe(self._bips_matrix, row, sample.hi_joint_index,
+                          sample.batch_bips_hi[j])
+            self._observe(self._bips_matrix, row, sample.lo_joint_index,
+                          sample.batch_bips_lo[j])
+            if power_ok:
+                self._observe(self._power_matrix, row,
+                              sample.hi_joint_index,
+                              sample.batch_power_hi[j])
+                self._observe(self._power_matrix, row,
+                              sample.lo_joint_index,
+                              sample.batch_power_lo[j])
+        if power_ok:
+            self._observe(self._power_matrix, self._lc_power_row(0),
+                          sample.hi_joint_index, sample.lc_power_hi)
+            self._observe(self._power_matrix, self._lc_power_row(0),
+                          sample.lo_joint_index, sample.lc_power_lo)
+            for idx, (hi, lo) in enumerate(
+                zip(sample.extra_lc_power_hi, sample.extra_lc_power_lo),
+                start=1,
+            ):
+                self._observe(
+                    self._power_matrix, self._lc_power_row(idx),
+                    sample.hi_joint_index, hi,
+                )
+                self._observe(
+                    self._power_matrix, self._lc_power_row(idx),
+                    sample.lo_joint_index, lo,
+                )
+
+    def _detect_failed_reconfigs(self, ran: Assignment) -> None:
+        """Diff what ran against what was requested; quarantine repeat
+        offenders.
+
+        A core whose measured configuration kept its old section widths
+        despite a requested change failed to reconfigure.  After
+        ``quarantine_after`` consecutive failures the controller stops
+        requesting changes for that core for ``quarantine_quanta``
+        quanta (retry-with-quarantine), pinning it at its last observed
+        configuration instead of thrashing a broken actuator.
+        """
+        requested = self._last_assignment
+        if requested is None or len(requested.batch_configs) != len(
+            ran.batch_configs
         ):
-            self._power_matrix.observe(
-                self._lc_power_row(idx), sample.hi_joint_index, hi
-            )
-            self._power_matrix.observe(
-                self._lc_power_row(idx), sample.lo_joint_index, lo
-            )
+            return
+        for j, (req, got) in enumerate(
+            zip(requested.batch_configs, ran.batch_configs)
+        ):
+            if req is None or got is None:
+                continue
+            if req.core != got.core:
+                self._count("faults.detected.reconfig_failed")
+                self._reconfig_fail_streak[j] += 1
+                self._quarantine_config[j] = got
+                if (
+                    self._reconfig_fail_streak[j]
+                    >= self.config.quarantine_after
+                    and self._quarantine[j] == 0
+                ):
+                    self._quarantine[j] = self.config.quarantine_quanta
+                    self._count("faults.detected.core_quarantined")
+                    log.warning(
+                        "core %d failed %d consecutive reconfigurations; "
+                        "quarantined for %d quanta at %s",
+                        j, int(self._reconfig_fail_streak[j]),
+                        self.config.quarantine_quanta, got.label,
+                    )
+            else:
+                self._reconfig_fail_streak[j] = 0
+
+    def _measurement_clean(self, measurement: SliceMeasurement) -> bool:
+        """Whether a slice is good enough to refresh last-known-good."""
+        values = [
+            measurement.lc_p99, measurement.total_power,
+            *measurement.batch_bips, *measurement.batch_power,
+            *measurement.extra_lc_p99,
+        ]
+        if not all(math.isfinite(v) for v in values):
+            return False
+        if measurement.assignment.lc_cores > 0 and (
+            measurement.lc_p99 > self.machine.lc_service.qos_latency_s
+        ):
+            return False
+        for p99, service in zip(
+            measurement.extra_lc_p99, self.machine.lc_services[1:]
+        ):
+            if p99 > service.qos_latency_s:
+                return False
+        return True
 
     def ingest_measurement(self, measurement: SliceMeasurement) -> None:
-        """Fold the previous steady state back in (matrix update, §IV-B)."""
+        """Fold the previous steady state back in (matrix update, §IV-B).
+
+        Hardened controllers additionally diff the assignment that
+        actually ran against the one they requested (failed-
+        reconfiguration detection feeding the quarantine) and refresh
+        the last-known-good assignment cache from clean slices.
+        """
         assignment = measurement.assignment
+        if self.config.hardened:
+            self._detect_failed_reconfigs(assignment)
+            if self._measurement_clean(measurement):
+                self.last_good_assignment = assignment
         batch_cores = self.machine.params.n_cores - assignment.total_lc_cores
         active = assignment.active_batch_indices
         share = min(1.0, batch_cores / len(active)) if active else 0.0
@@ -351,9 +570,9 @@ class ResourceController:
             bips = measurement.batch_bips[j] / share
             power = measurement.batch_power[j] / share
             if bips > 0:
-                self._bips_matrix.observe(row, joint.index, bips)
+                self._observe(self._bips_matrix, row, joint.index, bips)
             if power > 0:
-                self._power_matrix.observe(row, joint.index, power)
+                self._observe(self._power_matrix, row, joint.index, power)
 
         lc_blocks = [
             (0, assignment.lc_cores, assignment.lc_config,
@@ -376,12 +595,16 @@ class ResourceController:
                 continue
             bucket = nearest_load_bucket(lc_load)
             matrix = self._latency_matrix(bucket, cores, idx)
-            matrix.observe(matrix.n_rows - 1, config.index, p99)
-            key = (idx, bucket, cores)
-            self._latency_evidence.setdefault(key, set()).add(config.index)
+            if self._observe(matrix, matrix.n_rows - 1, config.index, p99,
+                             mad_check=False):
+                key = (idx, bucket, cores)
+                self._latency_evidence.setdefault(key, set()).add(
+                    config.index
+                )
             if core_power > 0:
-                self._power_matrix.observe(
-                    self._lc_power_row(idx), config.index, core_power
+                self._observe(
+                    self._power_matrix, self._lc_power_row(idx),
+                    config.index, core_power,
                 )
 
     # ------------------------------------------------------------------
@@ -407,6 +630,11 @@ class ResourceController:
                 f"got {len(extra_loads)}"
             )
         self._age_observations()
+
+        if self.config.hardened:
+            self._tick_quarantine()
+            if self._update_safe_mode():
+                return self._safe_mode_assignment()
 
         with self.tracer.span("sgd", category="controller") as sgd_span:
             bips_hat = self._reconstructor.reconstruct(self._bips_matrix)
@@ -501,6 +729,22 @@ class ResourceController:
                     "power fallback gated %d batch job(s) to meet "
                     "%.1f W", gated, target_power,
                 )
+        if self.config.hardened:
+            # Quarantined cores are not asked to change their section
+            # widths; they keep their last observed configuration (the
+            # cache-way choice still applies — partition registers are
+            # a separate, working actuator).
+            for j in range(self.n_batch):
+                pinned = self._quarantine_config[j]
+                if (
+                    self._quarantine[j] > 0
+                    and pinned is not None
+                    and configs[j] is not None
+                    and configs[j].core != pinned.core
+                ):
+                    configs[j] = JointConfig(
+                        pinned.core, configs[j].cache_ways
+                    )
         assignment = Assignment(
             lc_cores=lc_cores,
             lc_config=lc_joint if lc_cores > 0 else None,
@@ -515,6 +759,103 @@ class ResourceController:
             reserved_power, batch_cores, time_share,
         )
         self.lc_cores_by_service = [cores for _, cores, _ in selections]
+        self._last_assignment = assignment
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (hardened mode; docs/robustness.md).
+    # ------------------------------------------------------------------
+
+    def _tick_quarantine(self) -> None:
+        """Advance quarantine timers; release served-out cores."""
+        for j in range(self.n_batch):
+            if self._quarantine[j] > 0:
+                self._quarantine[j] -= 1
+                if self._quarantine[j] == 0:
+                    self._reconfig_fail_streak[j] = 0
+                    self._count("faults.recovered.quarantine_released")
+                    log.info(
+                        "core %d released from quarantine; "
+                        "reconfigurations will be retried", j,
+                    )
+
+    def _update_safe_mode(self) -> bool:
+        """Advance the safe-mode state machine; True = stay degraded.
+
+        A quantum is *bad* when sanitisation rejected at least one
+        observation since the previous decision (corrupted samples,
+        stuck sensors).  ``safe_mode_after`` consecutive bad quanta
+        mean the matrices can no longer be trusted, so the controller
+        stops optimising and serves the safe-mode assignment until
+        ``safe_mode_hold`` clean quanta have passed.
+        """
+        bad = self._rejections_this_quantum > 0
+        self._rejections_this_quantum = 0
+        self._bad_quanta_streak = self._bad_quanta_streak + 1 if bad else 0
+        if self._safe_mode_remaining > 0:
+            if bad:
+                self._safe_mode_remaining = self.config.safe_mode_hold
+            else:
+                self._safe_mode_remaining -= 1
+            if self._safe_mode_remaining > 0:
+                return True
+            self._count("faults.recovered.safe_mode_exited")
+            log.info(
+                "%d clean quanta: exiting safe mode, resuming normal "
+                "decisions", self.config.safe_mode_hold,
+            )
+            return False
+        if self._bad_quanta_streak >= self.config.safe_mode_after:
+            self._safe_mode_remaining = self.config.safe_mode_hold
+            self._count("faults.detected.safe_mode_entered")
+            log.warning(
+                "%d consecutive bad quanta: entering safe mode "
+                "(narrowest batch configurations, QoS-priority LC)",
+                self._bad_quanta_streak,
+            )
+            return True
+        return False
+
+    @property
+    def in_safe_mode(self) -> bool:
+        """Whether the controller is currently serving safe mode."""
+        return self._safe_mode_remaining > 0
+
+    def _safe_mode_assignment(self) -> Assignment:
+        """The distrust-everything fallback decision.
+
+        QoS priority: every LC service keeps its current cores on the
+        conservative widest configuration with the full cache
+        allocation; batch jobs run the narrowest core with the minimum
+        cache share (lowest power draw without gating work outright).
+        If the LLC cannot cover every allocation, batch jobs are gated
+        from the tail until it can.
+        """
+        p = self.machine.params
+        conservative = JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1])
+        narrow = JointConfig(CoreConfig.narrowest(), CACHE_ALLOCS[0])
+        lc_cores = self.lc_cores_by_service[0]
+        lc_ways = conservative.cache_ways * sum(
+            1 for c in self.lc_cores_by_service if c > 0
+        )
+        # Two half-way batch jobs share one physical way.
+        budget_jobs = max(0, int((p.llc_ways - lc_ways) * 2))
+        configs: List[Optional[JointConfig]] = [
+            narrow if j < budget_jobs else None
+            for j in range(self.n_batch)
+        ]
+        assignment = Assignment(
+            lc_cores=lc_cores,
+            lc_config=conservative if lc_cores > 0 else None,
+            batch_configs=tuple(configs),
+            extra_lc=tuple(
+                LCAllocation(cores=cores, config=conservative)
+                for cores in self.lc_cores_by_service[1:]
+            ),
+        )
+        # No trusted reconstruction backs this decision: pair it with
+        # no prediction rather than a stale one.
+        self.last_prediction = None
         self._last_assignment = assignment
         return assignment
 

@@ -63,6 +63,11 @@ class CuttleSysPolicy:
         """Predicted BIPS/p99/power of the most recent decision."""
         return self.controller.last_prediction
 
+    @property
+    def last_good_assignment(self):
+        """Last assignment whose slice came back clean (degraded-path reuse)."""
+        return self.controller.last_good_assignment
+
     @classmethod
     def for_machine(
         cls,

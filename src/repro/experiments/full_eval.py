@@ -171,6 +171,12 @@ def default_sections(n_slices: int = 8) -> List[Tuple[str, Callable[[], str]]]:
         )
         return render_scalability(run_scalability(n_slices=n_slices))
 
+    def faults() -> str:
+        from repro.experiments.fault_study import (
+            render_fault_study, run_fault_study,
+        )
+        return render_fault_study(run_fault_study(n_slices=n_slices + 4))
+
     return [
         ("Fig. 1 — LC service characterisation", fig1),
         ("Table II — scheduling overheads", table2),
@@ -189,6 +195,7 @@ def default_sections(n_slices: int = 8) -> List[Tuple[str, Callable[[], str]]]:
         ("Extension — equal-area comparison", area),
         ("Extension — multi-service colocation", multi_service),
         ("Extension — scalability", scalability),
+        ("Extension — fault injection & graceful degradation", faults),
     ]
 
 

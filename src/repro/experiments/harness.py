@@ -27,6 +27,14 @@ from repro.workloads.mixes import Mix
 
 log = get_logger("experiments.harness")
 
+#: Fractional slack on the power budget before a slice counts as a
+#: power violation.  Measured chip power carries ``slice_noise``-level
+#: measurement error (~2 % std, MachineParams), so excursions inside
+#: this band are indistinguishable from sensor noise rather than real
+#: budget breaches.  Shared by :meth:`PolicyRun.power_violations` and
+#: the per-quantum telemetry counter so both report the same number.
+POWER_TOLERANCE = 0.02
+
 
 def build_machine_for_mix(
     mix: Mix,
@@ -82,6 +90,9 @@ class PolicyRun:
     overhead_fraction: float = 0.0
     #: (slice index, batch slot, new app name) per churn event.
     churn_events: List[tuple] = field(default_factory=list)
+    #: Quanta where the policy raised and the harness served a fallback
+    #: assignment instead of dying (see ``run_policy`` degradation).
+    degraded_quanta: int = 0
 
     @property
     def n_slices(self) -> int:
@@ -117,8 +128,13 @@ class PolicyRun:
                 count += 1
         return count
 
-    def power_violations(self, tolerance: float = 0.02) -> int:
-        """Slices whose measured power exceeded the budget (+tolerance)."""
+    def power_violations(self, tolerance: float = POWER_TOLERANCE) -> int:
+        """Slices whose measured power exceeded the budget (+tolerance).
+
+        ``tolerance`` defaults to :data:`POWER_TOLERANCE` (2 %): the
+        measurement-noise band within which an excursion cannot be told
+        apart from sensor error.  Pass 0.0 to count every overshoot.
+        """
         return sum(
             1
             for m, budget in zip(self.measurements, self.budgets)
@@ -197,6 +213,46 @@ class PolicyRun:
         )
 
 
+def _fallback_assignment(machine: Machine):
+    """Emergency posture when a policy dies with no usable history.
+
+    QoS priority: the LC services get conservative wide allocations;
+    every batch job is gated.  Zero batch throughput for the quantum,
+    but the machine keeps serving queries and stays inside any sane
+    power budget.
+    """
+    from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+    from repro.sim.machine import Assignment, LCAllocation
+
+    conservative = JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1])
+    n_extra = len(machine.lc_services) - 1
+    extra = tuple(
+        LCAllocation(cores=2, config=conservative) for _ in range(n_extra)
+    )
+    lc_cores = max(1, min(16, machine.params.n_cores - 2 * n_extra - 1))
+    return Assignment(
+        lc_cores=lc_cores,
+        lc_config=conservative,
+        batch_configs=(None,) * len(machine.batch_profiles),
+        extra_lc=extra,
+    )
+
+
+def _degraded_assignment(policy, run: "PolicyRun", machine: Machine):
+    """Best available stand-in when the policy raised this quantum.
+
+    Preference order: the policy's own last-known-good cache (hardened
+    CuttleSys exposes ``last_good_assignment``), then the most recent
+    assignment that actually ran, then the gated-batch fallback.
+    """
+    last_good = getattr(policy, "last_good_assignment", None)
+    if last_good is None and run.measurements:
+        last_good = run.measurements[-1].assignment
+    if last_good is None:
+        last_good = _fallback_assignment(machine)
+    return last_good
+
+
 def _record_decision(telemetry, quantum: int, policy,
                      measurement: SliceMeasurement) -> None:
     """Pair the policy's prediction with the slice's measurements.
@@ -241,6 +297,8 @@ def run_policy(
     churn_seed: int = 0,
     extra_traces: Sequence[LoadTrace] = (),
     telemetry=None,
+    faults=None,
+    on_policy_error: str = "degrade",
 ) -> PolicyRun:
     """Drive ``policy`` on ``machine`` for ``n_slices`` decision quanta.
 
@@ -266,16 +324,37 @@ def run_policy(
     counts QoS/power violations, reconfigurations and job churn.  Any
     :class:`Policy` benefits; policies exposing ``attach_telemetry``
     (CuttleSys) additionally emit their internal phase spans.
+
+    Fault injection and graceful degradation (docs/robustness.md):
+    ``faults`` takes a :class:`repro.faults.FaultInjector`; the harness
+    wraps the machine so profiling samples, measurements and requested
+    reconfigurations pass the injector, and consults it each quantum
+    for power-cap drops, load spikes and batch-job crashes.
+    ``on_policy_error`` controls what a policy exception costs: the
+    default ``"degrade"`` records a degraded quantum (telemetry
+    counter ``degraded_quanta``), serves the policy's last-known-good
+    assignment (or a gated-batch fallback), and keeps running;
+    ``"raise"`` propagates, aborting the run — the unhardened arm of
+    the fault study.
     """
     if n_slices <= 0:
         raise ValueError("n_slices must be positive")
     if not 0 < power_cap_fraction <= 1.0:
         raise ValueError("power_cap_fraction must be in (0, 1]")
+    if on_policy_error not in ("degrade", "raise"):
+        raise ValueError(
+            f"on_policy_error must be 'degrade' or 'raise', "
+            f"got {on_policy_error!r}"
+        )
     if churn_period is not None:
         if churn_period <= 0:
             raise ValueError("churn_period must be positive")
         if not churn_pool:
             raise ValueError("churn_period requires a non-empty churn_pool")
+    if faults is not None:
+        machine = faults.wrap(machine)
+        if telemetry is not None:
+            faults.attach_telemetry(telemetry)
     reference = (
         max_power_w if max_power_w is not None else machine.reference_max_power()
     )
@@ -305,6 +384,28 @@ def run_policy(
     extra_estimates = tuple(t.load_at(0.0) for t in extra_traces)
     for i in range(n_slices):
         with tracer.span("quantum", category="harness", index=i):
+            if faults is not None:
+                faults.begin_quantum(i)
+                for slot in faults.crash_events(
+                    len(machine.batch_profiles)
+                ):
+                    # Crash/respawn: same application, fresh process —
+                    # phase state resets and the policy re-profiles it.
+                    respawn = machine.batch_profiles[slot]
+                    machine.replace_batch_job(slot, respawn)
+                    notify = getattr(policy, "on_job_replaced", None)
+                    if notify is not None:
+                        notify(slot)
+                    run.churn_events.append((i, slot, respawn.name))
+                    if telemetry is not None:
+                        telemetry.counter("job_churn").inc()
+                        tracer.instant(
+                            "batch_crash", category="faults", slot=slot,
+                        )
+                    log.info(
+                        "slice %d: batch job %d crashed and respawned",
+                        i, slot,
+                    )
             if churn_period is not None and i > 0 and i % churn_period == 0:
                 slot = int(churn_rng.integers(len(machine.batch_profiles)))
                 newcomer = churn_pool[int(churn_rng.integers(len(churn_pool)))]
@@ -328,15 +429,46 @@ def run_policy(
                 else power_cap_fraction
             )
             budget = reference * fraction
+            if faults is not None:
+                budget = faults.effective_budget(budget)
+            degraded = False
             with tracer.span("decide", category="harness"):
-                if extra_traces:
-                    assignment = policy.decide(
-                        machine, load_estimate, budget,
-                        extra_loads=extra_estimates,
+                try:
+                    if extra_traces:
+                        assignment = policy.decide(
+                            machine, load_estimate, budget,
+                            extra_loads=extra_estimates,
+                        )
+                    else:
+                        assignment = policy.decide(
+                            machine, load_estimate, budget
+                        )
+                except Exception as exc:
+                    if on_policy_error == "raise":
+                        # Callers (the fault study) recover completed
+                        # slices from the aborted run via this attribute.
+                        exc.partial_run = run
+                        raise
+                    degraded = True
+                    assignment = _degraded_assignment(policy, run, machine)
+                    run.degraded_quanta += 1
+                    if telemetry is not None:
+                        telemetry.counter("degraded_quanta").inc()
+                        telemetry.counter(
+                            "faults.recovered.degraded_quantum"
+                        ).inc()
+                        tracer.instant(
+                            "degraded_quantum", category="faults",
+                            error=type(exc).__name__,
+                        )
+                    log.warning(
+                        "slice %d: policy %s raised %s: %s; serving "
+                        "last-known-good assignment",
+                        i, policy.name, type(exc).__name__, exc,
                     )
-                else:
-                    assignment = policy.decide(machine, load_estimate, budget)
             actual_load = trace.load_at(machine.time_s)
+            if faults is not None:
+                actual_load = faults.effective_load(actual_load)
             actual_extras = tuple(
                 t.load_at(machine.time_s) for t in extra_traces
             )
@@ -344,12 +476,35 @@ def run_policy(
                 assignment, actual_load, extra_loads=actual_extras
             )
             with tracer.span("observe", category="harness"):
-                policy.observe(measurement)
+                try:
+                    policy.observe(measurement)
+                except Exception as exc:
+                    if on_policy_error == "raise":
+                        exc.partial_run = run
+                        raise
+                    if not degraded:
+                        degraded = True
+                        run.degraded_quanta += 1
+                        if telemetry is not None:
+                            telemetry.counter("degraded_quanta").inc()
+                            telemetry.counter(
+                                "faults.recovered.degraded_quantum"
+                            ).inc()
+                    log.warning(
+                        "slice %d: policy %s observe raised %s: %s; "
+                        "measurement dropped",
+                        i, policy.name, type(exc).__name__, exc,
+                    )
             run.measurements.append(measurement)
             run.loads.append(actual_load)
             run.budgets.append(budget)
             if telemetry is not None:
-                _record_decision(telemetry, i, policy, measurement)
+                # A degraded quantum has no fresh prediction; record a
+                # measured-only entry rather than pairing the slice
+                # with a stale one.
+                _record_decision(
+                    telemetry, i, None if degraded else policy, measurement
+                )
                 metrics = telemetry.metrics
                 metrics.counter("reconfigurations").inc(
                     measurement.reconfigurations
@@ -370,7 +525,7 @@ def run_policy(
                         "%.2f ms)", i, measurement.lc_p99 * 1e3,
                         run.qos_s * 1e3,
                     )
-                if measurement.total_power > budget * 1.02:
+                if measurement.total_power > budget * (1.0 + POWER_TOLERANCE):
                     metrics.counter("power_violations").inc()
                 metrics.gauge("power_w").set(measurement.total_power)
                 metrics.gauge("lc_load").set(actual_load)

@@ -1,0 +1,40 @@
+"""Deterministic fault injection + the default robustness scenarios.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.spec` — :class:`FaultSpec`/:class:`FaultScenario`
+  descriptions and the ``run --faults`` clause syntax;
+* :mod:`repro.faults.injector` — :class:`FaultInjector` (per-spec RNG
+  streams, injection tallies) and :class:`FaultyMachine` (the wrapper
+  that corrupts what the controller observes and requests);
+* :mod:`repro.faults.scenarios` — the named default suite the fault
+  study and CI smoke job run.
+
+Graceful degradation lives with the consumers: sample sanitisation,
+safe mode and reconfiguration quarantine in
+:class:`repro.core.controller.ResourceController`; per-quantum
+exception containment in :func:`repro.experiments.harness.run_policy`.
+See ``docs/robustness.md``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultyMachine
+from repro.faults.scenarios import default_scenarios, scenario_by_name
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultScenario,
+    FaultSpec,
+    FaultSpecError,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultScenario",
+    "FaultSpec",
+    "FaultSpecError",
+    "FaultyMachine",
+    "default_scenarios",
+    "parse_fault_spec",
+    "scenario_by_name",
+]

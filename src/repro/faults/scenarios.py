@@ -1,0 +1,89 @@
+"""The default fault-scenario suite for the robustness study.
+
+Each scenario stresses one regime the related work calls out (Nejat et
+al.'s untrustworthy-prediction degradation, Cuttlefish's power-cap
+excursions) plus a compound "perfect storm".  All scenarios are
+deterministic given their seed: the same ``(scenario, machine seed)``
+pair replays injection-for-injection (docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.faults.spec import FaultScenario, parse_fault_spec
+
+
+def default_scenarios(seed: int = 7) -> Tuple[FaultScenario, ...]:
+    """The suite ``experiments/fault_study.py`` and CI's fault-smoke run.
+
+    Windows are expressed in quanta and sized for runs of ~12-16
+    slices.  Most windows *close* before the run ends so the recovery
+    paths (safe-mode exit, quarantine release) are exercised too, not
+    just entry into degradation.
+    """
+    return (
+        FaultScenario(
+            "sensor-noise",
+            parse_fault_spec(
+                "drop_sample:rate=0.25,start=2,end=7;"
+                "outlier_sample:rate=0.15,magnitude=40,start=2,end=7"
+            ),
+            seed=seed,
+        ),
+        FaultScenario(
+            "stuck-sensor",
+            parse_fault_spec("stuck_power:start=2,end=9"),
+            seed=seed + 1,
+        ),
+        FaultScenario(
+            "flaky-reconfig",
+            parse_fault_spec(
+                "failed_reconfig:rate=0.6,duration=2,start=1,end=5"
+            ),
+            seed=seed + 2,
+        ),
+        FaultScenario(
+            "thermal-emergency",
+            parse_fault_spec(
+                "cap_drop:magnitude=0.55,start=4,end=9;"
+                "drop_sample:rate=0.2,start=4,end=9"
+            ),
+            seed=seed + 3,
+        ),
+        FaultScenario(
+            "flash-crowd",
+            parse_fault_spec(
+                "load_spike:magnitude=1.5,start=5,end=10;"
+                "outlier_sample:rate=0.1,magnitude=30,start=5,end=9"
+            ),
+            seed=seed + 4,
+        ),
+        FaultScenario(
+            "churn-storm",
+            parse_fault_spec(
+                "batch_crash:rate=0.4,start=2,end=8;"
+                "drop_sample:rate=0.2,start=2,end=8"
+            ),
+            seed=seed + 5,
+        ),
+        FaultScenario(
+            "perfect-storm",
+            parse_fault_spec(
+                "drop_sample:rate=0.2,start=1,end=7;"
+                "outlier_sample:rate=0.1,magnitude=60,start=1,end=7;"
+                "failed_reconfig:rate=0.4,duration=2,start=3,end=7;"
+                "cap_drop:magnitude=0.6,start=6,end=10"
+            ),
+            seed=seed + 6,
+        ),
+    )
+
+
+def scenario_by_name(name: str, seed: int = 7) -> FaultScenario:
+    """Look one default scenario up by name (CLI ``--scenario``)."""
+    for scenario in default_scenarios(seed):
+        if scenario.name == name:
+            return scenario
+    names = ", ".join(s.name for s in default_scenarios(seed))
+    raise KeyError(f"unknown scenario {name!r}; expected one of {names}")

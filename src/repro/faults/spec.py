@@ -1,0 +1,233 @@
+"""Fault specifications: what can go wrong, when, and how hard.
+
+CuttleSys's premise is surviving imperfect information (§VI-B hard
+fallback, §VIII-D sensitivity studies): 1 ms profiling samples are
+noisy, reconstructions can be wrong, and the power cap can move under
+the controller's feet.  This module names the failure modes the
+reproduction injects deliberately:
+
+============================ =========================================
+kind                         what it models
+============================ =========================================
+``drop_sample``              a profiling readout is lost (NaN sample)
+``outlier_sample``           a corrupted sample, off by ``magnitude`` x
+``stuck_power``              power sensors freeze at their last value
+``failed_reconfig``          a core's reconfiguration does not take;
+                             the core runs its old sections for
+                             ``duration`` quanta (cache ways still
+                             apply — partition registers are separate)
+``cap_drop``                 thermal emergency: the budget is cut to
+                             ``magnitude`` of its nominal value
+``load_spike``               the LC service's load jumps by
+                             ``magnitude`` x (flash crowd)
+``batch_crash``              a batch job crashes and is respawned,
+                             losing its phase state (churn)
+============================ =========================================
+
+A :class:`FaultSpec` is a pure description — injection happens in
+:mod:`repro.faults.injector`, where each spec draws from its own RNG
+stream so a scenario replays *exactly* from ``(specs, seed)``.
+
+Specs also have a one-line text form for the CLI (``run --faults``)::
+
+    drop_sample:rate=0.3,start=2,end=12;cap_drop:magnitude=0.5,start=6
+
+Clauses are ``;``-separated, each ``kind:key=value,...``.  See
+:func:`parse_fault_spec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Every fault kind the injector understands.
+FAULT_KINDS: Tuple[str, ...] = (
+    "drop_sample",
+    "outlier_sample",
+    "stuck_power",
+    "failed_reconfig",
+    "cap_drop",
+    "load_spike",
+    "batch_crash",
+)
+
+#: Kind-specific meaning (and default) of ``magnitude``.
+_DEFAULT_MAGNITUDE = {
+    "outlier_sample": 50.0,   # multiplicative corruption factor
+    "cap_drop": 0.5,          # budget is multiplied by this fraction
+    "load_spike": 1.5,        # load is multiplied by this factor
+}
+
+
+class FaultSpecError(ValueError):
+    """A fault spec (object or text form) is malformed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One composable fault: a kind plus its window and intensity.
+
+    ``rate`` is the per-opportunity injection probability (per sample
+    for the sampling faults, per requested reconfiguration for
+    ``failed_reconfig``, per quantum for ``batch_crash``); window
+    faults (``stuck_power``, ``cap_drop``, ``load_spike``) ignore it
+    and are simply active on every quantum in ``[start, end)``.
+    ``duration`` is how many quanta a failed reconfiguration pins its
+    core.  ``jobs`` optionally restricts a batch-facing fault to the
+    given batch slots.
+    """
+
+    kind: str
+    rate: float = 0.0
+    start: int = 0
+    end: Optional[int] = None
+    magnitude: Optional[float] = None
+    duration: int = 1
+    jobs: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultSpecError(
+                f"{self.kind}: rate must be in [0, 1], got {self.rate}"
+            )
+        if self.start < 0:
+            raise FaultSpecError(
+                f"{self.kind}: start must be non-negative, got {self.start}"
+            )
+        if self.end is not None and self.end <= self.start:
+            raise FaultSpecError(
+                f"{self.kind}: end ({self.end}) must exceed "
+                f"start ({self.start})"
+            )
+        if self.duration < 1:
+            raise FaultSpecError(
+                f"{self.kind}: duration must be at least 1, "
+                f"got {self.duration}"
+            )
+        mag = self.effective_magnitude
+        if self.kind == "cap_drop" and not 0.0 < mag <= 1.0:
+            raise FaultSpecError(
+                f"cap_drop: magnitude must be in (0, 1], got {mag}"
+            )
+        if self.kind in ("outlier_sample", "load_spike") and mag <= 0:
+            raise FaultSpecError(
+                f"{self.kind}: magnitude must be positive, got {mag}"
+            )
+
+    @property
+    def effective_magnitude(self) -> float:
+        """``magnitude`` with the kind's default filled in."""
+        if self.magnitude is not None:
+            return self.magnitude
+        return _DEFAULT_MAGNITUDE.get(self.kind, 0.0)
+
+    def active(self, quantum: int) -> bool:
+        """Whether this fault's window covers ``quantum``."""
+        if quantum < self.start:
+            return False
+        return self.end is None or quantum < self.end
+
+    def applies_to_job(self, job: int) -> bool:
+        """Whether this fault targets batch slot ``job``."""
+        return self.jobs is None or job in self.jobs
+
+    def describe(self) -> str:
+        """Round-trippable text form (the CLI clause syntax)."""
+        parts = []
+        if self.rate:
+            parts.append(f"rate={self.rate:g}")
+        if self.start:
+            parts.append(f"start={self.start}")
+        if self.end is not None:
+            parts.append(f"end={self.end}")
+        if self.magnitude is not None:
+            parts.append(f"magnitude={self.magnitude:g}")
+        if self.duration != 1:
+            parts.append(f"duration={self.duration}")
+        if self.jobs is not None:
+            parts.append("jobs=" + "+".join(str(j) for j in self.jobs))
+        return self.kind + (":" + ",".join(parts) if parts else "")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, replayable set of faults.
+
+    ``seed`` fixes every spec's RNG stream, so the same scenario on the
+    same machine seed reproduces the same injections quantum for
+    quantum (see docs/robustness.md, "Replaying a scenario").
+    """
+
+    name: str
+    specs: Tuple[FaultSpec, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise FaultSpecError(f"scenario {self.name!r} has no faults")
+
+    def describe(self) -> str:
+        """The scenario's faults in CLI clause syntax."""
+        return ";".join(spec.describe() for spec in self.specs)
+
+
+_INT_KEYS = {"start", "end", "duration"}
+_FLOAT_KEYS = {"rate", "magnitude"}
+_VALID_KEYS = _INT_KEYS | _FLOAT_KEYS | {"jobs"}
+
+
+def parse_fault_spec(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse the CLI fault syntax into :class:`FaultSpec` objects.
+
+    Syntax: ``;``-separated clauses, each ``kind`` or
+    ``kind:key=value,...``; ``jobs`` takes ``+``-separated slot
+    indices (``jobs=0+3+7``).  Raises :class:`FaultSpecError` with a
+    pointed message on any malformed input.
+    """
+    if not text or not text.strip():
+        raise FaultSpecError("empty fault spec")
+    specs = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, params = clause.partition(":")
+        kind = kind.strip()
+        kwargs = {}
+        if params.strip():
+            for item in params.split(","):
+                key, sep, value = item.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if not sep or not value:
+                    raise FaultSpecError(
+                        f"{kind}: expected key=value, got {item.strip()!r}"
+                    )
+                if key not in _VALID_KEYS:
+                    raise FaultSpecError(
+                        f"{kind}: unknown parameter {key!r}; expected one "
+                        f"of {', '.join(sorted(_VALID_KEYS))}"
+                    )
+                try:
+                    if key in _INT_KEYS:
+                        kwargs[key] = int(value)
+                    elif key in _FLOAT_KEYS:
+                        kwargs[key] = float(value)
+                    else:  # jobs
+                        kwargs[key] = tuple(
+                            int(j) for j in value.split("+")
+                        )
+                except ValueError as exc:
+                    raise FaultSpecError(
+                        f"{kind}: bad value for {key}: {value!r}"
+                    ) from exc
+        specs.append(FaultSpec(kind=kind, **kwargs))
+    if not specs:
+        raise FaultSpecError("empty fault spec")
+    return tuple(specs)

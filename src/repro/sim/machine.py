@@ -355,6 +355,11 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _noisy(self, value: float, rel_std: float) -> float:
+        if not math.isfinite(value):
+            # A NaN/inf reading (e.g. an injected sensor fault) must not
+            # consume RNG draws, or it would shift every later sample
+            # and break seed-exact replay of faulted runs.
+            return math.nan
         if value == 0.0:
             return 0.0
         return value * float(

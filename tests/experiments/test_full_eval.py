@@ -15,7 +15,8 @@ class TestSections:
         text = " ".join(titles)
         for token in ("Fig. 1", "Table II", "Fig. 5", "Fig. 7", "Fig. 8",
                       "Fig. 9", "Fig. 10", "Flicker", "ablations", "DVFS",
-                      "bandwidth", "churn", "scalability"):
+                      "bandwidth", "churn", "scalability",
+                      "fault injection"):
             assert token in text
 
     def test_only_filter(self):

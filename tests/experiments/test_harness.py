@@ -5,6 +5,7 @@ import pytest
 
 from repro.baselines import CoreGatingPolicy, NoGatingPolicy
 from repro.experiments.harness import (
+    POWER_TOLERANCE,
     PolicyRun,
     build_machine_for_mix,
     reference_power_for_mix,
@@ -124,3 +125,59 @@ class TestRunPolicy:
         with pytest.raises(ValueError):
             run_policy(machine, NoGatingPolicy(), LoadTrace.constant(0.5),
                        power_cap_fraction=1.5)
+
+
+class TestPowerTolerance:
+    def test_constant_value(self):
+        # The 2 % band matches the machine's slice measurement noise;
+        # changing it shifts both PolicyRun and telemetry counts.
+        assert POWER_TOLERANCE == 0.02
+
+    def test_default_matches_constant(self):
+        run = PolicyRun(policy_name="x", power_budget_w=100.0)
+        run.budgets = [100.0]
+        m = type("M", (), {"total_power": 101.9})()
+        run.measurements = [m]
+        assert run.power_violations() == 0  # inside the band
+        assert run.power_violations(tolerance=0.0) == 1
+        m.total_power = 102.1
+        assert run.power_violations() == 1  # outside the band
+
+    def test_telemetry_counter_agrees_with_policyrun(self, mix):
+        from repro.telemetry import Telemetry
+
+        machine = build_machine_for_mix(mix, seed=1, reconfigurable=False)
+        telemetry = Telemetry()
+        run = run_policy(
+            machine, NoGatingPolicy(), LoadTrace.constant(0.5),
+            power_cap_fraction=0.5, n_slices=3, telemetry=telemetry,
+        )
+        counters = telemetry.metrics.as_dict()["counters"]
+        assert counters.get("power_violations", 0) == run.power_violations()
+
+
+class TestToCsv:
+    def test_zero_slice_run_writes_valid_header(self, tmp_path):
+        import csv
+
+        run = PolicyRun(policy_name="empty", power_budget_w=100.0)
+        path = tmp_path / "empty.csv"
+        run.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 1
+        assert rows[0][:3] == ["slice", "load", "budget_w"]
+        assert all(rows[0])  # no blank column names
+
+    def test_header_matches_rows(self, mix, tmp_path):
+        import csv
+
+        machine = build_machine_for_mix(mix, seed=1, reconfigurable=False)
+        run = run_policy(machine, NoGatingPolicy(), LoadTrace.constant(0.5),
+                         n_slices=2)
+        path = tmp_path / "run.csv"
+        run.to_csv(path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3
+        assert all(len(r) == len(rows[0]) for r in rows)

@@ -1,0 +1,241 @@
+"""Tests for the deterministic fault injector and FaultyMachine."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultScenario, FaultSpec, FaultyMachine
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.machine import Assignment
+from repro.telemetry import Telemetry
+
+
+def make_sample(machine, load=0.7):
+    return machine.profile(load, lc_cores=16)
+
+
+def make_assignment(n_jobs, core=None, ways=0.5):
+    core = core or CoreConfig.narrowest()
+    return Assignment(
+        lc_cores=16,
+        lc_config=JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1]),
+        batch_configs=tuple(JointConfig(core, ways) for _ in range(n_jobs)),
+    )
+
+
+class TestConstruction:
+    def test_needs_specs(self):
+        with pytest.raises(ValueError):
+            FaultInjector([])
+
+    def test_accepts_scenario(self):
+        scenario = FaultScenario(
+            "s", (FaultSpec("drop_sample", rate=0.5),), seed=42
+        )
+        injector = FaultInjector(scenario)
+        assert injector.seed == 42
+        assert injector.specs == scenario.specs
+
+    def test_wrap_is_idempotent(self, small_machine):
+        injector = FaultInjector([FaultSpec("drop_sample", rate=0.5)])
+        faulty = injector.wrap(small_machine)
+        assert isinstance(faulty, FaultyMachine)
+        assert injector.wrap(faulty) is faulty
+        assert faulty.machine is small_machine
+
+
+class TestDeterminism:
+    def test_same_seed_same_perturbations(self, quiet_machine):
+        sample = make_sample(quiet_machine)
+        outputs = []
+        for _ in range(2):
+            injector = FaultInjector(
+                [FaultSpec("drop_sample", rate=0.5)], seed=5
+            )
+            injector.begin_quantum(0)
+            outputs.append(injector.perturb_profile(sample))
+        a, b = outputs
+        assert np.array_equal(
+            np.isnan(a.batch_bips_hi), np.isnan(b.batch_bips_hi)
+        )
+        assert np.array_equal(
+            np.isnan(a.batch_power_lo), np.isnan(b.batch_power_lo)
+        )
+
+    def test_different_seed_differs(self, quiet_machine):
+        sample = make_sample(quiet_machine)
+        masks = []
+        for seed in (5, 6):
+            injector = FaultInjector(
+                [FaultSpec("drop_sample", rate=0.5)], seed=seed
+            )
+            injector.begin_quantum(0)
+            out = injector.perturb_profile(sample)
+            masks.append(
+                np.concatenate(
+                    [np.isnan(out.batch_bips_hi), np.isnan(out.batch_bips_lo)]
+                )
+            )
+        assert not np.array_equal(masks[0], masks[1])
+
+    def test_per_spec_streams_are_independent(self, quiet_machine):
+        # Adding a second spec must not change the first spec's stream.
+        sample = make_sample(quiet_machine)
+        solo = FaultInjector([FaultSpec("drop_sample", rate=0.5)], seed=9)
+        solo.begin_quantum(0)
+        mask_solo = np.isnan(solo.perturb_profile(sample).batch_bips_hi)
+        paired = FaultInjector(
+            [
+                FaultSpec("drop_sample", rate=0.5),
+                FaultSpec("cap_drop", magnitude=0.5),
+            ],
+            seed=9,
+        )
+        paired.begin_quantum(0)
+        mask_paired = np.isnan(paired.perturb_profile(sample).batch_bips_hi)
+        assert np.array_equal(mask_solo, mask_paired)
+
+
+class TestSamplingFaults:
+    def test_drop_sample_nans(self, quiet_machine):
+        injector = FaultInjector([FaultSpec("drop_sample", rate=1.0)], seed=1)
+        injector.begin_quantum(0)
+        out = injector.perturb_profile(make_sample(quiet_machine))
+        assert np.isnan(out.batch_bips_hi).all()
+        assert np.isnan(out.batch_power_lo).all()
+        assert np.isnan(out.lc_power_hi)
+        assert injector.injected["drop_sample"] > 0
+
+    def test_outlier_scales_values(self, quiet_machine):
+        sample = make_sample(quiet_machine)
+        injector = FaultInjector(
+            [FaultSpec("outlier_sample", rate=1.0, magnitude=10.0)], seed=1
+        )
+        injector.begin_quantum(0)
+        out = injector.perturb_profile(sample)
+        np.testing.assert_allclose(
+            out.batch_bips_hi, sample.batch_bips_hi * 10.0
+        )
+
+    def test_window_respected(self, quiet_machine):
+        sample = make_sample(quiet_machine)
+        injector = FaultInjector(
+            [FaultSpec("drop_sample", rate=1.0, start=5)], seed=1
+        )
+        injector.begin_quantum(0)
+        out = injector.perturb_profile(sample)
+        assert out is sample  # untouched before the window opens
+
+    def test_stuck_power_freezes_profile(self, small_machine):
+        injector = FaultInjector([FaultSpec("stuck_power")], seed=1)
+        injector.begin_quantum(0)
+        first = injector.perturb_profile(make_sample(small_machine))
+        injector.begin_quantum(1)
+        second = injector.perturb_profile(make_sample(small_machine))
+        np.testing.assert_array_equal(
+            first.batch_power_hi, second.batch_power_hi
+        )
+        assert first.lc_power_hi == second.lc_power_hi
+        # Non-power channels keep flowing.
+        assert not np.array_equal(first.batch_bips_hi, second.batch_bips_hi)
+
+
+class TestEnvironmentFaults:
+    def test_cap_drop(self):
+        injector = FaultInjector(
+            [FaultSpec("cap_drop", magnitude=0.5, start=2)], seed=1
+        )
+        injector.begin_quantum(0)
+        assert injector.effective_budget(100.0) == 100.0
+        injector.begin_quantum(2)
+        assert injector.effective_budget(100.0) == 50.0
+        assert injector.injected["cap_drop"] == 1
+
+    def test_load_spike_caps_at_one(self):
+        injector = FaultInjector(
+            [FaultSpec("load_spike", magnitude=2.0)], seed=1
+        )
+        injector.begin_quantum(0)
+        assert injector.effective_load(0.3) == pytest.approx(0.6)
+        assert injector.effective_load(0.9) == 1.0
+
+    def test_crash_events_respect_jobs(self):
+        injector = FaultInjector(
+            [FaultSpec("batch_crash", rate=1.0, jobs=(2,))], seed=1
+        )
+        injector.begin_quantum(0)
+        assert injector.crash_events(8) == [2]
+
+
+class TestReconfigFaults:
+    def test_failed_reconfig_pins_old_core(self):
+        injector = FaultInjector(
+            [FaultSpec("failed_reconfig", rate=1.0, duration=2)], seed=1
+        )
+        injector.begin_quantum(0)
+        narrow = make_assignment(4, core=CoreConfig.narrowest(), ways=0.5)
+        assert injector.effective_assignment(narrow) == narrow  # no history
+        injector.begin_quantum(1)
+        wide = make_assignment(4, core=CoreConfig.widest(), ways=1.0)
+        effective = injector.effective_assignment(wide)
+        for cfg in effective.batch_configs:
+            assert cfg.core == CoreConfig.narrowest()  # old sections stick
+            assert cfg.cache_ways == 1.0  # new way allocation applies
+        assert injector.injected["failed_reconfig"] == 4
+
+    def test_pins_expire(self):
+        injector = FaultInjector(
+            [FaultSpec("failed_reconfig", rate=1.0, duration=1, end=2)],
+            seed=1,
+        )
+        injector.begin_quantum(1)
+        injector.effective_assignment(make_assignment(2))
+        injector.begin_quantum(2)  # still pinned through quantum 1+1
+        wide = make_assignment(2, core=CoreConfig.widest())
+        pinned = injector.effective_assignment(wide)
+        # Fault window closed and pins expired: next request goes through.
+        injector.begin_quantum(3)
+        free = injector.effective_assignment(wide)
+        assert all(
+            cfg.core == CoreConfig.widest() for cfg in free.batch_configs
+        )
+        del pinned
+
+
+class TestTelemetry:
+    def test_injections_counted(self, quiet_machine):
+        telemetry = Telemetry()
+        injector = FaultInjector(
+            [FaultSpec("drop_sample", rate=1.0)], seed=1, telemetry=telemetry
+        )
+        injector.begin_quantum(0)
+        injector.perturb_profile(make_sample(quiet_machine))
+        counters = telemetry.metrics.as_dict()["counters"]
+        assert counters["faults.injected.drop_sample"] == (
+            injector.injected["drop_sample"]
+        )
+        assert injector.total_injected() == sum(injector.injected.values())
+
+
+class TestFaultyMachine:
+    def test_delegates_attributes(self, small_machine):
+        injector = FaultInjector([FaultSpec("drop_sample", rate=0.0)])
+        faulty = injector.wrap(small_machine)
+        assert faulty.params is small_machine.params
+        assert faulty.lc_service is small_machine.lc_service
+        assert faulty.reference_max_power() == pytest.approx(
+            small_machine.reference_max_power()
+        )
+
+    def test_run_slice_reports_effective_assignment(self, small_machine):
+        injector = FaultInjector(
+            [FaultSpec("failed_reconfig", rate=1.0, duration=3)], seed=1
+        )
+        faulty = injector.wrap(small_machine)
+        n = len(small_machine.batch_profiles)
+        injector.begin_quantum(0)
+        faulty.run_slice(make_assignment(n), 0.5)
+        injector.begin_quantum(1)
+        wide = make_assignment(n, core=CoreConfig.widest(), ways=0.5)
+        measurement = faulty.run_slice(wide, 0.5)
+        cores = {cfg.core for cfg in measurement.assignment.batch_configs}
+        assert cores == {CoreConfig.narrowest()}

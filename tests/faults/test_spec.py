@@ -1,0 +1,155 @@
+"""Tests for fault specifications and the CLI clause syntax."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultScenario,
+    FaultSpec,
+    FaultSpecError,
+    default_scenarios,
+    parse_fault_spec,
+    scenario_by_name,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("drop_sample", rate=0.2)
+        assert spec.start == 0
+        assert spec.end is None
+        assert spec.duration == 1
+        assert spec.jobs is None
+
+    def test_active_window(self):
+        spec = FaultSpec("cap_drop", start=3, end=6)
+        assert not spec.active(2)
+        assert spec.active(3)
+        assert spec.active(5)
+        assert not spec.active(6)  # end is exclusive
+
+    def test_open_ended_window(self):
+        spec = FaultSpec("drop_sample", rate=0.1, start=2)
+        assert spec.active(10_000)
+        assert not spec.active(1)
+
+    def test_applies_to_job(self):
+        spec = FaultSpec("batch_crash", rate=0.5, jobs=(0, 3))
+        assert spec.applies_to_job(0)
+        assert spec.applies_to_job(3)
+        assert not spec.applies_to_job(1)
+        assert FaultSpec("batch_crash", rate=0.5).applies_to_job(99)
+
+    def test_default_magnitudes(self):
+        assert FaultSpec("outlier_sample", rate=0.1).effective_magnitude == 50.0
+        assert FaultSpec("cap_drop").effective_magnitude == 0.5
+        assert FaultSpec("load_spike").effective_magnitude == 1.5
+        assert FaultSpec(
+            "outlier_sample", rate=0.1, magnitude=7.0
+        ).effective_magnitude == 7.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "nonsense"},
+            {"kind": "drop_sample", "rate": -0.1},
+            {"kind": "drop_sample", "rate": 1.5},
+            {"kind": "drop_sample", "rate": 0.1, "start": -1},
+            {"kind": "cap_drop", "start": 5, "end": 5},
+            {"kind": "cap_drop", "start": 5, "end": 3},
+            {"kind": "failed_reconfig", "rate": 0.5, "duration": 0},
+            {"kind": "cap_drop", "magnitude": 0.0},
+            {"kind": "cap_drop", "magnitude": 1.5},
+            {"kind": "outlier_sample", "rate": 0.1, "magnitude": -2.0},
+            {"kind": "load_spike", "magnitude": 0.0},
+        ],
+    )
+    def test_invalid_specs_raise(self, kwargs):
+        with pytest.raises(FaultSpecError):
+            FaultSpec(**kwargs)
+
+    def test_fault_spec_error_is_value_error(self):
+        # Callers that catch ValueError keep working.
+        with pytest.raises(ValueError):
+            FaultSpec("nonsense")
+
+    def test_describe_round_trips(self):
+        spec = FaultSpec(
+            "failed_reconfig", rate=0.4, start=2, end=9,
+            duration=3, jobs=(1, 4),
+        )
+        (parsed,) = parse_fault_spec(spec.describe())
+        assert parsed == spec
+
+
+class TestParse:
+    def test_single_clause(self):
+        (spec,) = parse_fault_spec("drop_sample:rate=0.3,start=2,end=12")
+        assert spec.kind == "drop_sample"
+        assert spec.rate == 0.3
+        assert spec.start == 2
+        assert spec.end == 12
+
+    def test_multiple_clauses(self):
+        specs = parse_fault_spec(
+            "drop_sample:rate=0.2;cap_drop:magnitude=0.6,start=4;stuck_power"
+        )
+        assert [s.kind for s in specs] == [
+            "drop_sample", "cap_drop", "stuck_power",
+        ]
+
+    def test_jobs_syntax(self):
+        (spec,) = parse_fault_spec("batch_crash:rate=0.5,jobs=0+3+7")
+        assert spec.jobs == (0, 3, 7)
+
+    def test_whitespace_tolerated(self):
+        (spec,) = parse_fault_spec("  drop_sample : rate=0.2 , start=1 ")
+        assert spec.kind == "drop_sample"
+        assert spec.rate == 0.2
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            ";;",
+            "bogus:rate=0.1",
+            "drop_sample:rate",
+            "drop_sample:rate=",
+            "drop_sample:frequency=0.1",
+            "drop_sample:rate=abc",
+            "drop_sample:start=2.5",
+            "batch_crash:rate=0.5,jobs=0+x",
+            "drop_sample:rate=2.0",
+        ],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(text)
+
+
+class TestScenarios:
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultScenario("empty", ())
+
+    def test_default_suite(self):
+        scenarios = default_scenarios(seed=7)
+        assert len(scenarios) >= 5
+        names = [s.name for s in scenarios]
+        assert len(names) == len(set(names))
+        kinds = {s.kind for sc in scenarios for s in sc.specs}
+        # Every fault kind is exercised somewhere in the default suite.
+        assert kinds == set(FAULT_KINDS)
+        # Distinct seeds: scenario runs must not share RNG streams.
+        assert len({s.seed for s in scenarios}) == len(scenarios)
+
+    def test_scenario_by_name(self):
+        scenario = scenario_by_name("stuck-sensor", seed=3)
+        assert scenario.name == "stuck-sensor"
+        with pytest.raises(KeyError):
+            scenario_by_name("no-such-scenario")
+
+    def test_scenarios_describe_round_trip(self):
+        for scenario in default_scenarios():
+            assert parse_fault_spec(scenario.describe()) == scenario.specs

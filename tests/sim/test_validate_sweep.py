@@ -1,0 +1,152 @@
+"""Randomized sweeps over Machine._validate / Assignment invariants,
+plus the non-finite guard on the machine's measurement noise.
+
+Seeded ``numpy`` RNG rather than hypothesis: the sweep is a fixed,
+replayable sample of the invalid-assignment space (over-budget cache
+ways, wrong batch vectors, impossible core counts), checking the
+simulator rejects every point before any state mutates.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.machine import Assignment, LCAllocation
+
+LC_WIDE = JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1])
+
+
+def random_joint(rng):
+    return JointConfig.from_index(int(rng.integers(108)))
+
+
+class TestNoisyGuard:
+    """Satellite: Machine._noisy must not propagate garbage or burn RNG."""
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_in_nan_out(self, quiet_machine, bad):
+        assert math.isnan(quiet_machine._noisy(bad, 0.02))
+
+    def test_non_finite_does_not_consume_rng(self, small_machine):
+        state_before = small_machine._rng.bit_generator.state
+        small_machine._noisy(math.nan, 0.02)
+        assert small_machine._rng.bit_generator.state == state_before
+        # A finite value does draw (sanity check of the comparison).
+        small_machine._noisy(1.0, 0.02)
+        assert small_machine._rng.bit_generator.state != state_before
+
+    def test_zero_short_circuits(self, small_machine):
+        assert small_machine._noisy(0.0, 0.02) == 0.0
+
+    def test_finite_values_stay_finite(self, small_machine):
+        rng = np.random.default_rng(0)
+        for value in rng.uniform(1e-6, 1e6, size=64):
+            assert math.isfinite(small_machine._noisy(float(value), 0.05))
+
+
+class TestValidateSweep:
+    """Satellite: randomized invalid assignments are always rejected."""
+
+    def test_over_budget_cache_ways_rejected(self, quiet_machine):
+        rng = np.random.default_rng(42)
+        n = len(quiet_machine.batch_profiles)
+        budget = quiet_machine.params.llc_ways
+        rejected = 0
+        for _ in range(50):
+            # Draw per-job allocations until the total really overflows
+            # the LLC (LC takes 4 ways; jobs draw from the big end).
+            ways = rng.choice([2.0, 4.0], size=n)
+            assignment = Assignment(
+                lc_cores=16,
+                lc_config=LC_WIDE,
+                batch_configs=tuple(
+                    JointConfig(CoreConfig.narrowest(), w) for w in ways
+                ),
+            )
+            if assignment.cache_ways_used() <= budget:
+                continue
+            rejected += 1
+            with pytest.raises(ValueError, match="LLC ways"):
+                quiet_machine.run_slice(assignment, 0.5)
+        assert rejected > 0  # the sweep actually sampled invalid points
+
+    def test_wrong_batch_vector_length_rejected(self, quiet_machine):
+        rng = np.random.default_rng(43)
+        n = len(quiet_machine.batch_profiles)
+        for _ in range(20):
+            wrong = int(rng.integers(0, 2 * n + 1))
+            if wrong == n:
+                continue
+            assignment = Assignment(
+                lc_cores=16,
+                lc_config=LC_WIDE,
+                batch_configs=tuple(
+                    JointConfig(CoreConfig.narrowest(), 0.5)
+                    for _ in range(wrong)
+                ),
+            )
+            with pytest.raises(ValueError, match="batch"):
+                quiet_machine.run_slice(assignment, 0.5)
+
+    def test_lc_cores_beyond_machine_rejected(self, quiet_machine):
+        rng = np.random.default_rng(44)
+        n = len(quiet_machine.batch_profiles)
+        n_cores = quiet_machine.params.n_cores
+        for _ in range(20):
+            cores = int(rng.integers(n_cores + 1, 4 * n_cores))
+            assignment = Assignment(
+                lc_cores=cores,
+                lc_config=LC_WIDE,
+                batch_configs=(None,) * n,
+            )
+            with pytest.raises(ValueError, match="exceed total cores"):
+                quiet_machine.run_slice(assignment, 0.5)
+
+    def test_extra_lc_cores_count_toward_total(self, quiet_machine):
+        n = len(quiet_machine.batch_profiles)
+        n_cores = quiet_machine.params.n_cores
+        assignment = Assignment(
+            lc_cores=n_cores,
+            lc_config=LC_WIDE,
+            batch_configs=(None,) * n,
+            extra_lc=(LCAllocation(cores=1, config=LC_WIDE),),
+        )
+        with pytest.raises(ValueError):
+            quiet_machine.run_slice(assignment, 0.5)
+
+    def test_negative_counts_rejected_at_construction(self):
+        rng = np.random.default_rng(45)
+        for _ in range(20):
+            bad = -int(rng.integers(1, 100))
+            with pytest.raises(ValueError):
+                Assignment(
+                    lc_cores=bad, lc_config=LC_WIDE, batch_configs=()
+                )
+            with pytest.raises(ValueError):
+                LCAllocation(cores=bad, config=LC_WIDE)
+
+    def test_valid_random_assignments_accepted(self, quiet_machine):
+        # The dual sweep: assignments inside every budget always run.
+        rng = np.random.default_rng(46)
+        n = len(quiet_machine.batch_profiles)
+        budget = quiet_machine.params.llc_ways
+        accepted = 0
+        for _ in range(30):
+            lc_cores = int(rng.integers(1, 17))
+            configs = [
+                random_joint(rng) if rng.random() < 0.7 else None
+                for _ in range(n)
+            ]
+            assignment = Assignment(
+                lc_cores=lc_cores,
+                lc_config=LC_WIDE,
+                batch_configs=tuple(configs),
+            )
+            if assignment.cache_ways_used() > budget:
+                continue
+            measurement = quiet_machine.run_slice(assignment, 0.5)
+            assert math.isfinite(measurement.total_power)
+            accepted += 1
+        assert accepted > 0

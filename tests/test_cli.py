@@ -186,3 +186,87 @@ class TestTelemetryFlags:
                 if not isinstance(handler, logging.NullHandler):
                     root.removeHandler(handler)
             root.setLevel(logging.NOTSET)
+
+
+class TestFaultFlags:
+    def test_run_with_faults_prints_injection_summary(self, capsys):
+        code = main([
+            "run", "--slices", "3",
+            "--faults", "drop_sample:rate=0.5;cap_drop:magnitude=0.6,start=1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected:" in out
+        assert "drop_sample=" in out
+        assert "cap_drop=" in out
+        assert "degraded quanta" in out
+
+    def test_run_with_faults_completes_all_slices(self, capsys):
+        code = main([
+            "run", "--slices", "3", "--faults", "drop_sample:rate=0.9",
+        ])
+        assert code == 0
+        assert "3 slices" in capsys.readouterr().out
+
+    def test_malformed_faults_spec_exits_2(self, capsys):
+        code = main(["run", "--slices", "1", "--faults", "bogus:rate=0.5"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad --faults spec" in err
+        assert "unknown fault kind" in err
+
+    def test_malformed_faults_value_exits_2(self, capsys):
+        code = main([
+            "run", "--slices", "1", "--faults", "drop_sample:rate=banana",
+        ])
+        assert code == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_faults_counted_in_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "faulted.jsonl"
+        code = main([
+            "run", "--slices", "3", "--jsonl", str(path),
+            "--faults", "drop_sample:rate=0.5",
+        ])
+        assert code == 0
+        names = set()
+        with open(path) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("type") == "counter":
+                    names.add(record["name"])
+        assert "faults.injected.drop_sample" in names
+        assert "faults.detected.bad_sample" in names
+
+
+class TestFaultStudyCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fault-study"])
+        assert args.mixes == [0]
+        assert args.slices == 12
+        assert args.scenario is None
+
+    def test_single_scenario_run(self, capsys):
+        code = main([
+            "fault-study", "--mixes", "0", "--slices", "4",
+            "--scenario", "stuck-sensor",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mix 0:" in out
+        assert "stuck-sensor" in out
+        assert "hardened" in out and "unhardened" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code = main(["fault-study", "--scenario", "meteor-strike"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_mix_exits_2(self, capsys):
+        code = main([
+            "fault-study", "--mixes", "99", "--scenario", "stuck-sensor",
+        ])
+        assert code == 2
+        assert "mix index" in capsys.readouterr().err
