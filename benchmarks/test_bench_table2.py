@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.core.dds import DDSSearch
-from repro.core.matrices import ObservedMatrix, throughput_rows
+from repro.core.matrices import throughput_rows
 from repro.core.objective import SystemObjective
 from repro.core.sgd import PQReconstructor
 from repro.experiments.table2_overheads import (

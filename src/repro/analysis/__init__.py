@@ -1,0 +1,41 @@
+"""Project-specific static analysis (``python -m repro lint``).
+
+An AST-based lint pass enforcing the cross-cutting invariants the
+reproduction's correctness rests on: determinism (DET1xx), RNG-stream
+hygiene (RNG2xx), unit/invariant discipline (UNIT3xx), and telemetry
+span hygiene (TEL4xx).  See docs/static-analysis.md.
+"""
+
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    LintContext,
+    Rule,
+    Violation,
+    all_rules,
+    dotted_name,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    register,
+    rule_by_id,
+)
+from repro.analysis.reporters import describe_rules, render_json, render_text
+
+__all__ = [
+    "PARSE_ERROR_RULE",
+    "LintContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "describe_rules",
+    "dotted_name",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_by_id",
+]

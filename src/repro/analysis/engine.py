@@ -1,0 +1,272 @@
+"""Driver for the project-specific static-analysis pass.
+
+The engine parses each Python file once, hands the AST to every
+registered :class:`Rule`, filters out violations suppressed with an
+inline ``# repro: noqa[RULE]`` comment, and returns a sorted list of
+:class:`Violation` records.  Rules live in the ``rules_*`` modules of
+this package and self-register via :func:`register`; reporters that
+render the results live in :mod:`repro.analysis.reporters`.
+
+See docs/static-analysis.md for the rule catalogue and rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Violation",
+    "LintContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_by_id",
+    "dotted_name",
+    "module_name_for",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "PARSE_ERROR_RULE",
+]
+
+#: Pseudo-rule id attached to files that fail to parse.
+PARSE_ERROR_RULE = "PARSE"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_\s,-]+)\])?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule violated at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...] = field(default_factory=tuple)
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule.id,
+            message=message,
+        )
+
+    def module_in(self, *packages: str) -> bool:
+        """True if this file's module lives under any of ``packages``."""
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` (the suppression token), ``title`` (one
+    line), ``rationale`` (why the project forbids the pattern) and
+    implement :meth:`check`.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = cls()
+    if not rule.id or not rule.title:
+        raise ValueError(f"rule {cls.__name__} must define id and title")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, sorted by id."""
+    # Importing the rule modules here (not at module top) avoids a
+    # circular import: rules import engine for the base class.
+    from repro.analysis import (  # noqa: F401  (imported for side effect)
+        rules_determinism,
+        rules_rng,
+        rules_telemetry,
+        rules_units,
+    )
+
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    all_rules()
+    return _REGISTRY[rule_id]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name from a file path.
+
+    Uses the *last* path component named ``repro`` as the package
+    root, so ``src/repro/sim/machine.py`` maps to
+    ``repro.sim.machine`` regardless of checkout location.  Files
+    outside a ``repro`` tree map to their bare stem.
+    """
+    parts = path.with_suffix("").parts
+    if "repro" in parts:
+        root = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        parts = parts[root:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<unknown>"
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Per-line suppression map.
+
+    ``None`` means a blanket ``# repro: noqa`` (every rule); a frozen
+    set names the specific rules silenced on that line.
+    """
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "repro" not in text or "noqa" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[lineno] = None
+        else:
+            names = frozenset(
+                token.strip() for token in rules.split(",") if token.strip()
+            )
+            merged = out.get(lineno, frozenset())
+            out[lineno] = None if merged is None else (merged | names)
+    return out
+
+
+def _is_suppressed(
+    violation: Violation,
+    suppressions: Dict[int, Optional[FrozenSet[str]]],
+) -> bool:
+    if violation.line not in suppressions:
+        return False
+    rules = suppressions[violation.line]
+    return rules is None or violation.rule in rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one file's source text; returns sorted violations.
+
+    ``module`` overrides the path-derived module name (used by tests
+    to place fixtures inside restricted packages like ``repro.sim``).
+    """
+    if module is None:
+        module = module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    lines = tuple(source.splitlines())
+    ctx = LintContext(
+        path=path, module=module, source=source, tree=tree, lines=lines
+    )
+    suppressions = _suppressions(lines)
+    found: List[Violation] = []
+    for rule in (all_rules() if rules is None else rules):
+        for violation in rule.check(ctx):
+            if not _is_suppressed(violation, suppressions):
+                found.append(violation)
+    return sorted(found)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen = set()
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        else:
+            collected.append(path)
+    for path in collected:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Lint every Python file under ``paths``; returns sorted violations."""
+    found: List[Violation] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        found.extend(lint_source(source, path=str(path), rules=rules))
+    return sorted(found)

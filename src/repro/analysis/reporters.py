@@ -1,0 +1,47 @@
+"""Render lint results as text (for humans) or JSON (for tooling)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Violation, all_rules
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    """One clickable ``path:line:col: RULE message`` line per finding."""
+    if not violations:
+        return "ok: no static-analysis violations"
+    lines = [v.format() for v in violations]
+    by_rule: Dict[str, int] = {}
+    for v in violations:
+        by_rule[v.rule] = by_rule.get(v.rule, 0) + 1
+    summary = ", ".join(
+        f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+    )
+    lines.append(f"{len(violations)} violation(s): {summary}")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    """Stable machine-readable report (``count`` + ``violations``)."""
+    payload = {
+        "count": len(violations),
+        "violations": [v.to_dict() for v in violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def describe_rules() -> str:
+    """Human-readable catalogue of every registered rule."""
+    blocks: List[str] = []
+    for rule in all_rules():
+        blocks.append(
+            f"{rule.id}  {rule.title}\n    {rule.rationale}"
+        )
+    blocks.append(
+        "suppress one finding with `# repro: noqa[RULE]` on its line "
+        "(comma-separate several rules; bare `# repro: noqa` silences "
+        "the whole line)"
+    )
+    return "\n".join(blocks)

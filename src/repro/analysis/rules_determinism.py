@@ -1,0 +1,218 @@
+"""Determinism rules: every run must be exactly replayable.
+
+The reproduction's fault-injection and replay machinery
+(docs/robustness.md) assumes that re-running with the same seed
+reproduces every draw bit-for-bit.  These rules ban the constructs
+that silently break that property: unseeded generators, the legacy
+process-global RNGs, wall-clock reads inside the simulator/controller,
+and iteration over unordered sets (whose order feeds RNG draws and
+assignment order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: Legacy ``numpy.random`` module-level functions that draw from (or
+#: reseed) the process-global generator.  ``default_rng`` /
+#: ``Generator`` / ``SeedSequence`` / bit generators are the modern,
+#: explicitly-seeded API and stay allowed.
+_NP_LEGACY = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "beta",
+    "gamma", "binomial", "lognormal", "get_state", "set_state",
+})
+
+#: ``random`` (stdlib) module-level draw/seed functions.
+_STDLIB_LEGACY = frozenset({
+    "seed", "random", "uniform", "randint", "randrange", "choice",
+    "choices", "shuffle", "sample", "gauss", "normalvariate",
+    "expovariate", "betavariate", "gammavariate", "lognormvariate",
+    "triangular", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getrandbits", "getstate", "setstate",
+})
+
+#: Wall-clock reads, matched as dotted-suffixes of the call target.
+_WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Packages where wall-clock reads are banned outright.  Telemetry is
+#: deliberately absent: its tracer timestamps spans, which is exactly
+#: what wall clocks are for, and no simulation state depends on them.
+_CLOCK_FREE_PACKAGES = ("repro.sim", "repro.core", "repro.faults")
+
+
+def _call_target(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+@register
+class UnseededGeneratorRule(Rule):
+    id = "DET101"
+    title = "np.random.default_rng() called without a seed"
+    rationale = (
+        "An unseeded generator takes OS entropy, so two runs with the "
+        "same --seed diverge and exact replay of faulted runs breaks."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node)
+            if target is None or not (
+                target == "default_rng" or target.endswith(".default_rng")
+            ):
+                continue
+            if not node.args and not node.keywords:
+                yield ctx.violation(
+                    self, node,
+                    "unseeded default_rng(); derive the stream with "
+                    "repro.rng.rng_for or pass an explicit seed",
+                )
+
+
+@register
+class LegacyGlobalRngRule(Rule):
+    id = "DET102"
+    title = "process-global RNG (random.* / legacy np.random.*) used"
+    rationale = (
+        "The module-level generators are shared mutable process state: "
+        "any import that draws from them shifts every later draw, so "
+        "replay depends on import order and unrelated code."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = _call_target(node)
+                if target is None:
+                    continue
+                if target.startswith("random.") and \
+                        target.split(".", 1)[1] in _STDLIB_LEGACY:
+                    yield ctx.violation(
+                        self, node,
+                        f"{target}() draws from the process-global stdlib "
+                        "generator; use an explicit np.random.Generator",
+                    )
+                    continue
+                for prefix in ("np.random.", "numpy.random."):
+                    if target.startswith(prefix) and \
+                            target[len(prefix):] in _NP_LEGACY:
+                        yield ctx.violation(
+                            self, node,
+                            f"{target}() uses the legacy global numpy RNG; "
+                            "use np.random.default_rng(seed) / rng_for",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    names = {alias.name for alias in node.names}
+                    bad = sorted(names & _STDLIB_LEGACY)
+                    if bad:
+                        yield ctx.violation(
+                            self, node,
+                            "importing process-global draw functions from "
+                            f"the random module ({', '.join(bad)})",
+                        )
+                elif node.module == "numpy.random":
+                    names = {alias.name for alias in node.names}
+                    for name in sorted(names & _NP_LEGACY):
+                        yield ctx.violation(
+                            self, node,
+                            f"importing legacy global numpy.random.{name}",
+                        )
+
+
+@register
+class WallClockRule(Rule):
+    id = "DET103"
+    title = "wall-clock read inside repro.sim / repro.core / repro.faults"
+    rationale = (
+        "Simulated time is the only clock the simulator, controller "
+        "and fault injector may observe; a wall-clock read makes "
+        "behaviour depend on host speed and breaks replay."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_in(*_CLOCK_FREE_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node)
+            if target is None:
+                continue
+            if any(
+                target == clock or target.endswith("." + clock)
+                for clock in _WALL_CLOCK
+            ):
+                yield ctx.violation(
+                    self, node,
+                    f"wall-clock call {target}() in {ctx.module}; use "
+                    "simulated time (slice indices / quantum counts)",
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = dotted_name(node.func)
+        return target in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    id = "DET104"
+    title = "iteration over an unordered set"
+    rationale = (
+        "Set iteration order varies across Python versions and hash "
+        "seeds; when it feeds RNG draws or assignment order, two "
+        "hosts replay the same seed differently.  Iterate over "
+        "sorted(...) instead."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        message = (
+            "iterating over an unordered set; wrap it in sorted() so "
+            "order (and anything drawn per element) is deterministic"
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield ctx.violation(self, node.iter, message)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield ctx.violation(self, gen.iter, message)
+            elif isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target in ("list", "tuple", "enumerate") and \
+                        len(node.args) >= 1 and _is_set_expr(node.args[0]):
+                    yield ctx.violation(self, node.args[0], message)

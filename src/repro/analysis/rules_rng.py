@@ -1,0 +1,123 @@
+"""RNG-stream hygiene rules.
+
+PR 2's fault injector gives every fault spec its own generator so that
+injecting one fault never shifts another stream's draws; the same
+discipline applies everywhere: a function that is *handed* a stream
+(an ``rng`` parameter) must draw from it, and exception paths must not
+consume draws (the regression class fixed by hand in
+``Machine._noisy`` — see docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: Methods of :class:`numpy.random.Generator` that consume draws.
+_DRAW_METHODS = frozenset({
+    "normal", "uniform", "integers", "random", "choice", "shuffle",
+    "permutation", "permuted", "standard_normal", "exponential",
+    "poisson", "lognormal", "beta", "gamma", "binomial", "bytes",
+    "spawn",
+})
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _rng_params(node: _FunctionNode) -> bool:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return any(name == "rng" or name.endswith("_rng") for name in names)
+
+
+def _is_generator_constructor(node: ast.Call) -> Optional[str]:
+    target = dotted_name(node.func)
+    if target is None:
+        return None
+    if target == "default_rng" or target.endswith(".default_rng"):
+        return target
+    if target == "rng_for" or target.endswith(".rng_for"):
+        return target
+    if target in ("np.random.Generator", "numpy.random.Generator",
+                  "random.Random"):
+        return target
+    return None
+
+
+@register
+class NewGeneratorInRngFunctionRule(Rule):
+    id = "RNG201"
+    title = "function taking an rng parameter constructs a new generator"
+    rationale = (
+        "A caller hands a function its stream precisely so the draw "
+        "sequence is owned in one place; minting a second generator "
+        "inside forks the stream and silently decouples the function "
+        "from the seed the caller controls."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _rng_params(node):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    target = _is_generator_constructor(inner)
+                    if target is not None:
+                        yield ctx.violation(
+                            self, inner,
+                            f"{node.name}() accepts an rng parameter but "
+                            f"constructs a new generator via {target}(); "
+                            "draw from (or rng.spawn() off) the parameter",
+                        )
+
+
+def _looks_like_rng(target: Optional[str]) -> bool:
+    if target is None:
+        return False
+    tail = target.rsplit(".", 1)[-1]
+    return "rng" in tail.lower()
+
+
+@register
+class DrawInExceptHandlerRule(Rule):
+    id = "RNG202"
+    title = "RNG draw consumed inside an except handler"
+    rationale = (
+        "Error paths fire data-dependently, so a draw inside an "
+        "except handler shifts every later sample only on the runs "
+        "that fault — exactly what broke seed-exact replay before "
+        "Machine._noisy was fixed to return NaN without drawing."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for stmt in node.body:
+                for inner in ast.walk(stmt):
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    func = inner.func
+                    if not isinstance(func, ast.Attribute):
+                        continue
+                    if func.attr not in _DRAW_METHODS:
+                        continue
+                    receiver = dotted_name(func.value)
+                    if _looks_like_rng(receiver):
+                        yield ctx.violation(
+                            self, inner,
+                            f"{receiver}.{func.attr}() inside an except "
+                            "handler consumes draws only on faulting "
+                            "runs, breaking seed-exact replay; compute "
+                            "the fallback without the RNG",
+                        )

@@ -1,0 +1,63 @@
+"""Telemetry hygiene rules.
+
+Spans measure wall-time between ``__enter__`` and ``__exit__``; a span
+opened outside a ``with`` block leaks on any exception path, which
+corrupts the nesting stack and every enclosing span's self-time
+(docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "span":
+        return False
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    return any(hint in tail for hint in ("trace", "tracer", "telemetry"))
+
+
+@register
+class SpanOutsideWithRule(Rule):
+    id = "TEL401"
+    title = "tracer span opened outside a with statement"
+    rationale = (
+        "A span not bound to a with block never closes on exceptions, "
+        "leaving the tracer's span stack unbalanced and every "
+        "enclosing span's timing wrong.  Forwarding a freshly built "
+        "span out of a helper (return tracer.span(...)) is the one "
+        "allowed non-with use."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        allowed: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    allowed.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                allowed.add(id(node.value))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not _is_span_call(node):
+                continue
+            if id(node) in allowed:
+                continue
+            yield ctx.violation(
+                self, node,
+                "span() opened outside a with statement; use "
+                "`with tracer.span(...):` so exit runs on every path",
+            )

@@ -1,0 +1,183 @@
+"""Unit and invariant discipline rules.
+
+The machine invariants the paper assumes — LLC way budget, power cap,
+valid {FE,BE,LS} widths — are all physical quantities carried in
+floats with unit-suffixed names (``*_w``, ``*_ms``, ``*_ways``).
+These rules catch the two classic ways such code rots: exact float
+comparison on computed values, and quantities crossing a unit boundary
+(watts vs milliwatts, seconds vs milliseconds) without conversion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: Recognised unit suffixes mapped to their physical dimension.  Two
+#: names whose suffixes differ — even within one dimension — must not
+#: be compared, added, or assigned without explicit conversion.
+_UNIT_DIMENSIONS = {
+    "w": "power", "mw": "power", "kw": "power",
+    "s": "time", "ms": "time", "us": "time", "ns": "time",
+    "hz": "frequency", "mhz": "frequency", "ghz": "frequency",
+    "ways": "cache",
+    "qps": "rate",
+}
+
+
+def _unit_of(node: ast.AST) -> Optional[Tuple[str, str]]:
+    """(name, unit-suffix) if the node is a unit-suffixed name."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    tail = name.rsplit(".", 1)[-1]
+    if "_" not in tail:
+        # Bare names like ``w`` or ``s`` are loop variables far more
+        # often than quantities; only the ``quantity_unit`` naming
+        # convention is load-bearing enough to lint.
+        return None
+    suffix = tail.rsplit("_", 1)[-1].lower()
+    if suffix in _UNIT_DIMENSIONS:
+        return name, suffix
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "UNIT301"
+    title = "exact == / != against a float literal"
+    rationale = (
+        "Computed floats (powers, latencies, way shares) accumulate "
+        "rounding error; exact equality silently becomes always-false "
+        "(or worse, platform-dependent).  Compare with an explicit "
+        "near-zero tolerance or math.isclose."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for operand in (left, right):
+                    if isinstance(operand, ast.Constant) and isinstance(
+                        operand.value, float
+                    ):
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield ctx.violation(
+                            self, node,
+                            f"exact {symbol} against float literal "
+                            f"{operand.value!r}; use an explicit tolerance "
+                            "(or suppress if the value is an exact "
+                            "sentinel, never computed)",
+                        )
+                        break
+
+
+_MUTABLE_CALLS = ("list", "dict", "set", "collections.defaultdict",
+                  "defaultdict", "bytearray")
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "UNIT302"
+    title = "mutable default argument"
+    rationale = (
+        "A mutable default is shared across every call: state leaks "
+        "between runs that must be independent, which breaks replay "
+        "and makes results order-dependent."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if isinstance(default, ast.Call):
+                    bad = dotted_name(default.func) in _MUTABLE_CALLS
+                if bad:
+                    yield ctx.violation(
+                        self, default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None (or a tuple) and construct "
+                        "inside the function",
+                    )
+
+
+@register
+class UnitSuffixMismatchRule(Rule):
+    id = "UNIT303"
+    title = "unit-suffixed quantities mixed across different units"
+    rationale = (
+        "power_w = budget_mw or cap_w < latency_ms compiles and runs; "
+        "only the physics is wrong.  Any comparison, addition, "
+        "subtraction, or direct assignment between names with "
+        "different unit suffixes needs an explicit conversion."
+    )
+
+    def _mismatch(
+        self, a: ast.AST, b: ast.AST
+    ) -> Optional[Tuple[str, str, str, str]]:
+        ua, ub = _unit_of(a), _unit_of(b)
+        if ua is None or ub is None or ua[1] == ub[1]:
+            return None
+        return ua[0], ua[1], ub[0], ub[1]
+
+    def _describe(self, hit: Tuple[str, str, str, str], verb: str) -> str:
+        name_a, unit_a, name_b, unit_b = hit
+        dim_a = _UNIT_DIMENSIONS[unit_a]
+        dim_b = _UNIT_DIMENSIONS[unit_b]
+        if dim_a == dim_b:
+            detail = f"both {dim_a}, but units differ — convert explicitly"
+        else:
+            detail = f"{dim_a} vs {dim_b} — these are different dimensions"
+        return (
+            f"{name_a} [{unit_a}] {verb} {name_b} [{unit_b}]: {detail}"
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for left, right in zip(operands, operands[1:]):
+                    hit = self._mismatch(left, right)
+                    if hit is not None:
+                        yield ctx.violation(
+                            self, node, self._describe(hit, "compared with")
+                        )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                hit = self._mismatch(node.left, node.right)
+                if hit is not None:
+                    verb = "+" if isinstance(node.op, ast.Add) else "-"
+                    yield ctx.violation(
+                        self, node, self._describe(hit, verb)
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    hit = self._mismatch(target, node.value)
+                    if hit is not None:
+                        yield ctx.violation(
+                            self, node, self._describe(hit, "assigned from")
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                hit = self._mismatch(node.target, node.value)
+                if hit is not None:
+                    yield ctx.violation(
+                        self, node, self._describe(hit, "assigned from")
+                    )

@@ -17,7 +17,7 @@ utility, which the partitioning hardware measures online.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

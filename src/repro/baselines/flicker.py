@@ -38,7 +38,6 @@ from repro.core.objective import SystemObjective
 from repro.core.rbf import RBFSurrogate, l9_sample_configs
 from repro.sim.coreconfig import (
     CACHE_ALLOCS,
-    N_CACHE_ALLOCS,
     N_CORE_CONFIGS,
     CoreConfig,
     JointConfig,

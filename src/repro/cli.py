@@ -14,6 +14,9 @@ Commands:
   default fault scenarios (docs/robustness.md)
 * ``report``                — run the full evaluation, write a markdown report
 * ``telemetry-report``      — summarise a JSONL telemetry log
+* ``lint``                  — project-specific static analysis
+  (determinism / RNG-stream / unit-invariant / telemetry rules; see
+  docs/static-analysis.md)
 
 ``--verbose/-v`` (repeatable) raises logging of the ``repro.*``
 hierarchy to INFO then DEBUG.
@@ -23,7 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.logs import configure as configure_logging
 
@@ -336,6 +339,34 @@ def _cmd_fault_study(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        describe_rules,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(describe_rules())
+        return 0
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).resolve().parent]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    violations = lint_paths(paths)
+    print(render_json(violations) if args.json else render_text(violations))
+    return 1 if violations else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.full_eval import render_report, run_full_evaluation
 
@@ -431,6 +462,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     telemetry_report.add_argument("log", help="JSONL log written by "
                                   "`run --jsonl` or Telemetry.write_jsonl")
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (docs/static-analysis.md)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint "
+                      "(default: the installed repro package)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON report")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every rule and the suppression syntax")
     return parser
 
 
@@ -449,6 +492,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "fault-study": _cmd_fault_study,
         "telemetry-report": _cmd_telemetry_report,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

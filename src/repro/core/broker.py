@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.sim.machine import Machine, SliceMeasurement
 from repro.workloads.loadgen import LoadTrace

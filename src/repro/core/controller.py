@@ -23,10 +23,13 @@ end-of-slice measurements, like the real system.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
 
 from repro.core.dds import DDSParams, DDSSearch
 from repro.core.ga import GAParams, GeneticSearch
@@ -58,6 +61,11 @@ from repro.workloads.latency_critical import LC_SERVICE_NAMES, service_variants
 
 #: Load grid used to bucket latency observations and training rows.
 LOAD_GRID: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+#: Power readings at or below this magnitude (watts) count as "all
+#: cores idle" for stuck-sensor detection: core powers are O(1-10) W,
+#: so anything this small is numerical residue, not a live signal.
+POWER_READING_EPS_W = 1e-9
 
 log = get_logger("core.controller")
 
@@ -188,14 +196,14 @@ class ResourceController:
         train_profiles: Sequence[AppProfile],
         train_services: Sequence,  # Sequence[LCService]
         config: ControllerConfig = ControllerConfig(),
-        telemetry=None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.machine = machine
         self.config = config
         # The controller always times its phases through a tracer (one
         # shared measurement path for StepTimings, Table II and trace
         # exports); without a session it uses a private one.
-        self.telemetry = None
+        self.telemetry: Optional["Telemetry"] = None
         self.tracer: Tracer = Tracer()
         if telemetry is not None:
             self.attach_telemetry(telemetry)
@@ -277,7 +285,7 @@ class ResourceController:
         self._reconstructor.tracer = self.tracer
         self._searcher.tracer = self.tracer
 
-    def attach_telemetry(self, telemetry) -> None:
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route spans/metrics into a :class:`repro.telemetry.Telemetry`.
 
         The session's tracer replaces the controller's private one so
@@ -432,7 +440,7 @@ class ResourceController:
         stuck = (
             self._last_profile_powers is not None
             and powers == self._last_profile_powers
-            and any(p != 0.0 for p in powers)
+            and any(abs(p) > POWER_READING_EPS_W for p in powers)
         )
         self._last_profile_powers = powers
         return stuck

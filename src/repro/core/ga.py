@@ -128,12 +128,19 @@ class GeneticSearch:
         result.best_objective = float(fitness[best])
         return result
 
-    def _tournament(self, population, fitness, rng) -> np.ndarray:
+    def _tournament(
+        self,
+        population: List[np.ndarray],
+        fitness: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
         picks = rng.integers(0, len(population), size=self.params.tournament)
         winner = picks[int(np.argmax(fitness[picks]))]
         return population[winner]
 
-    def _crossover(self, a: np.ndarray, b: np.ndarray, rng) -> np.ndarray:
+    def _crossover(
+        self, a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
         if rng.random() > self.params.crossover_rate:
             return a.copy()
         take_b = rng.random(a.size) < 0.5
@@ -141,7 +148,9 @@ class GeneticSearch:
         child[take_b] = b[take_b]
         return child
 
-    def _mutate(self, x: np.ndarray, n_confs: int, rng) -> np.ndarray:
+    def _mutate(
+        self, x: np.ndarray, n_confs: int, rng: np.random.Generator
+    ) -> np.ndarray:
         flips = rng.random(x.size) < self.params.mutation_rate
         if flips.any():
             x = x.copy()

@@ -110,8 +110,10 @@ class SystemObjective:
     def total_ways(self, x: np.ndarray) -> float:
         """Physical LLC ways used, pairing half-way holders (Eq. 3)."""
         ways = self.ways_by_config[x]
-        halves = int(np.sum(ways == 0.5))
-        whole = float(np.sum(ways[ways != 0.5]))
+        # 0.5 is the exact half-way sentinel from the config table,
+        # never the result of arithmetic.
+        halves = int(np.sum(ways == 0.5))  # repro: noqa[UNIT301]
+        whole = float(np.sum(ways[ways != 0.5]))  # repro: noqa[UNIT301]
         paired = np.ceil(halves / 2.0) if halves else 0.0
         return whole + paired + self.reserved_ways
 
@@ -148,8 +150,9 @@ class SystemObjective:
         gmean = np.exp(np.mean(np.log(np.maximum(bips, 1e-12)), axis=1))
         power = np.sum(self.power[cols, xs], axis=1) + self.reserved_power
         ways = self.ways_by_config[xs]
-        halves = np.sum(ways == 0.5, axis=1)
-        whole = np.sum(np.where(ways == 0.5, 0.0, ways), axis=1)
+        # Exact half-way sentinel, as in total_ways above.
+        halves = np.sum(ways == 0.5, axis=1)  # repro: noqa[UNIT301]
+        whole = np.sum(np.where(ways == 0.5, 0.0, ways), axis=1)  # repro: noqa[UNIT301]
         total_ways = whole + np.ceil(halves / 2.0) + self.reserved_ways
         return (
             gmean

@@ -14,12 +14,12 @@ reconstructions, with no profiling overhead.  Two uses:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.dds import DDSParams, DDSSearch
-from repro.core.matrices import latency_row, power_rows, throughput_rows
+from repro.core.matrices import latency_row, power_rows
 from repro.core.objective import SystemObjective
 from repro.sim.coreconfig import (
     CACHE_ALLOCS,
@@ -110,7 +110,9 @@ class OracleReconfigPolicy:
     def observe(self, measurement: SliceMeasurement) -> None:
         """Oracle carries no state."""
 
-    def _select_lc(self, machine: Machine, load: float):
+    def _select_lc(
+        self, machine: Machine, load: float
+    ) -> Tuple[JointConfig, float]:
         latency = latency_row(
             machine.lc_service, machine.perf, load, self.lc_cores
         )

@@ -11,12 +11,27 @@ slice measurements) and produces an :class:`~repro.sim.machine.Assignment`.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
-from repro.core.controller import ControllerConfig, ResourceController
+from repro.core.controller import (
+    ControllerConfig,
+    DecisionPrediction,
+    ResourceController,
+)
 from repro.sim.machine import Assignment, Machine, SliceMeasurement
 from repro.workloads.batch import batch_profile, train_test_split
 from repro.workloads.latency_critical import make_services
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.harness import PolicyRun
+    from repro.telemetry import Telemetry
+    from repro.workloads.loadgen import LoadTrace
 
 
 @runtime_checkable
@@ -53,18 +68,18 @@ class CuttleSysPolicy:
     def __init__(self, controller: ResourceController) -> None:
         self.controller = controller
 
-    def attach_telemetry(self, telemetry) -> None:
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route controller and machine spans/metrics into a session."""
         self.controller.attach_telemetry(telemetry)
         self.controller.machine.attach_telemetry(telemetry)
 
     @property
-    def last_prediction(self):
+    def last_prediction(self) -> Optional[DecisionPrediction]:
         """Predicted BIPS/p99/power of the most recent decision."""
         return self.controller.last_prediction
 
     @property
-    def last_good_assignment(self):
+    def last_good_assignment(self) -> Optional[Assignment]:
         """Last assignment whose slice came back clean (degraded-path reuse)."""
         return self.controller.last_good_assignment
 
@@ -130,10 +145,10 @@ class CuttleSysPolicy:
     def run(
         self,
         machine: Machine,
-        trace,
+        trace: "LoadTrace",
         power_cap_fraction: float,
         n_slices: int,
-    ):
+    ) -> "PolicyRun":
         """Convenience wrapper around the experiment harness."""
         from repro.experiments.harness import run_policy
 

@@ -245,7 +245,15 @@ class PQReconstructor:
             iterations=iterations, observed_rmse=last_rmse, converged=converged
         )
 
-    def _epoch_serial(self, centred, rows_idx, cols_idx, q, p, rng) -> None:
+    def _epoch_serial(
+        self,
+        centred: np.ndarray,
+        rows_idx: np.ndarray,
+        cols_idx: np.ndarray,
+        q: np.ndarray,
+        p: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         """One pass of per-entry SGD updates in random order (Alg. 1)."""
         eta = self.params.learning_rate
         lam = self.params.regularization
@@ -258,7 +266,13 @@ class PQReconstructor:
             q[i] += eta * (err * p[j] - lam * q_i)
             p[j] += eta * (err * q_i - lam * p[j])
 
-    def _epoch_parallel(self, centred, mask, q, p) -> None:
+    def _epoch_parallel(
+        self,
+        centred: np.ndarray,
+        mask: np.ndarray,
+        q: np.ndarray,
+        p: np.ndarray,
+    ) -> None:
         """One lock-free epoch: all updates computed from stale factors.
 
         Every observed entry's gradient uses the factor state from the

@@ -20,7 +20,7 @@ on useful work, QoS, and the power budget:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 import numpy as np

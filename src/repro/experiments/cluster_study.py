@@ -14,9 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
 
-from repro.core.broker import BrokerParams, BrokerRun, PowerBroker, Socket
+from repro.core.broker import BrokerParams, PowerBroker, Socket
 from repro.core.runtime import CuttleSysPolicy
 from repro.experiments.harness import build_machine_for_mix
 from repro.experiments.reporting import format_table

@@ -35,7 +35,7 @@ from repro.experiments.harness import (
 from repro.experiments.reporting import format_table
 from repro.sim.machine import Machine
 from repro.workloads.loadgen import LoadTrace
-from repro.workloads.mixes import Mix, paper_mixes
+from repro.workloads.mixes import paper_mixes
 
 #: Power caps evaluated in the paper, as fractions of the reference.
 PAPER_CAPS: Tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5)

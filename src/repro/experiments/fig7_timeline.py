@@ -10,9 +10,8 @@ gated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.baselines import AsymmetricOraclePolicy, CoreGatingPolicy
 from repro.core.runtime import CuttleSysPolicy

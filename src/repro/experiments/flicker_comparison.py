@@ -19,9 +19,7 @@ Three results:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
-import numpy as np
 
 from repro.baselines.flicker import FlickerMethod, FlickerPolicy
 from repro.core.rbf import l9_sample_configs

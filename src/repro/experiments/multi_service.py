@@ -14,9 +14,8 @@ over the batch jobs against the combined reservation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
-import numpy as np
 
 from repro.core.controller import ControllerConfig
 from repro.core.runtime import CuttleSysPolicy

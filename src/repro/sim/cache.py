@@ -139,15 +139,18 @@ class WayPartition:
         Half-way holders are paired greedily in insertion order; an odd
         half-way holder owns its way alone and does not pay the penalty.
         """
-        if self._allocs.get(job, 0.0) != 0.5:
+        # 0.5 is the exact half-way sentinel stored in the allocation
+        # table, never a computed quantity.
+        if self._allocs.get(job, 0.0) != 0.5:  # repro: noqa[UNIT301]
             return False
-        halves = [j for j, w in self._allocs.items() if w == 0.5]
+        halves = [j for j, w in self._allocs.items() if w == 0.5]  # repro: noqa[UNIT301]
         position = halves.index(job)
         # Pairs are (0,1), (2,3), ...; the last unpaired holder is alone.
         return not (position == len(halves) - 1 and len(halves) % 2 == 1)
 
     def physical_ways_used(self) -> float:
         """Physical ways consumed, counting each shared pair once."""
-        halves = sum(1 for w in self._allocs.values() if w == 0.5)
-        whole = sum(w for w in self._allocs.values() if w != 0.5)
+        # Exact half-way sentinel comparisons, as in is_shared above.
+        halves = sum(1 for w in self._allocs.values() if w == 0.5)  # repro: noqa[UNIT301]
+        whole = sum(w for w in self._allocs.values() if w != 0.5)  # repro: noqa[UNIT301]
         return whole + math.ceil(halves / 2.0)

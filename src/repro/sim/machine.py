@@ -23,10 +23,13 @@ measurements), mirroring the Configuration Controller's interface.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry import Telemetry
 
 from repro.sim.coreconfig import CoreConfig, JointConfig
 from repro.sim.memory import MemoryDemand, MemorySystem
@@ -34,6 +37,11 @@ from repro.sim.perf import AppProfile, PerformanceModel
 from repro.sim.power import PowerModel
 from repro.telemetry.tracer import NULL_TRACER, tracer_of
 from repro.workloads.latency_critical import LCService
+
+#: Readings at or below this magnitude are treated as exactly zero by
+#: the sensor path: an idle core reports 0.0 by construction, and
+#: multiplicative noise on a denormal-scale residue is meaningless.
+ZERO_READING_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -168,7 +176,8 @@ class Assignment:
         for cfg in self.batch_configs:
             if cfg is None:
                 continue
-            if cfg.cache_ways == 0.5:
+            # Half-way shares are the exact sentinel 0.5, never computed.
+            if cfg.cache_ways == 0.5:  # repro: noqa[UNIT301]
                 half_holders += 1
             else:
                 total += cfg.cache_ways
@@ -277,7 +286,7 @@ class Machine:
             queue_factor=params.memory_queue_factor,
         )
 
-    def attach_telemetry(self, telemetry) -> None:
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route profiling/slice/reconfigure spans into a session."""
         self.trace = tracer_of(telemetry)
 
@@ -360,8 +369,13 @@ class Machine:
             # consume RNG draws, or it would shift every later sample
             # and break seed-exact replay of faulted runs.
             return math.nan
-        if value == 0.0:
-            return 0.0
+        if abs(value) <= ZERO_READING_EPS:
+            # Idle-core readings are exactly zero by construction, but
+            # tolerate denormal-scale residue from upstream arithmetic:
+            # multiplicative noise on a ~0 reading is still ~0, and
+            # skipping the draw here keeps the stream aligned with runs
+            # where the reading is exactly 0.0.
+            return value
         return value * float(
             np.exp(self._rng.normal(0.0, rel_std) - rel_std**2 / 2.0)
         )
@@ -695,9 +709,9 @@ class Machine:
         self,
         assignment: Assignment,
         load: float,
-        active,
+        active: Sequence[int],
         share: float,
-        shared_flags,
+        shared_flags: Sequence[bool],
         ways_override: Optional[float],
         extra_loads: Sequence[float] = (),
     ) -> float:
@@ -814,7 +828,8 @@ class Machine:
         halves = [
             i
             for i, cfg in enumerate(assignment.batch_configs)
-            if cfg is not None and cfg.cache_ways == 0.5
+            # Exact sentinel 0.5 (half-way share), never computed.
+            if cfg is not None and cfg.cache_ways == 0.5  # repro: noqa[UNIT301]
         ]
         for pos, job in enumerate(halves):
             alone = pos == len(halves) - 1 and len(halves) % 2 == 1

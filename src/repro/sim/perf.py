@@ -29,13 +29,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.sim.cache import MissRateCurve
-from repro.sim.coreconfig import (
-    CACHE_ALLOCS,
-    JOINT_CONFIGS,
-    N_JOINT_CONFIGS,
-    CoreConfig,
-    JointConfig,
-)
+from repro.sim.coreconfig import JOINT_CONFIGS, N_JOINT_CONFIGS, CoreConfig
 
 
 #: Convexity of the width penalty: dropping six-wide to four-wide costs

@@ -22,8 +22,8 @@ measured * 100`` — positive means the reconstruction over-estimated.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 
 def signed_error_percent(predicted: float, measured: float) -> float:

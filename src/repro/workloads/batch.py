@@ -15,20 +15,20 @@ and a train/test split with no overlap (paper §VII-A).
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.rng import rng_for
 from repro.sim.cache import MissRateCurve
 from repro.sim.perf import AppProfile
 
-
-def rng_for(name: str, salt: str = "") -> np.random.Generator:
-    """Deterministic per-name generator (stable across processes)."""
-    seed = zlib.crc32(f"{salt}:{name}".encode("utf-8"))
-    return np.random.default_rng(seed)
+__all__ = [
+    "Archetype", "ARCHETYPES", "SPEC_ARCHETYPE", "SPEC_APPS",
+    "batch_profile", "all_batch_profiles", "train_test_split",
+    "synthetic_population", "rng_for",
+]
 
 
 @dataclass(frozen=True)

@@ -25,12 +25,11 @@ the 80 %-load tail latency on the widest core.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-import numpy as np
 
+from repro.rng import rng_for
 from repro.sim.cache import MissRateCurve
 from repro.sim.coreconfig import CoreConfig
 from repro.sim.perf import AppProfile, PerformanceModel
@@ -287,9 +286,9 @@ def service_variants(
     if base is None:
         raise KeyError(f"unknown latency-critical service {name!r}")
     perf = perf if perf is not None else PerformanceModel()
-    rng = np.random.default_rng(
-        (seed * 8191 + zlib.crc32(name.encode("utf-8"))) % (2**32)
-    )
+    # rng_for(name, seed=seed) derives the same stream the ad-hoc
+    # crc32 expression here used to: variants are unchanged.
+    rng = rng_for(name, seed=seed)
 
     def wiggle(value: float, lo: float = 0.0) -> float:
         return max(lo, value * float(rng.uniform(1 - jitter, 1 + jitter)))

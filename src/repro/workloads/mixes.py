@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
+from repro.rng import rng_for
 from repro.workloads.batch import train_test_split
 from repro.workloads.latency_critical import LC_SERVICE_NAMES
 
@@ -55,7 +54,7 @@ def paper_mixes(
     and evaluation workloads never overlap.
     """
     _, test_apps = train_test_split(n_train=n_train, seed=seed)
-    rng = np.random.default_rng(seed + 1)
+    rng = rng_for("paper-mixes", seed=seed)
     mixes = []
     for lc_name in lc_names:
         for _ in range(mixes_per_service):

@@ -1,0 +1,22 @@
+# Fixture for DET101: unseeded np.random.default_rng().
+import numpy as np
+
+from repro.rng import rng_for
+
+
+def good_seeded() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def good_derived() -> np.random.Generator:
+    return rng_for("xapian", salt="fixture")
+
+
+def bad_unseeded() -> np.random.Generator:
+    return np.random.default_rng()  # expect: DET101
+
+
+def bad_unseeded_alias() -> np.random.Generator:
+    from numpy.random import default_rng
+
+    return default_rng()  # expect: DET101

@@ -1,0 +1,31 @@
+# Fixture for DET102: process-global RNG use.
+import random
+
+import numpy as np
+
+
+def good_generator(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform(0.0, 1.0))
+
+
+def good_random_object(seed: int) -> float:
+    # An explicit random.Random instance is seeded, private state.
+    local = random.Random(seed)
+    return local.uniform(0.0, 1.0)
+
+
+def bad_stdlib_global() -> float:
+    return random.random()  # expect: DET102
+
+
+def bad_stdlib_seed() -> None:
+    random.seed(7)  # expect: DET102
+
+
+def bad_numpy_global() -> float:
+    return float(np.random.uniform(0.0, 1.0))  # expect: DET102
+
+
+def bad_numpy_shuffle(values: list) -> None:
+    np.random.shuffle(values)  # expect: DET102

@@ -1,0 +1,20 @@
+# Fixture for DET103: wall-clock reads in clock-free packages.
+# lint-module: repro.sim.fixture
+import time
+from datetime import datetime
+
+
+def good_simulated_time(slice_index: int, timeslice_s: float) -> float:
+    return slice_index * timeslice_s
+
+
+def bad_wall_clock() -> float:
+    return time.time()  # expect: DET103
+
+
+def bad_perf_counter() -> float:
+    return time.perf_counter()  # expect: DET103
+
+
+def bad_datetime_now() -> "datetime":
+    return datetime.now()  # expect: DET103

@@ -1,0 +1,32 @@
+# Fixture for DET104: iteration over unordered sets.
+
+
+def good_sorted_iteration(jobs: set) -> list:
+    return [j for j in sorted(jobs)]
+
+
+def good_membership(jobs: set, j: int) -> bool:
+    # Membership tests are order-free and fine.
+    return j in jobs
+
+
+def bad_for_over_set_call(names: list) -> list:
+    out = []
+    for name in set(names):  # expect: DET104
+        out.append(name)
+    return out
+
+
+def bad_for_over_set_literal() -> list:
+    out = []
+    for name in {"a", "b"}:  # expect: DET104
+        out.append(name)
+    return out
+
+
+def bad_comprehension(names: list) -> list:
+    return [n for n in set(names)]  # expect: DET104
+
+
+def bad_list_of_set(names: list) -> list:
+    return list(set(names))  # expect: DET104

@@ -1,0 +1,23 @@
+# Fixture for RNG201: rng-taking functions minting new generators.
+import numpy as np
+
+from repro.rng import rng_for
+
+
+def good_draws_from_parameter(rng: np.random.Generator) -> float:
+    return float(rng.normal(0.0, 1.0))
+
+
+def good_no_rng_parameter(seed: int) -> np.random.Generator:
+    # Functions that are not handed a stream may mint their own.
+    return np.random.default_rng(seed)
+
+
+def bad_minted_inside(rng: np.random.Generator, seed: int) -> float:
+    fresh = np.random.default_rng(seed)  # expect: RNG201
+    return float(fresh.normal(0.0, 1.0))
+
+
+def bad_rng_for_inside(churn_rng: np.random.Generator) -> float:
+    other = rng_for("side-stream")  # expect: RNG201
+    return float(other.uniform(0.0, 1.0))

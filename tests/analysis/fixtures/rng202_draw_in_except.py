@@ -1,0 +1,32 @@
+# Fixture for RNG202: RNG draws on exception paths.
+import math
+
+import numpy as np
+
+
+def good_draw_on_main_path(rng: np.random.Generator, value: float) -> float:
+    noisy = value * float(rng.normal(1.0, 0.1))
+    try:
+        return math.sqrt(noisy)
+    except ValueError:
+        # The fallback must not consume draws: it only fires on some
+        # runs, which would shift every later sample.
+        return math.nan
+
+
+def bad_draw_in_handler(rng: np.random.Generator, value: float) -> float:
+    try:
+        return math.sqrt(value)
+    except ValueError:
+        return float(rng.normal(0.0, 1.0))  # expect: RNG202
+
+
+class Machine:
+    def __init__(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def bad_attribute_draw(self, value: float) -> float:
+        try:
+            return math.sqrt(value)
+        except ValueError:
+            return float(self._rng.uniform(0.0, 1.0))  # expect: RNG202

@@ -1,0 +1,22 @@
+# Fixture for TEL401: spans opened outside `with`.
+
+
+class Worker:
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+
+    def good_with_block(self) -> int:
+        with self.tracer.span("work", category="fixture"):
+            return 1
+
+    def good_forwarding_helper(self, name: str):
+        # The one allowed non-with use: forwarding a fresh span for the
+        # caller's own with block.
+        return self.tracer.span(name, category="fixture")
+
+    def bad_assigned(self) -> None:
+        span = self.tracer.span("leaky")  # expect: TEL401
+        span.set(answer=42)
+
+    def bad_bare_call(self, trace) -> None:
+        trace.span("never-closed")  # expect: TEL401

@@ -1,0 +1,22 @@
+# Fixture for UNIT301: exact float-literal equality.
+
+
+def good_tolerance(power_w: float) -> bool:
+    return abs(power_w) <= 1e-9
+
+
+def good_int_equality(n_cores: int) -> bool:
+    return n_cores == 0
+
+
+def good_suppressed(share: float) -> bool:
+    # 0.5 here stands in for an exact sentinel, never computed.
+    return share == 0.5  # repro: noqa[UNIT301]
+
+
+def bad_eq_zero(power_w: float) -> bool:
+    return power_w == 0.0  # expect: UNIT301
+
+
+def bad_ne_literal(p99_s: float) -> bool:
+    return p99_s != 1.5  # expect: UNIT301

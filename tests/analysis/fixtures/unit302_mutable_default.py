@@ -1,0 +1,22 @@
+# Fixture for UNIT302: mutable default arguments.
+from typing import Optional, Sequence, Tuple
+
+
+def good_none_default(loads: Optional[Sequence[float]] = None) -> list:
+    return list(loads or ())
+
+
+def good_tuple_default(loads: Tuple[float, ...] = ()) -> list:
+    return list(loads)
+
+
+def bad_list_default(loads=[]) -> list:  # expect: UNIT302
+    return loads
+
+
+def bad_dict_default(caps={}) -> dict:  # expect: UNIT302
+    return caps
+
+
+def bad_constructed_default(jobs=list()) -> list:  # expect: UNIT302
+    return jobs

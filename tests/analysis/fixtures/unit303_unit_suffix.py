@@ -1,0 +1,23 @@
+# Fixture for UNIT303: quantities mixed across unit suffixes.
+
+
+def good_same_unit(cap_w: float, budget_w: float) -> float:
+    return cap_w - budget_w
+
+
+def good_explicit_conversion(timeslice_ms: float) -> float:
+    timeslice_s = timeslice_ms / 1000.0
+    return timeslice_s
+
+
+def bad_power_units(cap_w: float, budget_mw: float) -> bool:
+    return cap_w < budget_mw  # expect: UNIT303
+
+
+def bad_time_assignment(timeout_s: float, delay_ms: float) -> float:
+    timeout_s = delay_ms  # expect: UNIT303
+    return timeout_s
+
+
+def bad_cross_dimension(power_w: float, latency_ms: float) -> float:
+    return power_w + latency_ms  # expect: UNIT303

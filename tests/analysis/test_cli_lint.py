@@ -1,0 +1,68 @@
+"""CLI contract of ``python -m repro lint``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error — the contract
+the CI static-analysis job relies on.
+"""
+
+import json
+
+from repro.analysis import all_rules
+from repro.cli import main
+
+BAD = "def f(x_w: float) -> bool:\n    return x_w == 0.0\n"
+GOOD = "def f(x_w: float) -> bool:\n    return abs(x_w) <= 1e-9\n"
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(GOOD)
+    assert main(["lint", str(path)]) == 0
+    assert "no static-analysis violations" in capsys.readouterr().out
+
+
+def test_lint_bad_file_exits_one(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "UNIT301" in out
+    assert f"{path}:2:" in out
+
+
+def test_lint_json_report(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD)
+    assert main(["lint", "--json", str(path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    record = payload["violations"][0]
+    assert record["rule"] == "UNIT301"
+    assert record["line"] == 2
+    assert record["path"] == str(path)
+
+
+def test_lint_json_clean_report(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text(GOOD)
+    assert main(["lint", "--json", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"count": 0, "violations": []}
+
+
+def test_lint_missing_path_exits_two(tmp_path, capsys):
+    missing = tmp_path / "nope" / "missing.py"
+    assert main(["lint", str(missing)]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_lint_default_target_is_the_package(capsys):
+    # No paths: lints the installed repro package, which must be clean.
+    assert main(["lint"]) == 0
+
+
+def test_list_rules_describes_every_rule(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+    assert "repro: noqa" in out

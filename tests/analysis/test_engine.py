@@ -1,0 +1,93 @@
+"""Engine-level tests: suppression, module inference, parse errors."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    PARSE_ERROR_RULE,
+    lint_paths,
+    lint_source,
+    module_name_for,
+)
+
+BAD_EQ = "def f(x_w: float) -> bool:\n    return x_w == 0.0\n"
+
+
+def test_finds_violation_in_source():
+    found = lint_source(BAD_EQ)
+    assert [v.rule for v in found] == ["UNIT301"]
+    assert found[0].line == 2
+
+
+def test_bare_noqa_suppresses_everything():
+    source = BAD_EQ.replace("== 0.0", "== 0.0  # repro: noqa")
+    assert lint_source(source) == []
+
+
+def test_rule_specific_noqa_suppresses_only_that_rule():
+    source = BAD_EQ.replace("== 0.0", "== 0.0  # repro: noqa[UNIT301]")
+    assert lint_source(source) == []
+
+
+def test_mismatched_noqa_does_not_suppress():
+    source = BAD_EQ.replace("== 0.0", "== 0.0  # repro: noqa[DET101]")
+    assert [v.rule for v in lint_source(source)] == ["UNIT301"]
+
+
+def test_noqa_with_several_rules():
+    source = textwrap.dedent(
+        """
+        import numpy as np
+
+        def f() -> float:
+            rng = np.random.default_rng()  # repro: noqa[DET101, DET102]
+            return float(rng.random())
+        """
+    )
+    assert lint_source(source) == []
+
+
+def test_noqa_only_applies_to_its_line():
+    source = "x_w = 1.0  # repro: noqa[UNIT301]\n" + BAD_EQ
+    assert [v.rule for v in lint_source(source)] == ["UNIT301"]
+
+
+def test_parse_error_is_reported_not_raised():
+    found = lint_source("def broken(:\n")
+    assert [v.rule for v in found] == [PARSE_ERROR_RULE]
+
+
+def test_violation_format_is_clickable():
+    found = lint_source(BAD_EQ, path="pkg/mod.py")
+    assert found[0].format().startswith("pkg/mod.py:2:")
+    assert "UNIT301" in found[0].format()
+
+
+def test_module_name_inference():
+    assert module_name_for(Path("src/repro/sim/machine.py")) == (
+        "repro.sim.machine"
+    )
+    assert module_name_for(Path("/abs/src/repro/faults/__init__.py")) == (
+        "repro.faults"
+    )
+    assert module_name_for(Path("scripts/tool.py")) == "tool"
+
+
+def test_wall_clock_rule_is_scoped_by_module():
+    source = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+    inside = lint_source(source, module="repro.sim.fake")
+    outside = lint_source(source, module="repro.telemetry.fake")
+    assert [v.rule for v in inside] == ["DET103"]
+    assert outside == []
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "ok.py").write_text("X = 1\n")
+    (tmp_path / "bad.py").write_text(BAD_EQ)
+    nested = tmp_path / "nested"
+    nested.mkdir()
+    (nested / "also_bad.py").write_text(BAD_EQ)
+    found = lint_paths([tmp_path])
+    assert sorted(Path(v.path).name for v in found) == [
+        "also_bad.py", "bad.py",
+    ]

@@ -1,0 +1,26 @@
+"""The shipped source tree must be lint-clean.
+
+This is the test CI leans on: any new violation in ``src/repro``
+(an unseeded generator, a wall-clock read in the simulator, a float
+equality on a computed quantity, ...) fails here with the exact
+file:line, before the behavioural consequences show up as flaky
+replay in some downstream experiment.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_package_root_is_the_real_tree():
+    assert (PACKAGE_ROOT / "analysis" / "engine.py").is_file()
+    assert (PACKAGE_ROOT / "sim" / "machine.py").is_file()
+
+
+def test_live_source_tree_is_clean():
+    violations = lint_paths([PACKAGE_ROOT])
+    details = "\n".join(v.format() for v in violations)
+    assert not violations, f"src tree has lint violations:\n{details}"

@@ -1,0 +1,72 @@
+"""Self-tests for every lint rule, driven by the fixture files.
+
+Each fixture under ``fixtures/`` contains known-good and known-bad
+snippets for one rule; bad lines carry a trailing ``# expect: RULE``
+marker.  The test lints the fixture and requires the found
+``(rule, line)`` pairs to match the markers exactly — no misses, no
+extra findings.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z0-9,\s]+)")
+_MODULE_RE = re.compile(r"^#\s*lint-module:\s*(?P<module>[\w.]+)\s*$", re.M)
+
+
+def expected_findings(source):
+    expected = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for rule in match.group("rules").split(","):
+                expected.add((rule.strip(), lineno))
+    return expected
+
+
+def fixture_files():
+    return sorted(FIXTURES.glob("*.py"))
+
+
+def test_fixture_directory_is_populated():
+    # One fixture file per rule.
+    assert len(fixture_files()) >= len(all_rules())
+
+
+@pytest.mark.parametrize(
+    "path", fixture_files(), ids=lambda p: p.stem
+)
+def test_fixture_matches_expectations(path):
+    source = path.read_text()
+    module_match = _MODULE_RE.search(source)
+    module = module_match.group("module") if module_match else None
+    found = {
+        (v.rule, v.line)
+        for v in lint_source(source, path=str(path), module=module)
+    }
+    expected = expected_findings(source)
+    assert expected, f"{path.name} has no # expect markers"
+    assert found == expected
+
+
+def test_every_rule_has_a_seeded_violation():
+    """Each registered rule is caught at least once across fixtures."""
+    caught = set()
+    for path in fixture_files():
+        source = path.read_text()
+        for rule, _ in expected_findings(source):
+            caught.add(rule)
+    assert caught == {rule.id for rule in all_rules()}
+
+
+def test_rules_have_metadata():
+    rules = all_rules()
+    assert len({r.id for r in rules}) == len(rules)
+    for rule in rules:
+        assert rule.id and rule.title and rule.rationale

@@ -1,6 +1,5 @@
 """Tests for the asymmetric-multicore baselines."""
 
-import pytest
 
 from repro.baselines.asymmetric import (
     BIG,
@@ -8,7 +7,6 @@ from repro.baselines.asymmetric import (
     AsymmetricOraclePolicy,
     StaticAsymmetricPolicy,
 )
-from repro.sim.coreconfig import CoreConfig
 
 
 class TestOracle:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.flicker import FlickerMethod, FlickerPolicy
 from repro.core.ga import GAParams
-from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig
+from repro.sim.coreconfig import CoreConfig
 
 FAST_GA = GAParams(population=12, generations=5)
 

@@ -10,8 +10,7 @@ from repro.core.controller import (
     nearest_load_bucket,
 )
 from repro.core.dds import DDSParams
-from repro.core.sgd import SGDParams
-from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig
 from repro.sim.machine import Machine, MachineParams
 from repro.workloads.batch import batch_profile, train_test_split
 from repro.workloads.latency_critical import lc_service, make_services

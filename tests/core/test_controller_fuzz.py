@@ -7,8 +7,6 @@ when budgets are hostile.  Hypothesis drives randomized multi-quantum
 scenarios against a fast controller configuration.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

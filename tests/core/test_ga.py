@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.ga import GAParams, GAResult, GeneticSearch
+from repro.core.ga import GAParams, GeneticSearch
 
 
 class SeparableObjective:

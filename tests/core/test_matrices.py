@@ -12,8 +12,6 @@ from repro.core.matrices import (
     throughput_rows,
 )
 from repro.sim.coreconfig import N_JOINT_CONFIGS
-from repro.sim.perf import PerformanceModel
-from repro.sim.power import PowerModel
 from repro.workloads.batch import batch_profile
 from repro.workloads.latency_critical import lc_service, make_services
 

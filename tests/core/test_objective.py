@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.objective import SystemObjective
-from repro.sim.coreconfig import CACHE_ALLOCS, N_JOINT_CONFIGS
+from repro.sim.coreconfig import N_JOINT_CONFIGS
 
 
 def make_objective(n_jobs=4, max_power=50.0, **kwargs):

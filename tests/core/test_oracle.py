@@ -1,6 +1,5 @@
 """Tests for the perfect-inference reconfigurable oracle."""
 
-import pytest
 
 from repro.core.dds import DDSParams
 from repro.core.oracle import OracleReconfigPolicy

@@ -11,7 +11,6 @@ from repro.sim.coreconfig import (
     SECTION_WIDTHS,
     JointConfig,
 )
-from repro.sim.perf import PerformanceModel
 from repro.workloads.batch import batch_profile
 
 

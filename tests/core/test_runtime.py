@@ -6,7 +6,7 @@ from repro.baselines import CoreGatingPolicy, NoGatingPolicy
 from repro.core.controller import ControllerConfig
 from repro.core.dds import DDSParams
 from repro.core.runtime import CuttleSysPolicy, Policy
-from repro.experiments.harness import build_machine_for_mix, run_policy
+from repro.experiments.harness import build_machine_for_mix
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
 

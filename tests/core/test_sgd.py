@@ -6,8 +6,6 @@ import pytest
 from repro.core.matrices import ObservedMatrix, power_rows, throughput_rows
 from repro.core.sgd import PQReconstructor, SGDParams
 from repro.sim.coreconfig import CoreConfig, JointConfig, N_JOINT_CONFIGS
-from repro.sim.perf import PerformanceModel
-from repro.sim.power import PowerModel
 from repro.workloads.batch import batch_profile, train_test_split
 
 HI = JointConfig(CoreConfig.widest(), 1.0).index

@@ -11,13 +11,12 @@ import pytest
 from repro.core.controller import ControllerConfig
 from repro.core.dds import DDSParams
 from repro.core.ga import GAParams
-from repro.core.sgd import SGDParams
 from repro.experiments.fig1_characterization import (
     run_fig1,
     render_fig1,
 )
 from repro.experiments.fig5_accuracy import run_fig5a, render_fig5, run_fig5b
-from repro.experiments.fig5c_powercaps import Fig5cResult, run_fig5c, render_fig5c
+from repro.experiments.fig5c_powercaps import run_fig5c, render_fig5c
 from repro.experiments.fig7_timeline import run_fig7, render_fig7
 from repro.experiments.fig8_dynamic import (
     render_fig8,

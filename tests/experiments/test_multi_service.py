@@ -10,7 +10,7 @@ from repro.experiments.multi_service import (
     build_two_service_machine,
     run_multi_service,
 )
-from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.coreconfig import CoreConfig, JointConfig
 from repro.sim.machine import Assignment, LCAllocation
 from repro.workloads.loadgen import LoadTrace
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sim.coreconfig import CACHE_ALLOCS, CoreConfig, JointConfig
+from repro.sim.coreconfig import CoreConfig, JointConfig
 from repro.sim.machine import Assignment, Machine, MachineParams
 from repro.workloads.batch import batch_profile, train_test_split
 from repro.workloads.latency_critical import lc_service

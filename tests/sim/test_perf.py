@@ -6,12 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim.cache import MissRateCurve
-from repro.sim.coreconfig import (
-    CORE_CONFIGS,
-    N_JOINT_CONFIGS,
-    SECTION_WIDTHS,
-    CoreConfig,
-)
+from repro.sim.coreconfig import CORE_CONFIGS, N_JOINT_CONFIGS, CoreConfig
 from repro.sim.perf import AppProfile, PerformanceModel, width_penalty
 
 

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.cache import MissRateCurve
-from repro.sim.coreconfig import (
-    CACHE_ALLOCS,
-    CORE_CONFIGS,
-    N_CACHE_ALLOCS,
-    CoreConfig,
-)
+from repro.sim.coreconfig import CORE_CONFIGS, N_CACHE_ALLOCS, CoreConfig
 from repro.sim.perf import AppProfile
 from repro.sim.power import PowerModel, PowerParams
 

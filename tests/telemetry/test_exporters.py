@@ -11,7 +11,6 @@ from repro.telemetry.exporters import (
     chrome_trace_events,
     read_jsonl,
     render_jsonl_report,
-    render_metrics_report,
 )
 from repro.telemetry.metrics import DecisionRecord
 

@@ -11,13 +11,12 @@ import json
 
 import pytest
 
-from repro.core.controller import ControllerConfig, ResourceController
+from repro.core.controller import ControllerConfig
 from repro.core.dds import DDSParams
 from repro.core.runtime import CuttleSysPolicy
 from repro.experiments.harness import run_policy
 from repro.telemetry import Telemetry
 from repro.workloads.batch import batch_profile, train_test_split
-from repro.workloads.latency_critical import make_services
 from repro.workloads.loadgen import LoadTrace
 
 FAST_DDS = DDSParams(initial_random_points=20, max_iter=10,

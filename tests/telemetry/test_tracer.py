@@ -4,13 +4,7 @@ import time
 
 import pytest
 
-from repro.telemetry.tracer import (
-    NULL_TRACER,
-    NullTracer,
-    Span,
-    Tracer,
-    tracer_of,
-)
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer, tracer_of
 
 
 class TestSpans:

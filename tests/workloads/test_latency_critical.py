@@ -9,7 +9,6 @@ from repro.workloads.latency_critical import (
     CALIBRATION_CORES,
     KNEE_UTILIZATION,
     LC_SERVICE_NAMES,
-    _SPECS,
     lc_service,
     make_services,
     service_variants,

@@ -1,6 +1,5 @@
 """Tests for the analytical M/G/k model and the discrete-event validator."""
 
-import math
 
 import numpy as np
 import pytest
