@@ -4,12 +4,18 @@ Spans measure wall-time between ``__enter__`` and ``__exit__``; a span
 opened outside a ``with`` block leaks on any exception path, which
 corrupts the nesting stack and every enclosing span's self-time
 (docs/observability.md).
+
+Metric names are a public-ish surface: exporters, dashboards, and the
+regression-gate baselines all key on them, so TEL402 pins the naming
+convention (dot-namespaced, ``owner.event`` style) and catches the
+same literal name being registered as two different instrument kinds.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+import re
+from typing import Dict, Iterator, Set, Tuple
 
 from repro.analysis.engine import (
     LintContext,
@@ -61,3 +67,78 @@ class SpanOutsideWithRule(Rule):
                 "span() opened outside a with statement; use "
                 "`with tracer.span(...):` so exit runs on every path",
             )
+
+
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+#: Dot-namespaced lowercase identifiers: ``harness.job_churn``,
+#: ``accuracy.drift.flags`` — at least one dot, no leading digits.
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+def _metric_registration(node: ast.Call) -> Tuple[str, str]:
+    """``(kind, literal_name)`` when this is a checkable registration.
+
+    Only literal-string first arguments are checked; dynamic names
+    (f-strings like ``f"accuracy.app.{name}"``, variables) are exempt
+    because their shape cannot be validated statically.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return "", ""
+    if func.attr not in _METRIC_FACTORIES:
+        return "", ""
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return "", ""
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    hinted = any(
+        hint in tail for hint in ("metrics", "registry", "telemetry")
+    )
+    if not hinted and receiver != "self":
+        return "", ""
+    if not node.args:
+        return "", ""
+    first = node.args[0]
+    if not isinstance(first, ast.Constant) or not isinstance(
+        first.value, str
+    ):
+        return "", ""
+    return func.attr, first.value
+
+
+@register
+class MetricNameConventionRule(Rule):
+    id = "TEL402"
+    title = "metric name off-convention or registered as two kinds"
+    rationale = (
+        "Exporters, docs, and the bench/CI baselines key on metric "
+        "names, so they must be stable dot-namespaced identifiers "
+        "(`owner.event`, lowercase, at least one dot).  Registering "
+        "the same name as two instrument kinds (counter and gauge, "
+        "say) silently forks state in the registry, and the exports "
+        "become ambiguous."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        kinds_seen: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind, name = _metric_registration(node)
+            if not kind:
+                continue
+            if not _METRIC_NAME.match(name):
+                yield ctx.violation(
+                    self, node,
+                    f"metric name {name!r} is off-convention; use "
+                    "dot-namespaced lowercase `owner.event` names "
+                    "(e.g. 'harness.job_churn')",
+                )
+                continue
+            prior = kinds_seen.setdefault(name, kind)
+            if prior != kind:
+                yield ctx.violation(
+                    self, node,
+                    f"metric {name!r} registered as both {prior} and "
+                    f"{kind}; one name must map to one instrument kind",
+                )

@@ -1,0 +1,43 @@
+"""Deterministic performance-regression harness (``repro bench``).
+
+Runs the scheduler's hot paths — PQ/SGD reconstruction, DDS search,
+the full decision quantum, and the telemetry-on/off overhead pair —
+with fixed seeds, recording wall-clock samples *and* RNG-safe
+operation counters.  Results serialise to BENCH.json; ``repro bench
+--compare BASELINE.json`` is the noise-aware regression gate CI runs
+against the committed ``benchmarks/BENCH_BASELINE.json``.
+
+See ``docs/observability.md`` for the workflow.
+"""
+
+from repro.bench.cases import (
+    BENCH_CASES,
+    BenchCase,
+    case_names,
+    run_bench,
+)
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    BenchCaseResult,
+    BenchReport,
+    Comparison,
+    Delta,
+    compare_reports,
+    render_comparison,
+    render_report,
+)
+
+__all__ = [
+    "BENCH_CASES",
+    "BenchCase",
+    "BenchCaseResult",
+    "BenchReport",
+    "Comparison",
+    "Delta",
+    "SCHEMA_VERSION",
+    "case_names",
+    "compare_reports",
+    "render_comparison",
+    "render_report",
+    "run_bench",
+]

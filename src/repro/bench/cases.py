@@ -1,0 +1,264 @@
+"""Deterministic benchmark cases for the scheduler's hot paths.
+
+Each case times a hot path ``repeats`` times (fresh solver/RNG state
+per repeat so every repeat does identical work) and reports the raw
+wall-clock samples *plus* RNG-safe operation counters — SGD iterations
+to converge, DDS objective evaluations, trace-span counts.  The
+counters are fully determined by the seeds, so they are the quantities
+the CI regression gate compares across machines; the walls are for
+like-for-like local comparisons.
+
+Wall-clock here uses :func:`time.perf_counter_ns` deliberately —
+``repro.bench`` sits outside the determinism-audited packages
+(``repro.sim``/``repro.core``/``repro.faults``), so the DET103 lint
+rule does not apply.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.report import BenchCaseResult, BenchReport
+
+#: Slices per decision-loop repeat; small because each slice runs the
+#: full profile -> reconstruct -> search -> reconfigure pipeline.
+QUANTUM_SLICES = 3
+#: Batch jobs in the solver microbenchmarks (the paper's mix size).
+N_BENCH_JOBS = 16
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """A named, self-contained benchmark."""
+
+    name: str
+    description: str
+    runner: Callable[[int, int], BenchCaseResult]
+
+
+def _timed_ms(fn: Callable[[], object]) -> float:
+    start = time.perf_counter_ns()
+    fn()
+    return (time.perf_counter_ns() - start) / 1e6
+
+
+# -- solver microbenchmarks ------------------------------------------------
+
+
+def _run_sgd(repeats: int, seed: int) -> BenchCaseResult:
+    """One PQ reconstruction of the profiled 32-app BIPS matrix."""
+    from repro.core.sgd import PQReconstructor, SGDParams
+    from repro.experiments.table2_overheads import _profiled_matrix
+
+    matrix, _, _ = _profiled_matrix(n_train=N_BENCH_JOBS)
+    walls: List[float] = []
+    iterations = 0
+    for _ in range(repeats):
+        # Fresh reconstructor per repeat: identical SGD trajectory,
+        # hence an identical, comparable iteration count.
+        reconstructor = PQReconstructor(SGDParams(seed=seed))
+        walls.append(_timed_ms(lambda: reconstructor.reconstruct(matrix)))
+        if reconstructor.last_diagnostics is not None:
+            iterations = reconstructor.last_diagnostics.iterations
+    return BenchCaseResult(
+        name="sgd.reconstruct",
+        description="PQ/SGD reconstruction, 32-app BIPS matrix",
+        wall_ms=tuple(walls),
+        counters={"sgd_iterations": int(iterations)},
+    )
+
+
+def _run_dds(repeats: int, seed: int) -> BenchCaseResult:
+    """One 16-job DDS search over the 108-config joint space."""
+    from repro.core.dds import DDSSearch
+    from repro.core.matrices import throughput_rows
+    from repro.core.objective import SystemObjective
+    from repro.sim.coreconfig import N_JOINT_CONFIGS
+    from repro.sim.perf import PerformanceModel
+    from repro.sim.power import PowerModel
+    from repro.workloads.batch import SPEC_APPS, batch_profile
+
+    perf = PerformanceModel()
+    power = PowerModel()
+    profiles = [batch_profile(n) for n in SPEC_APPS[:N_BENCH_JOBS]]
+    objective = SystemObjective(
+        bips=throughput_rows(profiles, perf),
+        power=np.vstack([power.power_row(p) for p in profiles]),
+        max_power=100.0,
+        max_ways=32,
+    )
+    walls: List[float] = []
+    evaluations = 0
+    for _ in range(repeats):
+        searcher = DDSSearch()
+        rng = np.random.default_rng(seed)
+        result_box = {}
+
+        def search() -> None:
+            result_box["result"] = searcher.search(
+                objective, n_dims=N_BENCH_JOBS, n_confs=N_JOINT_CONFIGS,
+                rng=rng,
+            )
+
+        walls.append(_timed_ms(search))
+        evaluations = int(result_box["result"].evaluations)
+    return BenchCaseResult(
+        name="dds.search",
+        description="DDS search, 16 jobs x 108 joint configs",
+        wall_ms=tuple(walls),
+        counters={"dds_evaluations": evaluations},
+    )
+
+
+# -- decision-loop benchmarks ----------------------------------------------
+
+
+def _decision_loop(seed: int, telemetry) -> None:
+    """Run QUANTUM_SLICES full decision quanta on a fresh mix-0 setup."""
+    from repro.core.runtime import CuttleSysPolicy
+    from repro.experiments.harness import build_machine_for_mix, run_policy
+    from repro.workloads.loadgen import LoadTrace
+    from repro.workloads.mixes import paper_mixes
+
+    mix = paper_mixes()[0]
+    machine = build_machine_for_mix(mix, seed=seed)
+    policy = CuttleSysPolicy.for_machine(machine, seed=seed)
+    run_policy(
+        machine, policy, LoadTrace.constant(0.6),
+        n_slices=QUANTUM_SLICES, telemetry=telemetry,
+    )
+
+
+def _quantum_counters(seed: int) -> Dict[str, int]:
+    """Operation counts of the decision loop, from an instrumented twin.
+
+    Telemetry changes no RNG draws and no decisions, so the span
+    arguments of one traced run are exactly the operation counts of
+    the untraced timed runs.
+    """
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    _decision_loop(seed, telemetry)
+    evaluations = 0
+    iterations = 0
+    for span in telemetry.tracer.spans:
+        if span.name == "dds.search":
+            evaluations += int(span.args.get("evaluations", 0))
+        elif span.name == "sgd.reconstruct":
+            iterations += int(span.args.get("iterations", 0))
+    return {
+        "dds_evaluations": evaluations,
+        "sgd_iterations": iterations,
+        "trace_spans": len(telemetry.tracer.spans),
+    }
+
+
+def _run_quantum(repeats: int, seed: int) -> BenchCaseResult:
+    walls = [
+        _timed_ms(lambda: _decision_loop(seed, None))
+        for _ in range(repeats)
+    ]
+    return BenchCaseResult(
+        name="quantum.decision",
+        description=(
+            f"{QUANTUM_SLICES} full decision quanta, mix 0, telemetry off"
+        ),
+        wall_ms=tuple(walls),
+        counters=_quantum_counters(seed),
+    )
+
+
+def _run_telemetry_overhead(repeats: int, seed: int) -> BenchCaseResult:
+    from repro.telemetry import Telemetry
+
+    walls = [
+        _timed_ms(lambda: _decision_loop(seed, Telemetry()))
+        for _ in range(repeats)
+    ]
+    return BenchCaseResult(
+        name="telemetry.overhead",
+        description=(
+            f"{QUANTUM_SLICES} decision quanta with a live telemetry session"
+        ),
+        wall_ms=tuple(walls),
+        counters={},
+    )
+
+
+def _run_telemetry_disabled(repeats: int, seed: int) -> BenchCaseResult:
+    from repro.telemetry import Telemetry
+
+    walls = [
+        _timed_ms(lambda: _decision_loop(seed, Telemetry(enabled=False)))
+        for _ in range(repeats)
+    ]
+    return BenchCaseResult(
+        name="telemetry.overhead_disabled",
+        description=(
+            f"{QUANTUM_SLICES} decision quanta with a disabled session "
+            "(null tracer + null registry fast path)"
+        ),
+        wall_ms=tuple(walls),
+        counters={},
+    )
+
+
+BENCH_CASES: Tuple[BenchCase, ...] = (
+    BenchCase(
+        "sgd.reconstruct",
+        "PQ/SGD reconstruction, 32-app BIPS matrix",
+        _run_sgd,
+    ),
+    BenchCase(
+        "dds.search",
+        "DDS search, 16 jobs x 108 joint configs",
+        _run_dds,
+    ),
+    BenchCase(
+        "quantum.decision",
+        "full decision quanta, telemetry off",
+        _run_quantum,
+    ),
+    BenchCase(
+        "telemetry.overhead",
+        "decision quanta with a live telemetry session",
+        _run_telemetry_overhead,
+    ),
+    BenchCase(
+        "telemetry.overhead_disabled",
+        "decision quanta with a disabled telemetry session",
+        _run_telemetry_disabled,
+    ),
+)
+
+
+def case_names() -> Tuple[str, ...]:
+    return tuple(case.name for case in BENCH_CASES)
+
+
+def run_bench(
+    repeats: int = 5,
+    seed: int = 7,
+    only: Optional[Sequence[str]] = None,
+) -> BenchReport:
+    """Run the (selected) benchmark cases and assemble a report."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if only is not None:
+        unknown = sorted(set(only) - set(case_names()))
+        if unknown:
+            raise ValueError(
+                f"unknown bench case(s): {', '.join(unknown)}; "
+                f"known: {', '.join(case_names())}"
+            )
+    cases: Dict[str, BenchCaseResult] = {}
+    for case in BENCH_CASES:
+        if only is not None and case.name not in only:
+            continue
+        cases[case.name] = case.runner(repeats, seed)
+    return BenchReport(seed=seed, repeats=repeats, cases=cases)

@@ -1,0 +1,252 @@
+"""BENCH.json schema, noise-aware comparison, and rendering.
+
+One :class:`BenchReport` is the machine-readable performance trajectory
+of the scheduler's hot paths: per case, the raw wall-clock samples of
+every repeat (compared median-of-k, so one noisy repeat cannot fail a
+gate) plus RNG-safe *operation counters* — objective evaluations per
+DDS search, SGD iterations-to-converge, trace-span counts — which are
+deterministic given the seeds and therefore comparable across machines.
+CI gates on the counters against a committed baseline
+(``benchmarks/BENCH_BASELINE.json``); wall-clock comparison is for
+like-for-like runs (same machine, ``repro bench --compare``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Bumped whenever the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCaseResult:
+    """One case's measurements: raw walls plus operation counters."""
+
+    name: str
+    description: str
+    #: Wall-clock of each repeat, milliseconds, in execution order.
+    wall_ms: Tuple[float, ...]
+    #: Deterministic operation counts (RNG-safe, machine-independent).
+    counters: Dict[str, int]
+
+    @property
+    def median_wall_ms(self) -> float:
+        """Median-of-k wall time; the quantity comparisons use."""
+        if not self.wall_ms:
+            return math.nan
+        return float(statistics.median(self.wall_ms))
+
+    def to_dict(self) -> Dict:
+        return {
+            "description": self.description,
+            "wall_ms": [round(w, 4) for w in self.wall_ms],
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict) -> "BenchCaseResult":
+        return cls(
+            name=name,
+            description=str(data.get("description", "")),
+            wall_ms=tuple(float(w) for w in data.get("wall_ms", ())),
+            counters={
+                str(k): int(v)
+                for k, v in data.get("counters", {}).items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """A full ``repro bench`` run (the BENCH.json artifact)."""
+
+    seed: int
+    repeats: int
+    cases: Dict[str, BenchCaseResult]
+    schema: int = SCHEMA_VERSION
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "schema": self.schema,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "cases": {
+                name: case.to_dict() for name, case in self.cases.items()
+            },
+        }
+
+    def write(self, path_or_file) -> None:
+        if hasattr(path_or_file, "write"):
+            json.dump(self.to_json_dict(), path_or_file, indent=2)
+            return
+        with open(path_or_file, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_json_dict(cls, data: Dict) -> "BenchReport":
+        schema = int(data.get("schema", 0))
+        if schema > SCHEMA_VERSION:
+            raise ValueError(
+                f"BENCH.json schema {schema} is newer than supported "
+                f"({SCHEMA_VERSION}); update the toolkit"
+            )
+        return cls(
+            seed=int(data.get("seed", 0)),
+            repeats=int(data.get("repeats", 0)),
+            cases={
+                name: BenchCaseResult.from_dict(name, case)
+                for name, case in data.get("cases", {}).items()
+            },
+            schema=schema,
+        )
+
+    @classmethod
+    def read(cls, path_or_file) -> "BenchReport":
+        if hasattr(path_or_file, "read"):
+            return cls.from_json_dict(json.load(path_or_file))
+        with open(path_or_file) as handle:
+            return cls.from_json_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared quantity of one case."""
+
+    case: str
+    #: ``"wall_ms"`` or an operation-counter key.
+    quantity: str
+    baseline: float
+    current: float
+    change_pct: float
+    regressed: bool
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing a current report against a baseline."""
+
+    threshold_pct: float
+    counters_only: bool
+    deltas: Tuple[Delta, ...]
+    #: Baseline cases absent from the current report (a regression:
+    #: a silently dropped benchmark hides future slowdowns).
+    missing: Tuple[str, ...]
+
+    @property
+    def regressions(self) -> Tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    threshold_pct: float = 10.0,
+    counters_only: bool = False,
+) -> Comparison:
+    """Noise-aware comparison: median-of-k walls, exact-ish counters.
+
+    A quantity regresses when it grows more than ``threshold_pct``
+    above the baseline.  ``counters_only`` skips wall-clock entirely —
+    the mode CI uses against the committed baseline, since absolute
+    timings are machine-dependent but operation counts are not.
+    """
+    if threshold_pct < 0:
+        raise ValueError("threshold_pct must be non-negative")
+    deltas: List[Delta] = []
+    missing: List[str] = []
+    for name, base in baseline.cases.items():
+        cur = current.cases.get(name)
+        if cur is None:
+            missing.append(name)
+            continue
+        if not counters_only:
+            base_med = base.median_wall_ms
+            cur_med = cur.median_wall_ms
+            if base_med > 0 and not math.isnan(cur_med):
+                change = (cur_med - base_med) / base_med * 100.0
+                deltas.append(Delta(
+                    case=name, quantity="wall_ms",
+                    baseline=base_med, current=cur_med,
+                    change_pct=change, regressed=change > threshold_pct,
+                ))
+        for key, base_count in sorted(base.counters.items()):
+            cur_count = cur.counters.get(key)
+            if cur_count is None:
+                deltas.append(Delta(
+                    case=name, quantity=key, baseline=float(base_count),
+                    current=math.nan, change_pct=math.nan, regressed=True,
+                ))
+                continue
+            denom = max(base_count, 1)
+            change = (cur_count - base_count) / denom * 100.0
+            deltas.append(Delta(
+                case=name, quantity=key, baseline=float(base_count),
+                current=float(cur_count), change_pct=change,
+                regressed=change > threshold_pct,
+            ))
+    return Comparison(
+        threshold_pct=threshold_pct,
+        counters_only=counters_only,
+        deltas=tuple(deltas),
+        missing=tuple(missing),
+    )
+
+
+def render_report(report: BenchReport) -> str:
+    """Human-readable bench table."""
+    lines = [
+        "performance bench "
+        f"(seed {report.seed}, median of {report.repeats}):",
+        f"  {'case':<30} {'median':>10} {'min':>10} {'max':>10}",
+    ]
+    for name, case in report.cases.items():
+        if case.wall_ms:
+            lines.append(
+                f"  {name:<30} {case.median_wall_ms:>8.2f}ms "
+                f"{min(case.wall_ms):>8.2f}ms {max(case.wall_ms):>8.2f}ms"
+            )
+        else:
+            lines.append(f"  {name:<30} {'-':>10} {'-':>10} {'-':>10}")
+        for key, value in sorted(case.counters.items()):
+            lines.append(f"    {key:<32} {value}")
+    return "\n".join(lines)
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """Human-readable regression-gate verdict."""
+    scope = "counters only" if comparison.counters_only else "wall + counters"
+    lines = [
+        f"bench comparison ({scope}, "
+        f"threshold {comparison.threshold_pct:.1f} %):"
+    ]
+    for delta in comparison.deltas:
+        marker = "REGRESSED" if delta.regressed else "ok"
+        if math.isnan(delta.current):
+            lines.append(
+                f"  {delta.case}/{delta.quantity}: missing from current "
+                f"run  {marker}"
+            )
+            continue
+        lines.append(
+            f"  {delta.case}/{delta.quantity}: {delta.baseline:.2f} -> "
+            f"{delta.current:.2f} ({delta.change_pct:+.1f} %)  {marker}"
+        )
+    for name in comparison.missing:
+        lines.append(f"  {name}: case missing from current run  REGRESSED")
+    lines.append(
+        "verdict: "
+        + ("ok" if comparison.ok
+           else f"{len(comparison.regressions) + len(comparison.missing)} "
+                "regression(s)")
+    )
+    return "\n".join(lines)

@@ -14,6 +14,11 @@ Commands:
   default fault scenarios (docs/robustness.md)
 * ``report``                — run the full evaluation, write a markdown report
 * ``telemetry-report``      — summarise a JSONL telemetry log
+* ``audit``                 — run one mix with the prediction-accuracy
+  auditor attached: per-metric error percentiles against the oracle,
+  EWMA drift flags, QoS-violation attribution (docs/observability.md)
+* ``bench``                 — deterministic hot-path benchmarks; writes
+  BENCH.json, and ``--compare BASELINE.json`` is the regression gate
 * ``lint``                  — project-specific static analysis
   (determinism / RNG-stream / unit-invariant / telemetry rules; see
   docs/static-analysis.md)
@@ -182,6 +187,101 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
         print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
         return 2
     print(render_jsonl_report(records))
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.telemetry import Telemetry, render_accuracy_report
+
+    mixes = paper_mixes()
+    if not 0 <= args.mix < len(mixes):
+        print(f"error: mix index must be in [0, {len(mixes)})",
+              file=sys.stderr)
+        return 2
+    mix = mixes[args.mix]
+    reference = reference_power_for_mix(mix, seed=args.seed)
+    machine = build_machine_for_mix(mix, seed=args.seed)
+    policy = CuttleSysPolicy.for_machine(machine, seed=args.seed)
+    faults = None
+    if args.faults:
+        from repro.faults import FaultInjector, FaultSpecError, parse_fault_spec
+
+        try:
+            specs = parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        faults = FaultInjector(specs, seed=args.seed)
+    telemetry = Telemetry()
+    telemetry.enable_accuracy_audit()
+    run = run_policy(
+        machine,
+        policy,
+        LoadTrace.constant(args.load),
+        power_cap_fraction=args.cap,
+        n_slices=args.slices,
+        max_power_w=reference,
+        telemetry=telemetry,
+        faults=faults,
+    )
+    print(f"mix {args.mix} ({mix.lc_name}), cap {args.cap:.0%}, "
+          f"load {args.load:.0%}, {args.slices} quanta")
+    print(run.summary())
+    print()
+    print(render_accuracy_report(telemetry))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchReport,
+        case_names,
+        compare_reports,
+        render_comparison,
+        render_report,
+        run_bench,
+    )
+
+    if args.list:
+        for name in case_names():
+            print(name)
+        return 0
+    if args.input:
+        try:
+            current = BenchReport.read(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.input}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            current = run_bench(
+                repeats=args.repeats, seed=args.seed, only=args.only,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(current))
+    if args.out:
+        try:
+            current.write(args.out)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}")
+    if args.compare:
+        try:
+            baseline = BenchReport.read(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_reports(
+            current, baseline,
+            threshold_pct=args.threshold,
+            counters_only=args.counters_only,
+        )
+        print(render_comparison(comparison))
+        return 0 if comparison.ok else 1
     return 0
 
 
@@ -463,6 +563,47 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_report.add_argument("log", help="JSONL log written by "
                                   "`run --jsonl` or Telemetry.write_jsonl")
 
+    audit = sub.add_parser(
+        "audit",
+        help="run one mix with the prediction-accuracy auditor attached",
+    )
+    audit.add_argument("--mix", type=int, default=0, help="mix index (0-49)")
+    audit.add_argument("--cap", type=float, default=0.7,
+                       help="power cap fraction (default 0.7)")
+    audit.add_argument("--load", type=float, default=0.8,
+                       help="LC load fraction (default 0.8)")
+    audit.add_argument("--slices", type=int, default=10,
+                       help="decision quanta to run (default 10)")
+    audit.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject faults while auditing "
+                       "(same spec syntax as `run --faults`)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="deterministic hot-path benchmarks + regression gate",
+    )
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="timed repeats per case (default 5; "
+                       "comparisons use the median)")
+    bench.add_argument("--only", nargs="+", default=None, metavar="CASE",
+                       help="restrict to named cases (see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the benchmark case names and exit")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="write the BENCH.json report")
+    bench.add_argument("--input", default=None, metavar="PATH",
+                       help="load a previously written BENCH.json instead "
+                       "of re-running (for gating an existing artifact)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="compare against a baseline BENCH.json; "
+                       "exit 1 on regression")
+    bench.add_argument("--threshold", type=float, default=10.0,
+                       metavar="PCT",
+                       help="regression threshold percent (default 10)")
+    bench.add_argument("--counters-only", action="store_true",
+                       help="compare only operation counters "
+                       "(machine-independent; what CI uses)")
+
     lint = sub.add_parser(
         "lint",
         help="project-specific static analysis (docs/static-analysis.md)",
@@ -492,6 +633,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "fault-study": _cmd_fault_study,
         "telemetry-report": _cmd_telemetry_report,
+        "audit": _cmd_audit,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

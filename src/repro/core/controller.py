@@ -187,6 +187,48 @@ class DecisionPrediction:
     power_w: float
 
 
+@dataclass(frozen=True)
+class LCRegimeSnapshot:
+    """One LC service's reconstructed latency row behind a decision.
+
+    ``latency_row`` is the reconstructed p99 across all 108 joint
+    configurations at the regime (load bucket, core count) the decision
+    was made in — None on the cold-start path, where the controller
+    runs conservative without a prediction.
+    """
+
+    service_idx: int
+    #: Load estimate the decision used (pre-bucketing).
+    load: float
+    #: The :data:`LOAD_GRID` bucket the latency matrices keyed on.
+    bucket: float
+    #: Core count the service was allocated.
+    cores: int
+    latency_row: Optional[np.ndarray]
+    #: Joint-configuration index actually chosen (None if zero cores).
+    chosen_index: Optional[int]
+
+
+@dataclass(frozen=True)
+class ReconstructionSnapshot:
+    """The reconstructed matrices behind the most recent decision.
+
+    Captured by :meth:`ResourceController.decide` for the accuracy
+    auditor (``repro.telemetry.accuracy``): since the simulator is
+    analytical, every entry can be scored against ground truth, turning
+    the paper's Fig. 4 offline accuracy study into a per-quantum online
+    metric.  Arrays are the raw reconstructions (no time-multiplexing
+    share applied), aligned with the machine's batch slots.
+    """
+
+    #: Reconstructed batch BIPS, ``(n_batch, N_JOINT_CONFIGS)``.
+    batch_bips: np.ndarray
+    #: Reconstructed batch core power, ``(n_batch, N_JOINT_CONFIGS)``.
+    batch_power: np.ndarray
+    #: Per-hosted-LC-service latency regimes, primary first.
+    lc: Tuple[LCRegimeSnapshot, ...]
+
+
 class ResourceController:
     """Online decision maker for one machine's jobs."""
 
@@ -224,6 +266,10 @@ class ResourceController:
         self.timings: List[StepTimings] = []
         #: Predicted outcomes of the most recent :meth:`decide`.
         self.last_prediction: Optional[DecisionPrediction] = None
+        #: Reconstructed matrices behind the most recent :meth:`decide`
+        #: (None before the first decision and in safe mode, where no
+        #: trusted reconstruction backs the assignment).
+        self.last_reconstruction: Optional[ReconstructionSnapshot] = None
 
         # Graceful-degradation state (docs/robustness.md).  The
         # controller counts sample rejections per quantum; runs of bad
@@ -652,12 +698,14 @@ class ResourceController:
             loads = [load, *extra_loads]
             selections = []
             predicted_p99 = []
+            lc_snapshots: List[LCRegimeSnapshot] = []
             # The paper relocates at most one core per timeslice; with
             # several services the most recently violating one wins it.
             reclaim_available = True
             for idx in range(self.n_services):
                 previous_cores = self.lc_cores_by_service[idx]
-                joint, cores, watts, reclaimed, p99_hat = self._select_lc(
+                (joint, cores, watts, reclaimed, p99_hat,
+                 latency_row) = self._select_lc(
                     loads[idx],
                     power_hat[self._lc_power_row(idx)],
                     service_idx=idx,
@@ -665,25 +713,40 @@ class ResourceController:
                 )
                 if reclaimed:
                     reclaim_available = False
-                    self._count("core_reclamations")
+                    self._count("controller.core_reclamations")
                     log.info(
                         "service %d reclaims a core (now %d): QoS "
                         "predicted unreachable at load %.2f",
                         idx, cores, loads[idx],
                     )
                 elif cores < previous_cores:
-                    self._count("core_yields")
+                    self._count("controller.core_yields")
                     log.info(
                         "service %d yields a core back to batch (now %d)",
                         idx, cores,
                     )
                 selections.append((joint, cores, watts))
                 predicted_p99.append(p99_hat)
+                lc_snapshots.append(LCRegimeSnapshot(
+                    service_idx=idx,
+                    load=loads[idx],
+                    bucket=nearest_load_bucket(loads[idx]),
+                    cores=cores,
+                    latency_row=latency_row,
+                    chosen_index=joint.index if cores > 0 else None,
+                ))
             lc_joint, lc_cores, lc_power = selections[0]
         timings = StepTimings(sgd_s=sgd_span.duration_s + lc_span.duration_s)
 
         batch_bips = bips_hat[self.n_train:self.n_train + self.n_batch]
         batch_power = power_hat[self.n_train:self.n_train + self.n_batch]
+        # Reconstructions are fresh arrays each quantum, so the
+        # snapshot can hold views without copying.
+        self.last_reconstruction = ReconstructionSnapshot(
+            batch_bips=batch_bips,
+            batch_power=batch_power,
+            lc=tuple(lc_snapshots),
+        )
 
         total_lc_cores = sum(cores for _, cores, _ in selections)
         batch_cores = self.machine.params.n_cores - total_lc_cores
@@ -732,7 +795,7 @@ class ResourceController:
             )
             gated = active_before - sum(1 for c in configs if c is not None)
             if gated > 0:
-                self._count("emergency_core_off", gated)
+                self._count("controller.emergency_core_off", gated)
                 log.info(
                     "power fallback gated %d batch job(s) to meet "
                     "%.1f W", gated, target_power,
@@ -864,6 +927,7 @@ class ResourceController:
         # No trusted reconstruction backs this decision: pair it with
         # no prediction rather than a stale one.
         self.last_prediction = None
+        self.last_reconstruction = None
         self._last_assignment = assignment
         return assignment
 
@@ -910,15 +974,18 @@ class ResourceController:
         lc_power_row: np.ndarray,
         service_idx: int = 0,
         allow_reclaim: bool = True,
-    ) -> Tuple[JointConfig, int, float, bool, float]:
+    ) -> Tuple[JointConfig, int, float, bool, float, Optional[np.ndarray]]:
         """Choose one LC service's configuration and core count.
 
-        Returns ``(config, cores, power, reclaimed, predicted_p99)``
-        (§VI-A, §VIII-D3); ``allow_reclaim`` arbitrates the one-core-
-        per-timeslice relocation budget among multiple services.
-        ``predicted_p99`` is the reconstructed tail latency of the
-        chosen configuration (NaN on the cold-start path, where the
-        controller runs conservative without a prediction).
+        Returns ``(config, cores, power, reclaimed, predicted_p99,
+        latency_row)`` (§VI-A, §VIII-D3); ``allow_reclaim`` arbitrates
+        the one-core-per-timeslice relocation budget among multiple
+        services.  ``predicted_p99`` is the reconstructed tail latency
+        of the chosen configuration and ``latency_row`` the full
+        reconstructed row it was read from (both NaN/None on the
+        cold-start path, where the controller runs conservative
+        without a prediction — the accuracy auditor skips such
+        regimes).
         """
         service = self.machine.lc_services[service_idx]
         bucket = nearest_load_bucket(load)
@@ -932,7 +999,7 @@ class ResourceController:
             # one slice has been measured.
             return conservative, lc_cores, float(
                 lc_power_row[conservative.index]
-            ), False, math.nan
+            ), False, math.nan, None
 
         # Memoise the per-core-count latency reconstructions: the scan,
         # the downgrade fallback and the final prediction record all
@@ -1018,8 +1085,9 @@ class ResourceController:
                 lc_cores -= 1
                 choice = fewer_choice
         lc_power = float(lc_power_row[choice.index])
-        predicted_p99 = float(predict(lc_cores)[choice.index])
-        return choice, lc_cores, lc_power, reclaimed, predicted_p99
+        latency_row = predict(lc_cores)
+        predicted_p99 = float(latency_row[choice.index])
+        return choice, lc_cores, lc_power, reclaimed, predicted_p99, latency_row
 
     def _safest_downgrade(
         self,

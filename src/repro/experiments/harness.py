@@ -332,7 +332,7 @@ def run_policy(
     for power-cap drops, load spikes and batch-job crashes.
     ``on_policy_error`` controls what a policy exception costs: the
     default ``"degrade"`` records a degraded quantum (telemetry
-    counter ``degraded_quanta``), serves the policy's last-known-good
+    counter ``harness.degraded_quanta``), serves the policy's last-known-good
     assignment (or a gated-batch fallback), and keeps running;
     ``"raise"`` propagates, aborting the run — the unhardened arm of
     the fault study.
@@ -369,14 +369,22 @@ def run_policy(
     )
 
     tracer = tracer_of(telemetry)
+    # A disabled session (Telemetry(enabled=False)) still attaches —
+    # instrumented callees see the null tracer/registry — but the
+    # harness skips its own per-quantum accounting entirely, keeping
+    # the telemetry-off hot loop at near-zero overhead (guarded by the
+    # `telemetry.overhead_disabled` bench).
+    session_on = telemetry is not None and getattr(telemetry, "enabled", True)
+    auditor = getattr(telemetry, "auditor", None) if session_on else None
     if telemetry is not None:
         machine.attach_telemetry(telemetry)
         attach = getattr(policy, "attach_telemetry", None)
         if attach is not None:
             attach(telemetry)
         log.info(
-            "running %s for %d slices (budget %.1f W, telemetry on)",
+            "running %s for %d slices (budget %.1f W, telemetry %s)",
             policy.name, n_slices, run.power_budget_w,
+            "on" if session_on else "off",
         )
 
     churn_rng = np.random.default_rng(churn_seed)
@@ -397,8 +405,8 @@ def run_policy(
                     if notify is not None:
                         notify(slot)
                     run.churn_events.append((i, slot, respawn.name))
-                    if telemetry is not None:
-                        telemetry.counter("job_churn").inc()
+                    if session_on:
+                        telemetry.counter("harness.job_churn").inc()
                         tracer.instant(
                             "batch_crash", category="faults", slot=slot,
                         )
@@ -414,8 +422,8 @@ def run_policy(
                 if notify is not None:
                     notify(slot)
                 run.churn_events.append((i, slot, newcomer.name))
-                if telemetry is not None:
-                    telemetry.counter("job_churn").inc()
+                if session_on:
+                    telemetry.counter("harness.job_churn").inc()
                     tracer.instant(
                         "job_churn", category="harness",
                         slot=slot, app=newcomer.name,
@@ -452,8 +460,8 @@ def run_policy(
                     degraded = True
                     assignment = _degraded_assignment(policy, run, machine)
                     run.degraded_quanta += 1
-                    if telemetry is not None:
-                        telemetry.counter("degraded_quanta").inc()
+                    if session_on:
+                        telemetry.counter("harness.degraded_quanta").inc()
                         telemetry.counter(
                             "faults.recovered.degraded_quantum"
                         ).inc()
@@ -466,6 +474,10 @@ def run_policy(
                         "last-known-good assignment",
                         i, policy.name, type(exc).__name__, exc,
                     )
+            if auditor is not None and not degraded:
+                # Before run_slice: batch phases advance there, and the
+                # audit must score the oracle the decision faced.
+                auditor.audit_decision(policy, machine, i)
             actual_load = trace.load_at(machine.time_s)
             if faults is not None:
                 actual_load = faults.effective_load(actual_load)
@@ -485,8 +497,8 @@ def run_policy(
                     if not degraded:
                         degraded = True
                         run.degraded_quanta += 1
-                        if telemetry is not None:
-                            telemetry.counter("degraded_quanta").inc()
+                        if session_on:
+                            telemetry.counter("harness.degraded_quanta").inc()
                             telemetry.counter(
                                 "faults.recovered.degraded_quantum"
                             ).inc()
@@ -498,7 +510,7 @@ def run_policy(
             run.measurements.append(measurement)
             run.loads.append(actual_load)
             run.budgets.append(budget)
-            if telemetry is not None:
+            if session_on:
                 # A degraded quantum has no fresh prediction; record a
                 # measured-only entry rather than pairing the slice
                 # with a stale one.
@@ -506,7 +518,7 @@ def run_policy(
                     telemetry, i, None if degraded else policy, measurement
                 )
                 metrics = telemetry.metrics
-                metrics.counter("reconfigurations").inc(
+                metrics.counter("harness.reconfigurations").inc(
                     measurement.reconfigurations
                 )
                 qos_violated = (
@@ -519,19 +531,25 @@ def run_policy(
                     )
                 )
                 if qos_violated:
-                    metrics.counter("qos_violations").inc()
+                    metrics.counter("harness.qos_violations").inc()
                     log.info(
                         "slice %d: QoS violated (p99 %.2f ms, target "
                         "%.2f ms)", i, measurement.lc_p99 * 1e3,
                         run.qos_s * 1e3,
                     )
                 if measurement.total_power > budget * (1.0 + POWER_TOLERANCE):
-                    metrics.counter("power_violations").inc()
-                metrics.gauge("power_w").set(measurement.total_power)
-                metrics.gauge("lc_load").set(actual_load)
+                    metrics.counter("harness.power_violations").inc()
+                metrics.gauge("harness.power_w").set(measurement.total_power)
+                metrics.gauge("harness.lc_load").set(actual_load)
                 metrics.histogram("slice.lc_p99_ms").observe(
                     measurement.lc_p99 * 1e3
                 )
+                if auditor is not None:
+                    auditor.audit_measurement(
+                        machine, measurement, i, run.qos_s,
+                        run.qos_extra_s,
+                        policy=None if degraded else policy,
+                    )
             load_estimate = actual_load
             extra_estimates = actual_extras
     return run

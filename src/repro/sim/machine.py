@@ -31,7 +31,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry import Telemetry
 
-from repro.sim.coreconfig import CoreConfig, JointConfig
+from repro.sim.coreconfig import N_JOINT_CONFIGS, CoreConfig, JointConfig
 from repro.sim.memory import MemoryDemand, MemorySystem
 from repro.sim.perf import AppProfile, PerformanceModel
 from repro.sim.power import PowerModel
@@ -358,6 +358,44 @@ class Machine:
         return self.power.core_power(
             service.profile, joint.core, utilization=util
         )
+
+    def oracle_batch_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Ground-truth batch BIPS and core power on all 108 joints.
+
+        Returns ``(bips, power)``, each ``(n_batch, N_JOINT_CONFIGS)``,
+        phase-adjusted at the *current* instant — the exact tables the
+        controller's PQ reconstruction is trying to recover, and what
+        the accuracy auditor scores each quantum against
+        (docs/observability.md).  Phases advance in :meth:`run_slice`,
+        so callers auditing a decision must snapshot before running the
+        slice it applies to.
+        """
+        n = len(self.batch_profiles)
+        bips = np.empty((n, N_JOINT_CONFIGS))
+        power = np.empty((n, N_JOINT_CONFIGS))
+        for idx in range(N_JOINT_CONFIGS):
+            joint = JointConfig.from_index(idx)
+            for j in range(n):
+                bips[j, idx] = self.true_batch_bips(j, joint)
+                power[j, idx] = self.true_batch_power(j, joint.core)
+        return bips, power
+
+    def oracle_lc_latency_row(
+        self, load: float, n_cores: int, service_idx: int = 0
+    ) -> np.ndarray:
+        """Ground-truth p99 of one LC service across all 108 joints.
+
+        The analytical queueing model is deterministic given (config,
+        load, cores), so this is the oracle row the controller's
+        reconstructed latency predictions are audited against.
+        """
+        service = self.lc_services[service_idx]
+        row = np.empty(N_JOINT_CONFIGS)
+        for idx in range(N_JOINT_CONFIGS):
+            row[idx] = self.true_lc_p99(
+                JointConfig.from_index(idx), load, n_cores, service=service
+            )
+        return row
 
     # ------------------------------------------------------------------
     # Scheduler-facing interface.

@@ -12,7 +12,12 @@ predictions were*:
   against measured BIPS/p99/power (the Fig. 5 accuracy quantity,
   tracked online);
 * exporters to JSONL, Chrome ``trace_event`` JSON (open in
-  ``chrome://tracing`` or Perfetto), and text/CSV reports.
+  ``chrome://tracing`` or Perfetto), and text/CSV reports;
+* an opt-in :class:`AccuracyAuditor`
+  (:meth:`Telemetry.enable_accuracy_audit`) that scores each quantum's
+  reconstruction against the simulator's oracle tables, with EWMA
+  drift detection and QoS-violation attribution — see
+  ``repro.telemetry.accuracy`` and ``python -m repro audit``.
 
 Typical use::
 
@@ -32,8 +37,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.telemetry.accuracy import (
+    AccuracyAuditor,
+    AuditConfig,
+    DriftTracker,
+    median_error_pct,
+    render_accuracy_report,
+)
 from repro.telemetry.exporters import (
     chrome_trace_events,
+    decision_records_from_jsonl,
     decisions_to_csv,
     read_jsonl,
     render_jsonl_report,
@@ -47,6 +60,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    NullMetricsRegistry,
     signed_error_percent,
 )
 from repro.telemetry.tracer import (
@@ -71,7 +85,21 @@ class Telemetry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.tracer = Tracer() if enabled else NULL_TRACER
-        self.metrics = MetricsRegistry()
+        # A disabled session swaps in the shared-no-op registry so the
+        # per-quantum hot loop pays no dict lookups or list appends
+        # (the `telemetry.overhead_disabled` bench guards this).
+        self.metrics = (
+            MetricsRegistry() if enabled else NullMetricsRegistry()
+        )
+        #: Optional :class:`~repro.telemetry.accuracy.AccuracyAuditor`;
+        #: the harness audits each quantum when one is attached.
+        self.auditor: Optional[AccuracyAuditor] = None
+
+    def enable_accuracy_audit(
+        self, config: Optional[AuditConfig] = None
+    ) -> AccuracyAuditor:
+        """Attach a prediction-accuracy auditor to this session."""
+        return AccuracyAuditor(self, config)
 
     # -- convenience pass-throughs -------------------------------------
 
@@ -110,20 +138,27 @@ class Telemetry:
 
 
 __all__ = [
+    "AccuracyAuditor",
+    "AuditConfig",
     "Counter",
     "DecisionRecord",
+    "DriftTracker",
     "Gauge",
     "Histogram",
     "Instant",
     "MetricsRegistry",
     "NULL_TRACER",
+    "NullMetricsRegistry",
     "NullTracer",
     "Span",
     "Telemetry",
     "Tracer",
     "chrome_trace_events",
+    "decision_records_from_jsonl",
     "decisions_to_csv",
+    "median_error_pct",
     "read_jsonl",
+    "render_accuracy_report",
     "render_jsonl_report",
     "render_metrics_report",
     "signed_error_percent",

@@ -134,19 +134,47 @@ def read_jsonl(path_or_file) -> List[Dict]:
             handle.close()
 
 
+def decision_records_from_jsonl(records: Iterable[Dict]) -> List[DecisionRecord]:
+    """Rebuild :class:`DecisionRecord` objects from parsed JSONL lines.
+
+    The inverse of :func:`write_jsonl`'s ``decision`` lines: JSON has
+    no NaN, so ``null`` entries (gated jobs, cold-start predictions)
+    come back as NaN — a write -> read -> re-export cycle is lossless.
+    """
+    def _num(value) -> float:
+        return math.nan if value is None else float(value)
+
+    def _tup(values) -> tuple:
+        return tuple(_num(v) for v in (values or ()))
+
+    out: List[DecisionRecord] = []
+    for rec in records:
+        if rec.get("type") != "decision":
+            continue
+        out.append(DecisionRecord(
+            quantum=int(rec["quantum"]),
+            predicted_bips=_tup(rec.get("predicted_bips")),
+            measured_bips=_tup(rec.get("measured_bips")),
+            predicted_p99_s=_tup(rec.get("predicted_p99_s")),
+            measured_p99_s=_tup(rec.get("measured_p99_s")),
+            predicted_power_w=_num(rec.get("predicted_power_w")),
+            measured_power_w=_num(rec.get("measured_power_w")),
+        ))
+    return out
+
+
 # ----------------------------------------------------------------------
 # Chrome trace_event
 # ----------------------------------------------------------------------
 
 def chrome_trace_events(telemetry) -> List[Dict]:
-    """The session as Chrome ``trace_event`` dicts (``ph: X``/``i``)."""
-    events: List[Dict] = [{
-        "name": "process_name",
-        "ph": "M",
-        "pid": 1,
-        "tid": 0,
-        "args": {"name": "repro scheduler"},
-    }]
+    """The session as Chrome ``trace_event`` dicts (``ph: X``/``i``).
+
+    The metadata event leads; timed events follow sorted by start
+    timestamp (the tracer records spans in *completion* order, which
+    viewers tolerate but stream parsers need not).
+    """
+    events: List[Dict] = []
     for span in telemetry.tracer.spans:
         events.append({
             "name": span.name,
@@ -169,7 +197,14 @@ def chrome_trace_events(telemetry) -> List[Dict]:
             "s": "t",
             "args": _jsonable_args(instant.args),
         })
-    return events
+    events.sort(key=lambda event: event["ts"])
+    return [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "args": {"name": "repro scheduler"},
+    }] + events
 
 
 def write_chrome_trace(telemetry, path_or_file) -> int:

@@ -1,0 +1,32 @@
+# Fixture for TEL402: metric naming convention and kind conflicts.
+
+
+class Instrumented:
+    def __init__(self, metrics) -> None:
+        self.metrics = metrics
+
+    def good_dotted_names(self) -> None:
+        self.metrics.counter("harness.job_churn").inc()
+        self.metrics.gauge("harness.power_w").set(99.5)
+        self.metrics.histogram("slice.lc_p99_ms").observe(2.5)
+        self.metrics.histogram("accuracy.drift.flags_pct").observe(1.0)
+
+    def good_dynamic_name(self, app: str) -> None:
+        # Dynamic names cannot be validated statically and are exempt.
+        self.metrics.histogram(f"accuracy.app.{app}.bips_err_pct").observe(
+            1.0
+        )
+
+    def good_unrelated_receiver(self, pool) -> None:
+        # Not a metrics registry: `counter` on other objects is fine.
+        pool.counter("whatever").inc()
+
+    def bad_flat_name(self) -> None:
+        self.metrics.counter("qos_violations").inc()  # expect: TEL402
+
+    def bad_uppercase(self, registry) -> None:
+        registry.gauge("Harness.Power")  # expect: TEL402
+
+    def bad_kind_fork(self, telemetry) -> None:
+        telemetry.counter("loop.iterations").inc()
+        telemetry.gauge("loop.iterations").set(3.0)  # expect: TEL402

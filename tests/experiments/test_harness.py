@@ -153,7 +153,7 @@ class TestPowerTolerance:
             power_cap_fraction=0.5, n_slices=3, telemetry=telemetry,
         )
         counters = telemetry.metrics.as_dict()["counters"]
-        assert counters.get("power_violations", 0) == run.power_violations()
+        assert counters.get("harness.power_violations", 0) == run.power_violations()
 
 
 class TestToCsv:

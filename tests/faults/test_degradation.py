@@ -262,7 +262,7 @@ class TestHarnessDegradation:
         assert run.n_slices == 4
         assert run.degraded_quanta == 4
         cnt = counters(telemetry)
-        assert cnt["degraded_quanta"] == 4
+        assert cnt["harness.degraded_quanta"] == 4
         assert cnt["faults.recovered.degraded_quantum"] == 4
         # Fallback posture serves the LC service on every slice.
         for m in run.measurements:

@@ -131,7 +131,10 @@ class TestReports:
         telemetry.counter("x").inc()
         text = telemetry.report()
         assert "span durations" not in text
-        assert "x" in text
+        # The disabled session's registry is the shared no-op fast
+        # path: instrument calls are accepted but record nothing.
+        assert telemetry.metrics.counters == {}
+        assert "x" not in text
 
     def test_decisions_csv(self):
         telemetry = _session()

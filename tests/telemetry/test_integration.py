@@ -105,7 +105,7 @@ class TestCounters:
         )
         expected = len(run.churn_events)
         assert expected == 2  # slices 2 and 4
-        assert telemetry.metrics.counters["job_churn"].value == expected
+        assert telemetry.metrics.counters["harness.job_churn"].value == expected
         churn_instants = [
             i for i in telemetry.tracer.instants if i.name == "job_churn"
         ]
@@ -136,7 +136,7 @@ class TestCounters:
             step(1.3)
         reclaimed_cores = controller.lc_cores - before
         assert reclaimed_cores > 0
-        counter = telemetry.metrics.counters["core_reclamations"]
+        counter = telemetry.metrics.counters["controller.core_reclamations"]
         assert counter.value >= reclaimed_cores
 
     def test_qos_violation_counter_matches_run(self, small_machine):
@@ -146,7 +146,7 @@ class TestCounters:
             small_machine, policy, LoadTrace.constant(0.8),
             power_cap_fraction=0.6, n_slices=5, telemetry=telemetry,
         )
-        counted = telemetry.metrics.counters.get("qos_violations")
+        counted = telemetry.metrics.counters.get("harness.qos_violations")
         value = counted.value if counted is not None else 0
         assert value == run.qos_violations()
 
@@ -160,7 +160,7 @@ class TestCounters:
             n_slices=4, telemetry=telemetry,
         )
         total = sum(m.reconfigurations for m in run.measurements)
-        assert telemetry.metrics.counters["reconfigurations"].value == total
+        assert telemetry.metrics.counters["harness.reconfigurations"].value == total
 
 
 class TestStepTimingsCompat:

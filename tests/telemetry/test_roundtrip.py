@@ -1,0 +1,135 @@
+"""Exporter round-trips: what we write, tools (and we) can read back."""
+
+import io
+import json
+import math
+
+from repro.telemetry import (
+    DecisionRecord,
+    Telemetry,
+    decision_records_from_jsonl,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+def _session() -> Telemetry:
+    telemetry = Telemetry()
+    with telemetry.span("quantum", category="harness", quantum=0):
+        with telemetry.span("sgd.reconstruct") as span:
+            span.set(iterations=17)
+        with telemetry.span("dds.search") as span:
+            span.set(evaluations=1234)
+    telemetry.instant("reconfigure", jobs=3)
+    telemetry.counter("harness.qos_violations").inc(2)
+    telemetry.metrics.gauge("harness.power_w").set(88.25)
+    telemetry.metrics.histogram("slice.lc_p99_ms").observe(2.25)
+    telemetry.record_decision(DecisionRecord(
+        quantum=0,
+        predicted_bips=(1.5, math.nan, 2.5),
+        measured_bips=(1.4, math.nan, 2.6),
+        predicted_p99_s=(0.004,),
+        measured_p99_s=(0.005,),
+        predicted_power_w=math.nan,
+        measured_power_w=90.0,
+    ))
+    return telemetry
+
+
+class TestChromeTraceRoundTrip:
+    def test_is_valid_json_with_required_keys(self):
+        telemetry = _session()
+        buffer = io.StringIO()
+        n = telemetry.write_chrome_trace(buffer)
+        payload = json.loads(buffer.getvalue())
+        events = payload["traceEvents"]
+        assert len(events) == n
+        timed = [e for e in events if e["ph"] in ("X", "i")]
+        assert timed, "no timed events exported"
+        for event in timed:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete and all("dur" in e for e in complete)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_metadata_leads_and_events_are_time_ordered(self):
+        telemetry = _session()
+        buffer = io.StringIO()
+        telemetry.write_chrome_trace(buffer)
+        events = json.loads(buffer.getvalue())["traceEvents"]
+        assert events[0]["ph"] == "M"
+        timestamps = [e["ts"] for e in events[1:]]
+        assert timestamps == sorted(timestamps)
+
+    def test_span_args_survive(self):
+        telemetry = _session()
+        buffer = io.StringIO()
+        telemetry.write_chrome_trace(buffer)
+        events = json.loads(buffer.getvalue())["traceEvents"]
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["sgd.reconstruct"]["args"]["iterations"] == 17
+        assert by_name["dds.search"]["args"]["evaluations"] == 1234
+
+
+class TestJsonlDecisionRoundTrip:
+    def test_write_read_rebuild_is_lossless(self):
+        telemetry = _session()
+        buffer = io.StringIO()
+        write_jsonl(telemetry, buffer)
+        buffer.seek(0)
+        rebuilt = decision_records_from_jsonl(read_jsonl(buffer))
+        assert len(rebuilt) == 1
+        original = telemetry.metrics.decisions[0]
+        got = rebuilt[0]
+        assert got.quantum == original.quantum
+        for field in ("predicted_bips", "measured_bips",
+                      "predicted_p99_s", "measured_p99_s"):
+            orig_t = getattr(original, field)
+            got_t = getattr(got, field)
+            assert len(got_t) == len(orig_t)
+            for a, b in zip(got_t, orig_t):
+                assert (math.isnan(a) and math.isnan(b)) or a == b
+        assert math.isnan(got.predicted_power_w)
+        assert got.measured_power_w == original.measured_power_w
+
+    def test_reexport_is_stable(self):
+        """write -> read -> rebuild -> re-export reproduces the
+        decision lines byte-for-byte (the lossless-cycle contract)."""
+        telemetry = _session()
+        first = io.StringIO()
+        write_jsonl(telemetry, first)
+        first.seek(0)
+        rebuilt = decision_records_from_jsonl(read_jsonl(first))
+
+        twin = Telemetry()
+        for record in rebuilt:
+            twin.metrics.decisions.append(record)
+        second = io.StringIO()
+        write_jsonl(twin, second)
+
+        def decision_lines(text):
+            return [line for line in text.splitlines()
+                    if '"type": "decision"' in line]
+
+        assert decision_lines(first.getvalue()) == \
+            decision_lines(second.getvalue())
+
+    def test_rebuild_ignores_other_line_types(self):
+        telemetry = _session()
+        buffer = io.StringIO()
+        n_lines = write_jsonl(telemetry, buffer)
+        buffer.seek(0)
+        records = read_jsonl(buffer)
+        assert len(records) == n_lines
+        assert len(decision_records_from_jsonl(records)) == 1
+
+    def test_errors_recompute_identically_after_round_trip(self):
+        telemetry = _session()
+        buffer = io.StringIO()
+        write_jsonl(telemetry, buffer)
+        buffer.seek(0)
+        got = decision_records_from_jsonl(read_jsonl(buffer))[0]
+        original = telemetry.metrics.decisions[0]
+        assert got.bips_errors_percent() == original.bips_errors_percent()
+        assert got.p99_errors_percent() == original.p99_errors_percent()

@@ -270,3 +270,45 @@ class TestFaultStudyCommand:
         ])
         assert code == 2
         assert "mix index" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.mix == 0
+        assert args.slices == 10
+        assert args.faults is None
+
+    def test_audit_prints_accuracy_report(self, capsys):
+        assert main(["audit", "--slices", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction-accuracy audit" in out
+        assert "quanta audited: " in out
+        assert "bips" in out and "lc_p99" in out
+
+    def test_audit_bad_mix(self, capsys):
+        assert main(["audit", "--mix", "99"]) == 2
+        assert "mix index" in capsys.readouterr().err
+
+    def test_audit_bad_fault_spec(self, capsys):
+        assert main(["audit", "--faults", "bogus~spec"]) == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+
+class TestBenchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.repeats == 5
+        assert args.threshold == 10.0
+        assert args.only is None
+        assert args.compare is None
+        assert not args.counters_only
+
+    def test_gate_invocation_shape(self):
+        args = build_parser().parse_args([
+            "bench", "--input", "BENCH.json",
+            "--compare", "benchmarks/BENCH_BASELINE.json",
+            "--threshold", "10", "--counters-only",
+        ])
+        assert args.input == "BENCH.json"
+        assert args.counters_only
