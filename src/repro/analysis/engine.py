@@ -128,6 +128,7 @@ def all_rules() -> Tuple[Rule, ...]:
     # circular import: rules import engine for the base class.
     from repro.analysis import (  # noqa: F401  (imported for side effect)
         rules_determinism,
+        rules_fleet,
         rules_rng,
         rules_telemetry,
         rules_units,

@@ -1,0 +1,140 @@
+"""Fleet fork-safety rules.
+
+``repro.fleet`` runs work units in forked worker processes and promises
+``--jobs N`` output byte-identical to serial.  That promise only holds
+if fleet code is *pure* with respect to process-global mutable state:
+no environment mutation (invisible to the parent, divergent across
+workers), no module-level RNG objects (forked copies share then split
+their state), no legacy ``np.random.*`` global-stream draws.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: ``os.environ`` methods that mutate the process environment.
+_ENVIRON_MUTATORS = frozenset({
+    "update", "setdefault", "pop", "clear", "popitem",
+})
+
+#: Generator constructors that must not run at module scope.
+_RNG_CONSTRUCTORS = frozenset({
+    "rng_for", "default_rng", "Generator", "RandomState", "SeedSequence",
+    "Random",
+})
+
+
+def _is_environ(node: ast.AST) -> bool:
+    return dotted_name(node) in ("os.environ", "environ")
+
+
+def _function_body_nodes(tree: ast.Module) -> Set[int]:
+    """ids of every AST node nested inside a function or lambda body."""
+    inside: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            for inner in ast.walk(node):
+                if inner is not node:
+                    inside.add(id(inner))
+    return inside
+
+
+@register
+class FleetProcessStateRule(Rule):
+    id = "FLT501"
+    title = "fleet code touches process-global mutable state"
+    rationale = (
+        "Fleet work units execute in forked worker processes, and the "
+        "--jobs N == --jobs 1 guarantee rests on units being pure "
+        "functions of their arguments: os.environ writes diverge "
+        "silently across workers, module-level RNGs are duplicated by "
+        "fork and then drift, and np.random.* draws from the hidden "
+        "global stream no worker shares. Derive every stream from unit "
+        "arguments via repro.rng.rng_for instead."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_in("repro.fleet"):
+            return
+        inside_function = _function_body_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            # -- os.environ mutation --------------------------------
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                hit = False
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _is_environ(target.value)
+                    ):
+                        hit = True
+                if hit:
+                    yield ctx.violation(
+                        self, node,
+                        "mutating os.environ from fleet code changes "
+                        "per-process state workers do not share; pass "
+                        "configuration through WorkUnit kwargs",
+                    )
+                    continue
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func)
+            # -- os.environ.update() / putenv -----------------------
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ENVIRON_MUTATORS
+                and _is_environ(node.func.value)
+            ):
+                yield ctx.violation(
+                    self, node,
+                    f"os.environ.{node.func.attr}() mutates per-process "
+                    "state workers do not share; pass configuration "
+                    "through WorkUnit kwargs",
+                )
+                continue
+            if target in ("os.putenv", "os.unsetenv", "putenv", "unsetenv"):
+                yield ctx.violation(
+                    self, node,
+                    f"{target}() mutates per-process state workers do "
+                    "not share; pass configuration through WorkUnit "
+                    "kwargs",
+                )
+                continue
+            # -- np.random.* global-stream calls --------------------
+            if target is not None and (
+                target.startswith("np.random.")
+                or target.startswith("numpy.random.")
+            ):
+                yield ctx.violation(
+                    self, node,
+                    f"{target}() touches numpy's process-global random "
+                    "stream; derive a per-unit stream with "
+                    "repro.rng.rng_for",
+                )
+                continue
+            # -- module-scope RNG construction ----------------------
+            if (
+                target is not None
+                and target.rsplit(".", 1)[-1] in _RNG_CONSTRUCTORS
+                and id(node) not in inside_function
+            ):
+                yield ctx.violation(
+                    self, node,
+                    f"module-level {target}() creates RNG state that "
+                    "fork duplicates into every worker; construct "
+                    "generators inside the unit from its arguments",
+                )

@@ -208,6 +208,80 @@ def _run_telemetry_disabled(repeats: int, seed: int) -> BenchCaseResult:
     )
 
 
+# -- fleet benchmarks ------------------------------------------------------
+
+#: Slices per cluster-study arm in the fleet cases; enough work per
+#: unit that worker start-up cost amortises on multi-core hosts.
+FLEET_SLICES = 4
+
+
+def _cluster_cells(seed: int, jobs: int, telemetry=None):
+    from repro.experiments.cluster_study import run_cluster_study
+
+    return run_cluster_study(
+        n_slices=FLEET_SLICES, seed=seed, jobs=jobs, telemetry=telemetry,
+    )
+
+
+def _run_fleet_pool(repeats: int, seed: int) -> BenchCaseResult:
+    """The 2-scheme cluster study sharded across 2 worker processes.
+
+    Walls show the parallel speedup on multi-core hosts (compare with
+    ``fleet.serial``); the counters are the RNG-safe determinism gate:
+    ``fleet_retries`` and ``fleet_mismatched_units`` have baseline 0,
+    so any worker death or serial-vs-parallel result divergence trips
+    the CI counter comparison.
+    """
+    from repro.telemetry import Telemetry
+
+    walls = [
+        _timed_ms(lambda: _cluster_cells(seed, jobs=2))
+        for _ in range(repeats)
+    ]
+    session = Telemetry()
+    parallel = _cluster_cells(seed, jobs=2, telemetry=session)
+    serial = _cluster_cells(seed, jobs=1)
+    mismatched = sum(
+        1 for scheme in serial if parallel.get(scheme) != serial[scheme]
+    )
+    return BenchCaseResult(
+        name="fleet.pool",
+        description=(
+            f"cluster study ({FLEET_SLICES} slices) sharded over "
+            "2 worker processes"
+        ),
+        wall_ms=tuple(walls),
+        counters={
+            "fleet_units": int(
+                session.metrics.counter("fleet.units_total").value
+            ),
+            "fleet_retries": int(
+                session.metrics.counter("fleet.retries").value
+            ),
+            "fleet_mismatched_units": int(mismatched),
+            "cluster_qos_violations": int(
+                sum(outcome.qos_violations for outcome in serial.values())
+            ),
+        },
+    )
+
+
+def _run_fleet_serial(repeats: int, seed: int) -> BenchCaseResult:
+    """The same cluster study run in-process; the speedup denominator."""
+    walls = [
+        _timed_ms(lambda: _cluster_cells(seed, jobs=1))
+        for _ in range(repeats)
+    ]
+    return BenchCaseResult(
+        name="fleet.serial",
+        description=(
+            f"cluster study ({FLEET_SLICES} slices) in-process, --jobs 1"
+        ),
+        wall_ms=tuple(walls),
+        counters={},
+    )
+
+
 BENCH_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
         "sgd.reconstruct",
@@ -233,6 +307,16 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "telemetry.overhead_disabled",
         "decision quanta with a disabled telemetry session",
         _run_telemetry_disabled,
+    ),
+    BenchCase(
+        "fleet.pool",
+        "cluster study sharded over 2 worker processes",
+        _run_fleet_pool,
+    ),
+    BenchCase(
+        "fleet.serial",
+        "cluster study in-process (speedup denominator)",
+        _run_fleet_serial,
     ),
 )
 

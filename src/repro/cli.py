@@ -10,6 +10,12 @@ Commands:
   run's telemetry, ``--faults SPEC`` injects faults; see
   docs/observability.md and docs/robustness.md)
 * ``experiment``            — regenerate one paper table/figure by name
+  (``--jobs``/``--checkpoint``/``--resume`` shard the fleet-enabled
+  studies — ``cluster``, ``scalability`` — across worker processes;
+  see docs/scaling.md)
+* ``fleet``                 — the fleet execution surface: parallel
+  ``cluster``/``scalability``/``report`` runs, plus ``status`` to
+  inspect a checkpoint file
 * ``fault-study``           — hardened vs unhardened control under the
   default fault scenarios (docs/robustness.md)
 * ``report``                — run the full evaluation, write a markdown report
@@ -286,6 +292,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    code = _fleet_flags_error(args)
+    if code:
+        return code
     name = args.name
     if name == "fig1":
         from repro.experiments.fig1_characterization import (
@@ -348,7 +357,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             render_cluster_study, run_cluster_study,
         )
         print(render_cluster_study(
-            run_cluster_study(n_slices=args.slices * 2)
+            run_cluster_study(
+                n_slices=args.slices * 2, seed=args.seed,
+                jobs=args.jobs, checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
         ))
     elif name == "area":
         from repro.experiments.area_equivalence import (
@@ -373,7 +386,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.scalability import (
             render_scalability, run_scalability,
         )
-        print(render_scalability(run_scalability(n_slices=args.slices)))
+        print(render_scalability(
+            run_scalability(
+                n_slices=args.slices, seed=args.seed, jobs=args.jobs,
+                checkpoint=args.checkpoint, resume=args.resume,
+            ),
+            include_timings=not args.no_timings,
+        ))
     elif name == "ablations":
         from repro.experiments.ablations import (
             ablate_guards, ablate_inference, ablate_variants,
@@ -468,9 +487,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    code = _fleet_flags_error(args)
+    if code:
+        return code
     from repro.experiments.full_eval import render_report, run_full_evaluation
 
-    results = run_full_evaluation(n_slices=args.slices, only=args.only)
+    results = run_full_evaluation(
+        n_slices=args.slices, only=args.only, jobs=args.jobs,
+        checkpoint=args.checkpoint, resume=args.resume,
+    )
     text = render_report(results)
     with open(args.out, "w") as handle:
         handle.write(text)
@@ -480,6 +505,87 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("failed sections: " + ", ".join(failed), file=sys.stderr)
         return 1
     return 0
+
+
+def _fleet_flags_error(args: argparse.Namespace) -> int:
+    """Validate the shared --jobs/--checkpoint/--resume flags.
+
+    Returns 0 when consistent; prints to stderr and returns 2 otherwise
+    (argparse cannot express the cross-flag dependency itself).
+    """
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import CheckpointError, FleetError, inspect_checkpoint
+
+    code = _fleet_flags_error(args)
+    if code:
+        return code
+    try:
+        if args.fleet_command == "status":
+            import json
+
+            payload = inspect_checkpoint(args.checkpoint_file)
+            fingerprint = payload.get("fingerprint", {})
+            completed = payload.get("completed", {})
+            print(f"checkpoint: {args.checkpoint_file}")
+            print(f"schema:     {payload.get('schema')}")
+            print(f"fleet:      {fingerprint.get('fleet')}")
+            print(f"seed:       {fingerprint.get('seed')}")
+            print(f"context:    {json.dumps(fingerprint.get('context'), sort_keys=True)}")
+            units = fingerprint.get("units", [])
+            print(f"completed:  {len(completed)}/{len(units)} unit(s)")
+            for unit_id in units:
+                marker = "done" if unit_id in completed else "todo"
+                print(f"  [{marker}] {unit_id}")
+            return 0
+        if args.fleet_command == "cluster":
+            from repro.experiments.cluster_study import (
+                render_cluster_study, run_cluster_study,
+            )
+            print(render_cluster_study(
+                run_cluster_study(
+                    n_slices=args.slices, seed=args.seed, jobs=args.jobs,
+                    checkpoint=args.checkpoint, resume=args.resume,
+                )
+            ))
+            return 0
+        if args.fleet_command == "scalability":
+            from repro.experiments.scalability import (
+                render_scalability, run_scalability,
+            )
+            merged = [] if args.jsonl else None
+            points = run_scalability(
+                core_counts=tuple(args.cores), n_slices=args.slices,
+                seed=args.seed, jobs=args.jobs, checkpoint=args.checkpoint,
+                resume=args.resume, merged_telemetry=merged,
+            )
+            print(render_scalability(
+                points, include_timings=not args.no_timings
+            ))
+            if args.jsonl:
+                import json
+
+                with open(args.jsonl, "w") as handle:
+                    for record in merged or []:
+                        handle.write(json.dumps(record, sort_keys=True) + "\n")
+                print(f"wrote {args.jsonl} ({len(merged or [])} lines)")
+            return 0
+        if args.fleet_command == "report":
+            return _cmd_report(args)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(  # pragma: no cover - argparse prevents this
+        f"unknown fleet command {args.fleet_command!r}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -540,12 +646,25 @@ def build_parser() -> argparse.ArgumentParser:
     fault_study.add_argument("--scenario", nargs="*", default=None,
                              help="restrict to named default scenarios")
 
+    def add_fleet_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes; output is byte-identical "
+                       "to --jobs 1 (default 1; see docs/scaling.md)")
+        p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="snapshot completed work units to PATH")
+        p.add_argument("--resume", action="store_true",
+                       help="skip units already in --checkpoint")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.add_argument("--slices", type=int, default=8,
                             help="quanta for run-based experiments")
+    add_fleet_flags(experiment)
+    experiment.add_argument("--no-timings", action="store_true",
+                            help="drop wall-clock columns from the "
+                            "scalability table (byte-stable output)")
 
     report = sub.add_parser(
         "report", help="run the full evaluation and write a markdown report"
@@ -556,6 +675,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quanta for run-based experiments")
     report.add_argument("--only", nargs="*", default=None,
                         help="substring filters on section titles")
+    add_fleet_flags(report)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="deterministic parallel fleet runs (docs/scaling.md)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_cluster = fleet_sub.add_parser(
+        "cluster", help="rack-level brokering study, sharded by scheme"
+    )
+    fleet_cluster.add_argument("--slices", type=int, default=8,
+                               help="decision quanta (default 8)")
+    add_fleet_flags(fleet_cluster)
+
+    fleet_scale = fleet_sub.add_parser(
+        "scalability", help="scaling grid, sharded by (cores, arm)"
+    )
+    fleet_scale.add_argument("--cores", type=int, nargs="+",
+                             default=[16, 32, 48],
+                             help="machine sizes (default: 16 32 48)")
+    fleet_scale.add_argument("--slices", type=int, default=8,
+                             help="decision quanta (default 8)")
+    fleet_scale.add_argument("--no-timings", action="store_true",
+                             help="drop the wall-clock decision (ms) "
+                             "column (byte-stable output)")
+    fleet_scale.add_argument("--jsonl", default=None, metavar="PATH",
+                             help="write the per-unit telemetry, merged "
+                             "into one canonical JSONL session log")
+    add_fleet_flags(fleet_scale)
+
+    fleet_report = fleet_sub.add_parser(
+        "report", help="full evaluation, sharded by section"
+    )
+    fleet_report.add_argument("--out", default="evaluation_report.md",
+                              help="output path")
+    fleet_report.add_argument("--slices", type=int, default=8,
+                              help="quanta for run-based experiments")
+    fleet_report.add_argument("--only", nargs="*", default=None,
+                              help="substring filters on section titles")
+    add_fleet_flags(fleet_report)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="inspect a fleet checkpoint file"
+    )
+    fleet_status.add_argument("checkpoint_file", metavar="CHECKPOINT",
+                              help="checkpoint written by --checkpoint")
 
     telemetry_report = sub.add_parser(
         "telemetry-report", help="summarise a JSONL telemetry log"
@@ -636,6 +802,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "audit": _cmd_audit,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args)
 

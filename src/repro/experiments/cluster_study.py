@@ -7,20 +7,30 @@ rack budget while their LC loads move in *anti-phase* (one peaks as the
 other troughs).  A static 50/50 split strands power on the idle socket;
 the :class:`~repro.core.broker.PowerBroker` shifts budget toward the
 loaded socket each quantum.
+
+Fleet sharding: the broker rebalances budget across *both* sockets
+every quantum, so the sockets of one scheme are coupled and cannot be
+sharded independently.  The two allocation *schemes*, however, are
+fully independent full-rack simulations, so the study shards at the
+scheme level (:func:`cluster_units`) and merges outcomes in scheme
+order — ``--jobs 2`` output is byte-identical to serial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
-
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.broker import BrokerParams, PowerBroker, Socket
 from repro.core.runtime import CuttleSysPolicy
 from repro.experiments.harness import build_machine_for_mix
 from repro.experiments.reporting import format_table
+from repro.fleet import FleetParams, FleetRun, WorkUnit
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
+
+#: Allocation schemes compared by the study, in report order.
+SCHEMES: Tuple[str, ...] = ("static-50-50", "broker")
 
 
 @dataclass(frozen=True)
@@ -71,26 +81,74 @@ def _build_sockets(seed: int, n_slices: int):
     return sockets, rack_budget, qos
 
 
-def run_cluster_study(
-    n_slices: int = 20, seed: int = 7
-) -> Dict[str, ClusterOutcome]:
-    """Static 50/50 split vs dynamic brokering over two sockets."""
+def _scheme_cell(scheme: str, n_slices: int, seed: int) -> Dict[str, Any]:
+    """One scheme's full rack simulation as a JSONable fleet unit.
+
+    Top-level so worker processes can unpickle it by reference; returns
+    plain JSON types so the value checkpoints and merges exactly.
+    """
+    if scheme == "static-50-50":
+        params = BrokerParams(step=1e-9)  # effectively frozen
+    elif scheme == "broker":
+        params = BrokerParams()
+    else:
+        raise ValueError(f"unknown allocation scheme {scheme!r}")
+    sockets, rack_budget, qos = _build_sockets(seed, n_slices)
+    broker = PowerBroker(sockets, rack_budget, params)
+    run = broker.run(n_slices)
+    series = run.budget_series("socket-a")
+    return {
+        "scheme": scheme,
+        "rack_instructions_b": run.total_batch_instructions() / 1e9,
+        "qos_violations": run.qos_violations(qos),
+        "socket_a_budget_range": [min(series), max(series)],
+    }
+
+
+def cluster_units(n_slices: int, seed: int) -> List[WorkUnit]:
+    """The study's fleet work units, one per allocation scheme."""
+    return [
+        WorkUnit(
+            unit_id=f"cluster/{scheme}",
+            fn=_scheme_cell,
+            kwargs={"scheme": scheme, "n_slices": n_slices, "seed": seed},
+        )
+        for scheme in SCHEMES
+    ]
+
+
+def outcomes_from_cells(cells: List[Dict[str, Any]]) -> Dict[str, ClusterOutcome]:
+    """Rehydrate :class:`ClusterOutcome` rows from unit cell dicts."""
     results: Dict[str, ClusterOutcome] = {}
-    for scheme, params in (
-        ("static-50-50", BrokerParams(step=1e-9)),  # effectively frozen
-        ("broker", BrokerParams()),
-    ):
-        sockets, rack_budget, qos = _build_sockets(seed, n_slices)
-        broker = PowerBroker(sockets, rack_budget, params)
-        run = broker.run(n_slices)
-        series = run.budget_series("socket-a")
-        results[scheme] = ClusterOutcome(
-            scheme=scheme,
-            rack_instructions_b=run.total_batch_instructions() / 1e9,
-            qos_violations=run.qos_violations(qos),
-            socket_a_budget_range=(min(series), max(series)),
+    for cell in cells:
+        lo, hi = cell["socket_a_budget_range"]
+        results[cell["scheme"]] = ClusterOutcome(
+            scheme=cell["scheme"],
+            rack_instructions_b=cell["rack_instructions_b"],
+            qos_violations=cell["qos_violations"],
+            socket_a_budget_range=(lo, hi),
         )
     return results
+
+
+def run_cluster_study(
+    n_slices: int = 20,
+    seed: int = 7,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+) -> Dict[str, ClusterOutcome]:
+    """Static 50/50 split vs dynamic brokering over two sockets."""
+    fleet = FleetRun(
+        "cluster_study",
+        cluster_units(n_slices, seed),
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=seed,
+        context={"n_slices": n_slices},
+        telemetry=telemetry,
+    )
+    return outcomes_from_cells(fleet.execute().values())
 
 
 def render_cluster_study(results: Dict[str, ClusterOutcome]) -> str:

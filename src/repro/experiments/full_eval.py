@@ -4,13 +4,22 @@
 scale and assembles a single markdown report mirroring the paper's
 evaluation section plus this repo's extension studies.  Used by the
 ``python -m repro report`` CLI command.
+
+Fleet sharding: sections are mutually independent experiments, so
+``--jobs N`` shards at the section level.  Section producers are
+closures (not picklable), so the fleet unit is the top-level
+:func:`_section_cell`, which re-derives the producer from its title
+inside the worker.  Section wall-clock times are measured wherever the
+section ran; like the scalability study's ``decision_ms``, they sit
+outside the determinism contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.fleet import FleetParams, FleetRun, WorkUnit
 from repro.logs import get_logger
 from repro.telemetry.tracer import Tracer
 
@@ -199,11 +208,27 @@ def default_sections(n_slices: int = 8) -> List[Tuple[str, Callable[[], str]]]:
     ]
 
 
-def run_full_evaluation(
-    n_slices: int = 8,
-    only: Optional[Sequence[str]] = None,
-) -> List[SectionResult]:
-    """Run every (or a filtered subset of) experiment section."""
+def _section_cell(title: str, n_slices: int) -> Dict[str, Any]:
+    """One report section as a JSONable fleet unit.
+
+    Re-derives the producer from ``title`` so the unit stays picklable
+    (the section closures themselves are not).
+    """
+    for candidate, producer in default_sections(n_slices=n_slices):
+        if candidate == title:
+            result = _section(title, producer)
+            return {
+                "title": result.title,
+                "body": result.body,
+                "seconds": result.seconds,
+                "error": result.error,
+            }
+    raise ValueError(f"no section titled {title!r}")
+
+
+def _selected_sections(
+    n_slices: int, only: Optional[Sequence[str]]
+) -> List[Tuple[str, Callable[[], str]]]:
     sections = default_sections(n_slices=n_slices)
     if only is not None:
         wanted = [token.lower().replace(" ", "") for token in only]
@@ -217,7 +242,44 @@ def run_full_evaluation(
         ]
         if not sections:
             raise ValueError(f"no sections match {list(only)!r}")
-    return [_section(title, fn) for title, fn in sections]
+    return sections
+
+
+def run_full_evaluation(
+    n_slices: int = 8,
+    only: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+) -> List[SectionResult]:
+    """Run every (or a filtered subset of) experiment section."""
+    sections = _selected_sections(n_slices, only)
+    if jobs <= 1 and checkpoint is None:
+        # Fast path: no sharding/snapshot machinery for the plain run.
+        return [_section(title, fn) for title, fn in sections]
+    fleet = FleetRun(
+        "full_eval",
+        [
+            WorkUnit(
+                unit_id=f"section/{title}",
+                fn=_section_cell,
+                kwargs={"title": title, "n_slices": n_slices},
+            )
+            for title, _ in sections
+        ],
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=0,
+        context={"n_slices": n_slices},
+        telemetry=telemetry,
+    )
+    return [
+        SectionResult(
+            title=cell["title"], body=cell["body"],
+            seconds=cell["seconds"], error=cell["error"],
+        )
+        for cell in fleet.execute().values()
+    ]
 
 
 def render_report(results: Sequence[SectionResult]) -> str:

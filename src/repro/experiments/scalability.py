@@ -9,12 +9,23 @@ and reports:
 * the measured per-quantum decision cost (SGD + search wall-clock),
 * achieved batch work as a fraction of the perfect-inference oracle on
   the same machine (decision *quality* must not degrade with scale).
+
+Fleet sharding: each (n_cores, arm) cell — arm being either the
+CuttleSys controller or the perfect-inference oracle — is an
+independent simulation, so the grid shards across all of them
+(:func:`scalability_units`) and merges back in grid order.  One caveat:
+``decision_ms`` is *real wall-clock* measured on the controller, so it
+is deterministic in value only up to machine noise; the determinism
+contract therefore covers every field except timings, and
+:func:`render_scalability` can drop the timing column
+(``include_timings=False``, the CLI's ``--no-timings``) when byte-exact
+comparison across ``--jobs`` settings is wanted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,10 +34,20 @@ from repro.core.oracle import OracleReconfigPolicy
 from repro.core.runtime import CuttleSysPolicy
 from repro.experiments.harness import run_policy
 from repro.experiments.reporting import format_table
+from repro.fleet import (
+    FleetParams,
+    FleetRun,
+    WorkUnit,
+    merge_unit_telemetry,
+    telemetry_records,
+)
 from repro.sim.machine import Machine, MachineParams
 from repro.workloads.batch import batch_profile, train_test_split
 from repro.workloads.latency_critical import lc_service
 from repro.workloads.loadgen import LoadTrace
+
+#: Grid arms per machine size, in merge order.
+ARMS: Tuple[str, ...] = ("cuttlesys", "oracle")
 
 
 @dataclass(frozen=True)
@@ -61,63 +82,154 @@ def _machine(n_cores: int, seed: int, service_name: str = "xapian") -> Machine:
     )
 
 
+def _scale_cell(
+    n_cores: int,
+    arm: str,
+    cap: float,
+    load: float,
+    n_slices: int,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> Dict[str, Any]:
+    """One (machine size, arm) simulation as a JSONable fleet unit."""
+    lc_cores = n_cores // 2
+    # The services' knee QPS is calibrated for 16 LC cores; scale the
+    # offered load so per-core pressure is constant across machine
+    # sizes.
+    scaled_load = load * lc_cores / 16.0
+    machine = _machine(n_cores, seed)
+    reference = machine.reference_max_power()
+    session = None
+    if collect_telemetry:
+        from repro.telemetry import Telemetry
+
+        session = Telemetry()
+    if arm == "cuttlesys":
+        policy: Any = CuttleSysPolicy.for_machine(
+            machine,
+            seed=seed,
+            config=ControllerConfig(seed=seed, initial_lc_cores=lc_cores),
+        )
+    elif arm == "oracle":
+        policy = OracleReconfigPolicy(lc_cores=lc_cores, seed=seed)
+    else:
+        raise ValueError(f"unknown scalability arm {arm!r}")
+    run = run_policy(
+        machine, policy, LoadTrace.constant(scaled_load),
+        power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        telemetry=session,
+    )
+    cell: Dict[str, Any] = {
+        "n_cores": n_cores,
+        "arm": arm,
+        "n_batch_jobs": len(machine.batch_profiles),
+        "instructions_b": run.total_batch_instructions() / 1e9,
+    }
+    if arm == "cuttlesys":
+        timings = policy.controller.timings
+        cell["decision_ms"] = float(
+            np.median([t.total_s for t in timings]) * 1e3
+        )
+    if session is not None:
+        cell["telemetry"] = telemetry_records(session)
+    return cell
+
+
+def scalability_units(
+    core_counts: Sequence[int],
+    cap: float,
+    load: float,
+    n_slices: int,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> List[WorkUnit]:
+    """The study's fleet work units, one per (machine size, arm)."""
+    return [
+        WorkUnit(
+            unit_id=f"scale/{n_cores}c/{arm}",
+            fn=_scale_cell,
+            kwargs={
+                "n_cores": n_cores, "arm": arm, "cap": cap, "load": load,
+                "n_slices": n_slices, "seed": seed,
+                "collect_telemetry": collect_telemetry,
+            },
+        )
+        for n_cores in core_counts
+        for arm in ARMS
+    ]
+
+
+def points_from_cells(cells: Sequence[Dict[str, Any]]) -> Tuple[ScalePoint, ...]:
+    """Pair each machine size's arm cells back into :class:`ScalePoint` rows."""
+    by_key = {(cell["n_cores"], cell["arm"]): cell for cell in cells}
+    sizes = sorted({cell["n_cores"] for cell in cells})
+    points = []
+    for n_cores in sizes:
+        cuttle = by_key[(n_cores, "cuttlesys")]
+        oracle = by_key[(n_cores, "oracle")]
+        points.append(
+            ScalePoint(
+                n_cores=n_cores,
+                n_batch_jobs=cuttle["n_batch_jobs"],
+                decision_ms=cuttle["decision_ms"],
+                cuttlesys_instructions_b=cuttle["instructions_b"],
+                oracle_instructions_b=oracle["instructions_b"],
+            )
+        )
+    return tuple(points)
+
+
 def run_scalability(
     core_counts: Sequence[int] = (16, 32, 48),
     cap: float = 0.6,
     load: float = 0.8,
     n_slices: int = 8,
     seed: int = 7,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+    merged_telemetry: Optional[List[Dict]] = None,
 ) -> Tuple[ScalePoint, ...]:
-    """CuttleSys and the oracle across machine sizes."""
-    points = []
-    for n_cores in core_counts:
-        lc_cores = n_cores // 2
-        # The services' knee QPS is calibrated for 16 LC cores; scale
-        # the offered load so per-core pressure is constant across
-        # machine sizes.
-        scaled_load = load * lc_cores / 16.0
-        machine = _machine(n_cores, seed)
-        reference = machine.reference_max_power()
-        policy = CuttleSysPolicy.for_machine(
-            machine,
-            seed=seed,
-            config=ControllerConfig(seed=seed, initial_lc_cores=lc_cores),
-        )
-        run = run_policy(
-            machine, policy, LoadTrace.constant(scaled_load),
-            power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
-        )
-        timings = policy.controller.timings
-        decision_ms = float(
-            np.median([t.total_s for t in timings]) * 1e3
-        )
+    """CuttleSys and the oracle across machine sizes.
 
-        oracle_machine = _machine(n_cores, seed)
-        oracle = OracleReconfigPolicy(lc_cores=lc_cores, seed=seed)
-        oracle_run = run_policy(
-            oracle_machine, oracle, LoadTrace.constant(scaled_load),
-            power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
-        )
-        points.append(
-            ScalePoint(
-                n_cores=n_cores,
-                n_batch_jobs=len(machine.batch_profiles),
-                decision_ms=decision_ms,
-                cuttlesys_instructions_b=run.total_batch_instructions() / 1e9,
-                oracle_instructions_b=(
-                    oracle_run.total_batch_instructions() / 1e9
-                ),
-            )
-        )
-    return tuple(points)
+    ``merged_telemetry``, when given a list, receives the per-unit
+    telemetry JSONL records merged into one canonical session log
+    (:func:`repro.fleet.merge_unit_telemetry`).
+    """
+    fleet = FleetRun(
+        "scalability",
+        scalability_units(
+            core_counts, cap, load, n_slices, seed,
+            collect_telemetry=merged_telemetry is not None,
+        ),
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=seed,
+        context={
+            "core_counts": list(core_counts), "cap": cap, "load": load,
+            "n_slices": n_slices,
+        },
+        telemetry=telemetry,
+    )
+    outcome = fleet.execute()
+    if merged_telemetry is not None:
+        merged_telemetry.extend(merge_unit_telemetry(outcome.results))
+    return points_from_cells(outcome.values())
 
 
-def render_scalability(points: Sequence[ScalePoint]) -> str:
-    """Text table of the scaling study."""
-    return format_table(
-        ["cores", "batch jobs", "decision (ms)", "CuttleSys (B)",
-         "oracle (B)", "quality"],
-        [
+def render_scalability(
+    points: Sequence[ScalePoint], include_timings: bool = True
+) -> str:
+    """Text table of the scaling study.
+
+    ``include_timings=False`` drops the wall-clock ``decision (ms)``
+    column — the one field outside the determinism contract — so the
+    rendered report is byte-identical across ``--jobs`` settings.
+    """
+    if include_timings:
+        header = ["cores", "batch jobs", "decision (ms)", "CuttleSys (B)",
+                  "oracle (B)", "quality"]
+        rows = [
             (
                 p.n_cores,
                 p.n_batch_jobs,
@@ -127,5 +239,18 @@ def render_scalability(points: Sequence[ScalePoint]) -> str:
                 f"{p.quality:.2f}",
             )
             for p in points
-        ],
-    )
+        ]
+    else:
+        header = ["cores", "batch jobs", "CuttleSys (B)", "oracle (B)",
+                  "quality"]
+        rows = [
+            (
+                p.n_cores,
+                p.n_batch_jobs,
+                f"{p.cuttlesys_instructions_b:.2f}",
+                f"{p.oracle_instructions_b:.2f}",
+                f"{p.quality:.2f}",
+            )
+            for p in points
+        ]
+    return format_table(header, rows)

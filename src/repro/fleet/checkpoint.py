@@ -1,0 +1,139 @@
+"""Atomic checkpoint/resume snapshots of completed fleet units.
+
+The checkpoint file is a single JSON document::
+
+    {
+      "schema": 1,
+      "fingerprint": {"fleet": ..., "seed": ..., "context": {...},
+                       "units": [...]},
+      "completed": {"<unit id>": <JSON value>, ...}
+    }
+
+Writes are atomic (temp file + fsync + ``os.replace``), so a run
+killed mid-write leaves either the previous snapshot or the new one —
+never a torn file.  The fingerprint pins the run configuration: a
+``--resume`` against a checkpoint written by a different fleet, seed,
+scale, or unit set refuses loudly instead of silently mixing results.
+
+Float values round-trip exactly through JSON (``repr`` shortest-round-
+trip), so a resumed run's merged report is byte-identical to an
+uninterrupted one — the property the checkpoint tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from repro.logs import get_logger
+
+log = get_logger("fleet.checkpoint")
+
+__all__ = ["CheckpointError", "CheckpointStore", "inspect_checkpoint"]
+
+#: Bumped whenever the file layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Unusable checkpoint: corrupt, mismatched, or unserializable."""
+
+
+def _read_payload(path: Path) -> Dict[str, Any]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: expected a JSON object"
+        )
+    return data
+
+
+def inspect_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Raw payload of a checkpoint file (the ``fleet status`` CLI)."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no such checkpoint: {path}")
+    return _read_payload(path)
+
+
+class CheckpointStore:
+    """Owns one checkpoint file and its run fingerprint."""
+
+    def __init__(
+        self, path: Union[str, Path], fingerprint: Mapping[str, Any]
+    ) -> None:
+        self.path = Path(path)
+        # Round-trip through JSON so load()'s comparison sees the same
+        # normalised types (tuples become lists, ints stay ints).
+        try:
+            self.fingerprint: Dict[str, Any] = json.loads(
+                json.dumps(dict(fingerprint), sort_keys=True)
+            )
+        except TypeError as exc:
+            raise CheckpointError(
+                f"fingerprint must be JSON-serializable: {exc}"
+            ) from exc
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Dict[str, Any]:
+        """Completed units of a prior run; ``{}`` when none exists."""
+        if not self.path.exists():
+            return {}
+        data = _read_payload(self.path)
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has schema {schema!r}; this "
+                f"toolkit reads schema {SCHEMA_VERSION}"
+            )
+        if data.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written by a different run "
+                "configuration (fleet/seed/scale/unit set changed); "
+                "delete it or drop --resume to start fresh"
+            )
+        completed = data.get("completed", {})
+        if not isinstance(completed, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint {self.path}: 'completed' must be "
+                "an object"
+            )
+        log.info(
+            "loaded checkpoint %s (%d completed unit(s))",
+            self.path, len(completed),
+        )
+        return completed
+
+    def save(self, completed: Mapping[str, Any]) -> None:
+        """Atomically replace the snapshot with ``completed``."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "completed": dict(completed),
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except TypeError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CheckpointError(
+                "checkpointed unit values must be JSON-serializable: "
+                f"{exc}"
+            ) from exc
+        log.debug(
+            "checkpointed %d unit(s) to %s", len(completed), self.path
+        )

@@ -1,0 +1,350 @@
+"""Deterministic process-pool execution of independent work units.
+
+The pool shards :class:`~repro.fleet.shard.WorkUnit` descriptors
+across worker processes.  Determinism does not come from controlling
+*scheduling* (workers finish in any order) but from the unit contract:
+each unit is self-contained and explicitly seeded, and the caller
+merges results in stable unit order — so ``jobs=N`` is byte-identical
+to ``jobs=1``.
+
+Robustness follows the :mod:`repro.faults` philosophy — contain, then
+degrade, never silently corrupt:
+
+* a unit that *raises* is a deterministic failure: it would fail
+  identically on retry, so it aborts the run (:class:`UnitFailed`);
+* a worker that *dies* (OOM kill, segfault, ``os._exit``) is an
+  environment fault: its in-flight unit is resubmitted to a fresh
+  worker, up to ``max_retries`` times (:class:`WorkerDied` after);
+* when worker processes cannot be created at all (sandboxes, RLIMIT),
+  the pool degrades to in-process serial execution — slower, but the
+  results are identical by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.fleet.shard import UnitResult, WorkUnit
+from repro.logs import get_logger
+
+log = get_logger("fleet.pool")
+
+__all__ = [
+    "FleetError",
+    "FleetPool",
+    "PoolParams",
+    "UnitFailed",
+    "WorkerDied",
+]
+
+#: How long shutdown waits for workers to drain before terminating.
+_SHUTDOWN_GRACE_S = 2.0
+
+
+class FleetError(RuntimeError):
+    """Base class for fleet execution failures."""
+
+
+class UnitFailed(FleetError):
+    """A work unit raised; deterministic failures are not retried."""
+
+    def __init__(self, unit_id: str, error: str) -> None:
+        super().__init__(f"unit {unit_id!r} failed: {error}")
+        self.unit_id = unit_id
+        self.error = error
+
+
+class WorkerDied(FleetError):
+    """A unit's worker died more times than ``max_retries`` allows."""
+
+    def __init__(self, unit_id: str, attempts: int) -> None:
+        super().__init__(
+            f"unit {unit_id!r} lost its worker {attempts} time(s); "
+            "giving up (raise max_retries or run --jobs 1 to debug)"
+        )
+        self.unit_id = unit_id
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class PoolParams:
+    """Execution knobs of one :class:`FleetPool`."""
+
+    #: Worker processes; 1 executes in-process with no subprocesses.
+    jobs: int = 1
+    #: Resubmissions allowed per unit after its worker dies.
+    max_retries: int = 2
+    #: Degrade to serial when worker processes cannot be created.
+    serial_fallback: bool = True
+    #: multiprocessing start method; default prefers ``fork`` (cheap,
+    #: and unit purity — FLT501 — makes forking safe) over ``spawn``.
+    start_method: Optional[str] = None
+    #: Result-queue poll interval; bounds worker-death detection lag.
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _worker_main(task_q: Any, result_q: Any) -> None:
+    """Worker loop: execute units until the ``None`` sentinel arrives.
+
+    Results travel back as ``(index, ok, value, error)``.  A unit
+    exception is *reported*, not raised, so one bad unit cannot take
+    the worker down with it — worker death is reserved for real
+    crashes, which the parent retries.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        index, unit = item
+        try:
+            value = unit.run()
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            result_q.put(
+                (index, False, None, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_q.put((index, True, value, None))
+
+
+class _WorkerSlot:
+    """One worker process plus its private task queue."""
+
+    def __init__(self, ctx: Any, slot: int, result_q: Any) -> None:
+        self.slot = slot
+        self.task_q = ctx.Queue()
+        self.inflight: Optional[int] = None
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(self.task_q, result_q),
+            name=f"fleet-worker-{slot}",
+            daemon=True,
+        )
+        self.process.start()
+
+    @property
+    def name(self) -> str:
+        return f"worker-{self.slot}"
+
+    def submit(self, index: int, unit: WorkUnit) -> None:
+        self.inflight = index
+        self.task_q.put((index, unit))
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        try:
+            self.task_q.put(None)
+        except (OSError, ValueError):  # queue already torn down
+            pass
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+
+    def close(self) -> None:
+        # cancel_join_thread: never let a stuck feeder thread block
+        # parent exit (the queue may hold undelivered tasks).
+        self.task_q.cancel_join_thread()
+        self.task_q.close()
+
+
+class FleetPool:
+    """Executes work units across processes; results in unit order.
+
+    One pool instance is single-use state-light: ``map`` may be called
+    repeatedly, and the ``retries`` / ``serial_fallbacks`` tallies
+    accumulate across calls (the runner reads them into telemetry).
+    """
+
+    def __init__(self, params: PoolParams = PoolParams()) -> None:
+        self.params = params
+        #: Units resubmitted after a worker death, total.
+        self.retries = 0
+        #: Times the pool degraded to serial execution.
+        self.serial_fallbacks = 0
+
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: Optional[Callable[[UnitResult], None]] = None,
+    ) -> List[UnitResult]:
+        """Execute every unit; returns results in submission order.
+
+        ``on_result`` fires in the *parent* process as each result
+        arrives (completion order) — the checkpoint hook.  An exception
+        it raises aborts the run after worker shutdown.
+        """
+        units = list(units)
+        ids = [u.unit_id for u in units]
+        if len(set(ids)) != len(ids):
+            raise ValueError("unit ids must be unique within one fleet")
+        if not units:
+            return []
+        jobs = min(self.params.jobs, len(units))
+        if jobs <= 1:
+            return self._run_serial(units, on_result)
+        try:
+            ctx = mp.get_context(self.params.resolved_start_method())
+            result_q = ctx.Queue()
+            workers: List[_WorkerSlot] = []
+            try:
+                for slot in range(jobs):
+                    workers.append(_WorkerSlot(ctx, slot, result_q))
+            except BaseException:
+                for worker in workers:
+                    worker.kill()
+                raise
+        except (OSError, PermissionError, ValueError) as exc:
+            if not self.params.serial_fallback:
+                raise
+            self.serial_fallbacks += 1
+            log.warning(
+                "worker pool unavailable (%s: %s); degrading to serial "
+                "execution", type(exc).__name__, exc,
+            )
+            return self._run_serial(units, on_result)
+        try:
+            return self._schedule(units, workers, result_q, ctx, on_result)
+        finally:
+            self._shutdown(workers, result_q)
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: Optional[Callable[[UnitResult], None]],
+    ) -> List[UnitResult]:
+        results: List[UnitResult] = []
+        for index, unit in enumerate(units):
+            try:
+                value = unit.run()
+            except Exception as exc:
+                raise UnitFailed(
+                    unit.unit_id, f"{type(exc).__name__}: {exc}"
+                ) from exc
+            result = UnitResult(
+                unit_id=unit.unit_id, index=index, value=value,
+                attempts=1, worker="serial",
+            )
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+    def _schedule(
+        self,
+        units: List[WorkUnit],
+        workers: List[_WorkerSlot],
+        result_q: Any,
+        ctx: Any,
+        on_result: Optional[Callable[[UnitResult], None]],
+    ) -> List[UnitResult]:
+        pending = deque(range(len(units)))
+        attempts = [0] * len(units)
+        done: Dict[int, UnitResult] = {}
+        while len(done) < len(units):
+            for worker in workers:
+                if worker.inflight is None and pending:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    worker.submit(index, units[index])
+            try:
+                index, ok, value, error = result_q.get(
+                    timeout=self.params.poll_interval_s
+                )
+            except queue_mod.Empty:
+                self._reap(
+                    units, workers, pending, attempts, done, ctx, result_q
+                )
+                continue
+            owner = next(
+                (w for w in workers if w.inflight == index), None
+            )
+            if owner is not None:
+                owner.inflight = None
+            if index in done:
+                # A crashed-after-report worker's unit was resubmitted
+                # and both copies answered; units are deterministic, so
+                # the duplicate value is identical — drop it.
+                continue
+            if not ok:
+                raise UnitFailed(units[index].unit_id, str(error))
+            result = UnitResult(
+                unit_id=units[index].unit_id,
+                index=index,
+                value=value,
+                attempts=attempts[index],
+                worker=owner.name if owner is not None else "worker-?",
+            )
+            done[index] = result
+            if on_result is not None:
+                on_result(result)
+        return [done[i] for i in range(len(units))]
+
+    def _reap(
+        self,
+        units: List[WorkUnit],
+        workers: List[_WorkerSlot],
+        pending: "deque[int]",
+        attempts: List[int],
+        done: Dict[int, UnitResult],
+        ctx: Any,
+        result_q: Any,
+    ) -> None:
+        """Detect dead workers; resubmit their units and respawn."""
+        for i, worker in enumerate(workers):
+            if worker.alive():
+                continue
+            index = worker.inflight
+            worker.close()
+            if index is not None and index not in done:
+                if attempts[index] > self.params.max_retries:
+                    raise WorkerDied(
+                        units[index].unit_id, attempts[index]
+                    )
+                self.retries += 1
+                log.warning(
+                    "%s died running unit index %d (attempt %d); "
+                    "resubmitting to a fresh worker",
+                    worker.name, index, attempts[index],
+                )
+                pending.appendleft(index)
+            workers[i] = _WorkerSlot(ctx, worker.slot, result_q)
+
+    def _shutdown(self, workers: List[_WorkerSlot], result_q: Any) -> None:
+        for worker in workers:
+            worker.stop()
+        deadline = time.monotonic() + _SHUTDOWN_GRACE_S
+        for worker in workers:
+            worker.process.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+        for worker in workers:
+            if worker.process.is_alive():
+                worker.kill()
+                worker.process.join(timeout=1.0)
+            worker.close()
+        result_q.cancel_join_thread()
+        result_q.close()

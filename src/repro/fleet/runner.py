@@ -1,0 +1,260 @@
+"""The :class:`FleetRun` facade: shard, execute, checkpoint, merge.
+
+One ``FleetRun`` drives one fleet of independent work units through a
+:class:`~repro.fleet.pool.FleetPool`, checkpointing completed units as
+results arrive and merging everything back in stable unit order.  This
+is the object the experiment grids (``cluster_study``, ``scalability``,
+``full_eval``) and the ``repro fleet`` CLI build.
+
+Telemetry: when a session is attached the runner publishes the
+``fleet.*`` counters (units total/executed/resumed, retries, serial
+fallbacks) that the ``fleet.pool`` bench case and CI's counter gate
+read.
+
+Fault injection: ``FleetParams.inject_abort_after`` kills the run —
+*after* the checkpoint is flushed — once that many units complete.
+It is the fleet's deterministic crash hook in the :mod:`repro.faults`
+tradition: the checkpoint-atomicity tests inject a mid-grid abort,
+``--resume``, and assert the final report is byte-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.pool import FleetPool, PoolParams
+from repro.fleet.shard import (
+    FROM_CHECKPOINT,
+    UnitResult,
+    WorkUnit,
+    merge_results,
+)
+from repro.logs import get_logger
+
+log = get_logger("fleet.runner")
+
+__all__ = ["FleetAborted", "FleetOutcome", "FleetParams", "FleetRun"]
+
+
+class FleetAborted(RuntimeError):
+    """Raised by the ``inject_abort_after`` fault hook."""
+
+    def __init__(self, name: str, completed: int) -> None:
+        super().__init__(
+            f"fleet {name!r}: injected abort after {completed} "
+            "completed unit(s)"
+        )
+        self.completed = completed
+
+
+@dataclass(frozen=True)
+class FleetParams:
+    """Execution/checkpoint knobs of one fleet run."""
+
+    #: Worker processes (1 = in-process serial, the reference output).
+    jobs: int = 1
+    #: Checkpoint file; ``None`` disables snapshots.
+    checkpoint: Optional[Union[str, Path]] = None
+    #: Skip units already completed in the checkpoint.
+    resume: bool = False
+    #: Completed units per snapshot flush (1 = every unit).
+    checkpoint_every: int = 1
+    #: Worker-death resubmissions per unit.
+    max_retries: int = 2
+    #: Degrade to serial when worker processes cannot be created.
+    serial_fallback: bool = True
+    #: multiprocessing start method override (tests; default = fork).
+    start_method: Optional[str] = None
+    #: Fault hook: abort (after checkpointing) once N units complete.
+    inject_abort_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint is None:
+            raise ValueError("resume requires a checkpoint path")
+        if (
+            self.inject_abort_after is not None
+            and self.inject_abort_after < 1
+        ):
+            raise ValueError("inject_abort_after must be >= 1")
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """Everything one fleet run produced, in stable unit order."""
+
+    name: str
+    results: Tuple[UnitResult, ...]
+    jobs: int
+    resumed_units: int
+    executed_units: int
+    retries: int
+    serial_fallbacks: int
+
+    def values(self) -> List[Any]:
+        """Unit values in unit order (the merge input)."""
+        return [result.value for result in self.results]
+
+    def value_of(self, unit_id: str) -> Any:
+        for result in self.results:
+            if result.unit_id == unit_id:
+                return result.value
+        raise KeyError(f"no unit {unit_id!r} in fleet {self.name!r}")
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"fleet {self.name}: {len(self.results)} unit(s) "
+            f"({self.executed_units} executed, {self.resumed_units} "
+            f"resumed) on {self.jobs} job(s), {self.retries} "
+            f"retry(ies), {self.serial_fallbacks} serial fallback(s)"
+        )
+
+
+class FleetRun:
+    """Deterministic parallel execution of one named unit fleet."""
+
+    def __init__(
+        self,
+        name: str,
+        units: Sequence[WorkUnit],
+        params: FleetParams = FleetParams(),
+        seed: int = 0,
+        context: Optional[Mapping[str, Any]] = None,
+        telemetry: Any = None,
+    ) -> None:
+        if not name:
+            raise ValueError("fleet name must be non-empty")
+        self.name = name
+        self.units: Tuple[WorkUnit, ...] = tuple(units)
+        if not self.units:
+            raise ValueError("a fleet needs at least one work unit")
+        ids = [u.unit_id for u in self.units]
+        if len(set(ids)) != len(ids):
+            raise ValueError("unit ids must be unique within one fleet")
+        self.params = params
+        self.seed = seed
+        #: Extra run configuration folded into the checkpoint
+        #: fingerprint (scale knobs like n_slices).
+        self.context: Dict[str, Any] = dict(context or {})
+        self.telemetry = telemetry
+        self._store: Optional[CheckpointStore] = None
+        if params.checkpoint is not None:
+            self._store = CheckpointStore(
+                params.checkpoint, fingerprint=self.fingerprint()
+            )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """What must match for a checkpoint to be resumable."""
+        return {
+            "fleet": self.name,
+            "seed": self.seed,
+            "context": self.context,
+            "units": [u.unit_id for u in self.units],
+        }
+
+    # ------------------------------------------------------------------
+
+    def execute(self) -> FleetOutcome:
+        """Run (or resume) the fleet and merge results in unit order."""
+        completed: Dict[str, Any] = {}
+        if self._store is not None and self.params.resume:
+            completed = self._store.load()
+        resumed = len(completed)
+        todo = [u for u in self.units if u.unit_id not in completed]
+        log.info(
+            "fleet %s: %d unit(s), %d resumed, %d to run on %d job(s)",
+            self.name, len(self.units), resumed, len(todo),
+            self.params.jobs,
+        )
+        pool = FleetPool(PoolParams(
+            jobs=self.params.jobs,
+            max_retries=self.params.max_retries,
+            serial_fallback=self.params.serial_fallback,
+            start_method=self.params.start_method,
+        ))
+        executed: Dict[str, UnitResult] = {}
+        progress = {"since_save": 0, "done_this_run": 0}
+
+        def on_result(result: UnitResult) -> None:
+            completed[result.unit_id] = result.value
+            executed[result.unit_id] = result
+            progress["since_save"] += 1
+            progress["done_this_run"] += 1
+            flush_due = (
+                progress["since_save"] >= self.params.checkpoint_every
+            )
+            abort_due = (
+                self.params.inject_abort_after is not None
+                and progress["done_this_run"]
+                >= self.params.inject_abort_after
+            )
+            if self._store is not None and (flush_due or abort_due):
+                self._store.save(completed)
+                progress["since_save"] = 0
+            if abort_due:
+                raise FleetAborted(self.name, progress["done_this_run"])
+
+        if todo:
+            pool.map(todo, on_result)
+        if self._store is not None and progress["since_save"]:
+            self._store.save(completed)
+
+        by_id: Dict[str, UnitResult] = {}
+        for index, unit in enumerate(self.units):
+            prior = executed.get(unit.unit_id)
+            if prior is not None:
+                by_id[unit.unit_id] = UnitResult(
+                    unit_id=unit.unit_id, index=index, value=prior.value,
+                    attempts=prior.attempts, worker=prior.worker,
+                )
+            else:
+                by_id[unit.unit_id] = UnitResult(
+                    unit_id=unit.unit_id, index=index,
+                    value=completed[unit.unit_id],
+                    attempts=0, worker=FROM_CHECKPOINT,
+                )
+        outcome = FleetOutcome(
+            name=self.name,
+            results=merge_results(self.units, by_id),
+            jobs=self.params.jobs,
+            resumed_units=resumed,
+            executed_units=len(executed),
+            retries=pool.retries,
+            serial_fallbacks=pool.serial_fallbacks,
+        )
+        self._publish(outcome)
+        log.info("%s", outcome.summary())
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _publish(self, outcome: FleetOutcome) -> None:
+        """Fold the run's tallies into an attached telemetry session."""
+        if self.telemetry is None:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter("fleet.units_total").inc(len(outcome.results))
+        metrics.counter("fleet.units_executed").inc(
+            outcome.executed_units
+        )
+        metrics.counter("fleet.units_resumed").inc(outcome.resumed_units)
+        metrics.counter("fleet.retries").inc(outcome.retries)
+        metrics.counter("fleet.serial_fallbacks").inc(
+            outcome.serial_fallbacks
+        )
+        metrics.gauge("fleet.jobs").set(outcome.jobs)

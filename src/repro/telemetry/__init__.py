@@ -48,6 +48,7 @@ from repro.telemetry.exporters import (
     chrome_trace_events,
     decision_records_from_jsonl,
     decisions_to_csv,
+    merge_jsonl,
     read_jsonl,
     render_jsonl_report,
     render_metrics_report,
@@ -157,6 +158,7 @@ __all__ = [
     "decision_records_from_jsonl",
     "decisions_to_csv",
     "median_error_pct",
+    "merge_jsonl",
     "read_jsonl",
     "render_accuracy_report",
     "render_jsonl_report",

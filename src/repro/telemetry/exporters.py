@@ -134,6 +134,85 @@ def read_jsonl(path_or_file) -> List[Dict]:
             handle.close()
 
 
+def merge_jsonl(per_unit, path_or_file=None) -> List[Dict]:
+    """Merge per-unit (per-worker) JSONL logs into one canonical log.
+
+    Naively concatenating per-worker shard files interleaves quanta out
+    of order — ``decision_records_from_jsonl`` round-trips one file but
+    not a concatenation.  This helper takes ``(unit_id, records)``
+    pairs (``records`` may also be a path readable by
+    :func:`read_jsonl`) and produces a single record list whose order
+    is a function of *content only*, never of completion order:
+
+    * ``span``/``instant`` lines keep their within-unit order, grouped
+      per unit, units in sorted-id order, each tagged ``"unit"``;
+    * ``counter`` lines are summed across units per name (sorted by
+      name) — counters are the RNG-safe quantities CI gates on;
+    * ``gauge``/``histogram`` lines cannot be meaningfully combined, so
+      they are tagged ``"unit"`` and sorted by ``(name, unit)``;
+    * ``decision`` lines are tagged ``"unit"`` and sorted by
+      ``(quantum, unit)``, so per-quantum analysis reads them in
+      simulation order.
+
+    Duplicate unit ids raise ``ValueError``.  With ``path_or_file``
+    set, the merged records are also written as JSONL.  Returns the
+    merged record list.
+    """
+    resolved: List[tuple] = []
+    seen = set()
+    for unit_id, records in per_unit:
+        if unit_id in seen:
+            raise ValueError(f"duplicate unit id {unit_id!r} in merge")
+        seen.add(unit_id)
+        if not isinstance(records, (list, tuple)):
+            records = read_jsonl(records)
+        resolved.append((unit_id, list(records)))
+    resolved.sort(key=lambda pair: pair[0])
+
+    traces: List[Dict] = []
+    counters: Dict[str, float] = {}
+    gauges: List[Dict] = []
+    histograms: List[Dict] = []
+    decisions: List[Dict] = []
+    for unit_id, records in resolved:
+        for rec in records:
+            kind = rec.get("type")
+            if kind in ("span", "instant"):
+                traces.append({**rec, "unit": unit_id})
+            elif kind == "counter":
+                counters[rec["name"]] = (
+                    counters.get(rec["name"], 0) + rec["value"]
+                )
+            elif kind == "gauge":
+                gauges.append({**rec, "unit": unit_id})
+            elif kind == "histogram":
+                histograms.append({**rec, "unit": unit_id})
+            elif kind == "decision":
+                decisions.append({**rec, "unit": unit_id})
+    gauges.sort(key=lambda r: (r["name"], r["unit"]))
+    histograms.sort(key=lambda r: (r["name"], r["unit"]))
+    decisions.sort(key=lambda r: (r["quantum"], r["unit"]))
+    merged = (
+        traces
+        + [
+            {"type": "counter", "name": name, "value": counters[name]}
+            for name in sorted(counters)
+        ]
+        + gauges
+        + histograms
+        + decisions
+    )
+    if path_or_file is not None:
+        handle, owned = _open(path_or_file)
+        try:
+            for rec in merged:
+                handle.write(json.dumps(rec) + "\n")
+        finally:
+            if owned:
+                handle.close()
+    return merged
+
+
 def decision_records_from_jsonl(records: Iterable[Dict]) -> List[DecisionRecord]:
     """Rebuild :class:`DecisionRecord` objects from parsed JSONL lines.
 

@@ -1,0 +1,44 @@
+# Fixture for FLT501: fleet code touching process-global mutable state.
+# lint-module: repro.fleet.fixture
+import os
+
+import numpy as np
+
+from repro.rng import rng_for
+
+_MODULE_RNG = rng_for("fleet.fixture", salt="bad")  # expect: FLT501
+
+
+def good_unit(unit_id: str, seed: int) -> float:
+    stream = rng_for(unit_id, salt="fleet.unit", seed=seed)
+    return float(stream.uniform(0.0, 1.0))
+
+
+def good_environment_read() -> str:
+    # Reading the environment is fine; only mutation diverges workers.
+    return os.environ.get("HOME", "")
+
+
+def bad_numpy_constructor(seed: int) -> float:
+    stream = np.random.default_rng(seed)  # expect: FLT501
+    return float(stream.uniform(0.0, 1.0))
+
+
+def bad_numpy_global_draw() -> float:
+    return float(np.random.random())  # expect: FLT501, DET102
+
+
+def bad_environ_write() -> None:
+    os.environ["REPRO_FLEET_MODE"] = "parallel"  # expect: FLT501
+
+
+def bad_environ_update() -> None:
+    os.environ.update({"REPRO_FLEET_MODE": "parallel"})  # expect: FLT501
+
+
+def bad_environ_delete() -> None:
+    del os.environ["REPRO_FLEET_MODE"]  # expect: FLT501
+
+
+def bad_putenv() -> None:
+    os.putenv("REPRO_FLEET_MODE", "parallel")  # expect: FLT501

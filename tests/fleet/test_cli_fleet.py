@@ -1,0 +1,84 @@
+"""Tests for the ``repro fleet`` subcommand and the shared fleet flags."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_gains_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "cluster", "--jobs", "4",
+             "--checkpoint", "ck.json", "--resume"]
+        )
+        assert args.jobs == 4
+        assert args.checkpoint == "ck.json"
+        assert args.resume is True
+
+    def test_fleet_flags_default_serial(self):
+        args = build_parser().parse_args(["experiment", "cluster"])
+        assert args.jobs == 1
+        assert args.checkpoint is None
+        assert args.resume is False
+
+    def test_fleet_cluster_defaults(self):
+        args = build_parser().parse_args(["fleet", "cluster"])
+        assert args.fleet_command == "cluster"
+        assert args.slices == 8
+        assert args.jobs == 1
+
+    def test_fleet_scalability_cores(self):
+        args = build_parser().parse_args(
+            ["fleet", "scalability", "--cores", "16", "32", "--no-timings"]
+        )
+        assert args.cores == [16, 32]
+        assert args.no_timings is True
+
+    def test_fleet_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet"])
+
+    def test_fleet_status_takes_path(self):
+        args = build_parser().parse_args(["fleet", "status", "ck.json"])
+        assert args.checkpoint_file == "ck.json"
+
+
+class TestCommands:
+    def test_fleet_cluster_runs_and_reports(self, capsys):
+        code = main(
+            ["--seed", "7", "fleet", "cluster", "--slices", "2", "--jobs", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "broker" in out
+        assert "static-50-50" in out
+
+    def test_fleet_status_reports_completed_units(self, tmp_path, capsys):
+        ck = tmp_path / "ck.json"
+        assert main(
+            ["--seed", "7", "fleet", "cluster", "--slices", "2",
+             "--checkpoint", str(ck)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["fleet", "status", str(ck)]) == 0
+        out = capsys.readouterr().out
+        assert "cluster_study" in out
+        assert out.count("[done]") == 2
+        assert "[todo]" not in out
+
+    def test_fleet_status_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["fleet", "status", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        code = main(
+            ["--seed", "7", "fleet", "cluster", "--slices", "2", "--resume"]
+        )
+        assert code != 0
+
+    def test_bench_list_includes_fleet_case(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet.pool" in out
+        assert "fleet.serial" in out

@@ -1,0 +1,65 @@
+"""End-to-end determinism: sharded experiments equal serial, byte for byte.
+
+These are the in-suite versions of the CI ``fleet-smoke`` diffs; they
+use small grids so the whole module stays within a few seconds.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.experiments.cluster_study import (
+    render_cluster_study,
+    run_cluster_study,
+)
+from repro.experiments.scalability import render_scalability, run_scalability
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="no fork start method")
+
+
+@needs_fork
+class TestClusterStudy:
+    def test_jobs2_render_byte_identical(self):
+        serial = run_cluster_study(n_slices=2, seed=7, jobs=1)
+        parallel = run_cluster_study(n_slices=2, seed=7, jobs=2)
+        assert render_cluster_study(parallel) == render_cluster_study(serial)
+
+    def test_outcomes_equal_fieldwise(self):
+        serial = run_cluster_study(n_slices=2, seed=7, jobs=1)
+        parallel = run_cluster_study(n_slices=2, seed=7, jobs=2)
+        assert parallel == serial
+
+
+@needs_fork
+class TestScalability:
+    def test_jobs2_render_byte_identical_without_timings(self):
+        serial = run_scalability(core_counts=(16,), n_slices=2, jobs=1)
+        parallel = run_scalability(core_counts=(16,), n_slices=2, jobs=2)
+        assert render_scalability(
+            parallel, include_timings=False
+        ) == render_scalability(serial, include_timings=False)
+
+    def test_non_timing_fields_equal(self):
+        serial = run_scalability(core_counts=(16,), n_slices=2, jobs=1)
+        parallel = run_scalability(core_counts=(16,), n_slices=2, jobs=2)
+        assert len(parallel) == len(serial)
+        for got, want in zip(parallel, serial):
+            assert got.n_cores == want.n_cores
+            assert got.n_batch_jobs == want.n_batch_jobs
+            assert got.cuttlesys_instructions_b == want.cuttlesys_instructions_b
+            assert got.oracle_instructions_b == want.oracle_instructions_b
+
+
+@needs_fork
+class TestCheckpointedRun:
+    def test_resume_render_byte_identical(self, tmp_path):
+        ck = tmp_path / "ck.json"
+        uninterrupted = run_cluster_study(n_slices=2, seed=7, jobs=1)
+        run_cluster_study(n_slices=2, seed=7, jobs=2, checkpoint=str(ck))
+        resumed = run_cluster_study(
+            n_slices=2, seed=7, jobs=2, checkpoint=str(ck), resume=True
+        )
+        assert render_cluster_study(resumed) == render_cluster_study(
+            uninterrupted
+        )

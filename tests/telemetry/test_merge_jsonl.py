@@ -1,0 +1,114 @@
+"""Tests for merging per-unit JSONL telemetry shards into one log.
+
+The fleet runs units in worker processes that each produce their own
+telemetry; ``merge_jsonl`` must yield an order that depends on record
+content only — never on which worker finished first.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    decision_records_from_jsonl,
+    merge_jsonl,
+    read_jsonl,
+)
+
+
+def decision(quantum: int, power: float) -> dict:
+    return {
+        "type": "decision",
+        "quantum": quantum,
+        "predicted_bips": [1.0, None],
+        "measured_bips": [1.1, None],
+        "predicted_p99_s": [0.05],
+        "measured_p99_s": [0.06],
+        "predicted_power_w": power,
+        "measured_power_w": power + 1.0,
+    }
+
+
+SHARD_B = [
+    {"type": "span", "name": "decide", "start_s": 0.0, "duration_s": 0.5},
+    {"type": "counter", "name": "dds_evaluations", "value": 40},
+    {"type": "counter", "name": "sgd_iterations", "value": 3},
+    {"type": "gauge", "name": "power_w", "value": 81.0},
+    decision(1, 80.0),
+    decision(3, 82.0),
+]
+
+SHARD_A = [
+    {"type": "instant", "name": "fault", "at_s": 0.2},
+    {"type": "counter", "name": "dds_evaluations", "value": 2},
+    {"type": "gauge", "name": "power_w", "value": 79.5},
+    decision(0, 70.0),
+    decision(2, 71.0),
+]
+
+
+class TestMergeOrder:
+    def test_units_sorted_and_tagged(self):
+        merged = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)])
+        traces = [r for r in merged if r["type"] in ("span", "instant")]
+        assert [r["unit"] for r in traces] == ["a", "b"]
+
+    def test_decisions_sorted_by_quantum_then_unit(self):
+        merged = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)])
+        decisions = [r for r in merged if r["type"] == "decision"]
+        assert [(r["quantum"], r["unit"]) for r in decisions] == [
+            (0, "a"), (1, "b"), (2, "a"), (3, "b"),
+        ]
+
+    def test_counters_summed_per_name(self):
+        merged = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)])
+        counters = {
+            r["name"]: r["value"] for r in merged if r["type"] == "counter"
+        }
+        assert counters == {"dds_evaluations": 42, "sgd_iterations": 3}
+
+    def test_gauges_sorted_by_name_then_unit(self):
+        merged = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)])
+        gauges = [r for r in merged if r["type"] == "gauge"]
+        assert [(r["name"], r["unit"]) for r in gauges] == [
+            ("power_w", "a"), ("power_w", "b"),
+        ]
+
+    def test_completion_order_does_not_matter(self):
+        first = merge_jsonl([("a", SHARD_A), ("b", SHARD_B)])
+        second = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)])
+        assert first == second
+
+    def test_duplicate_unit_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_jsonl([("a", SHARD_A), ("a", SHARD_B)])
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "merged.jsonl"
+        merged = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)], path)
+        assert read_jsonl(path) == merged
+        # Every line is standalone JSON (greppable / streamable).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_shards_readable_from_paths(self, tmp_path):
+        paths = []
+        for unit_id, shard in (("a", SHARD_A), ("b", SHARD_B)):
+            p = tmp_path / f"{unit_id}.jsonl"
+            with open(p, "w") as handle:
+                for rec in shard:
+                    handle.write(json.dumps(rec) + "\n")
+            paths.append((unit_id, str(p)))
+        from_paths = merge_jsonl(paths)
+        in_memory = merge_jsonl([("a", SHARD_A), ("b", SHARD_B)])
+        assert from_paths == in_memory
+
+    def test_decision_records_rebuild_in_quantum_order(self):
+        merged = merge_jsonl([("b", SHARD_B), ("a", SHARD_A)])
+        records = decision_records_from_jsonl(merged)
+        assert [r.quantum for r in records] == [0, 1, 2, 3]
+        assert records[1].predicted_power_w == 80.0
+        # JSON nulls come back as NaN, per the exporter contract.
+        assert records[0].predicted_bips[1] != records[0].predicted_bips[1]
