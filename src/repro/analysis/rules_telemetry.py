@@ -9,6 +9,14 @@ Metric names are a public-ish surface: exporters, dashboards, and the
 regression-gate baselines all key on them, so TEL402 pins the naming
 convention (dot-namespaced, ``owner.event`` style) and catches the
 same literal name being registered as two different instrument kinds.
+
+TEL403 guards the live event bus: inside the streaming modules
+(``repro.telemetry.live`` and ``repro.fleet``) a bare blocking
+``queue.put`` can stall a fleet worker behind a slow consumer, and a
+bare ``put_nowait`` silently loses the event.  Every enqueue must go
+through the drop-accounting ``offer`` helper or carry a ``timeout=``
+(with an explicit suppression where the blocking put is the point,
+e.g. the result queue).
 """
 
 from __future__ import annotations
@@ -141,4 +149,77 @@ class MetricNameConventionRule(Rule):
                     self, node,
                     f"metric {name!r} registered as both {prior} and "
                     f"{kind}; one name must map to one instrument kind",
+                )
+
+
+def _queue_receiver(node: ast.Call) -> str:
+    """The dotted receiver when this call targets a queue-ish object."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return ""
+    tail = receiver.rsplit(".", 1)[-1].lower()
+    if tail == "q" or tail.endswith("_q") or "queue" in tail:
+        return receiver
+    return ""
+
+
+@register
+class UnboundedQueuePutRule(Rule):
+    id = "TEL403"
+    title = "queue put without timeout or drop accounting on the event bus"
+    rationale = (
+        "The live event bus must never stall a fleet worker behind a "
+        "slow consumer (blocking put) and must never lose an event "
+        "without a trace (bare put_nowait).  Inside repro.telemetry."
+        "live and repro.fleet, enqueue through the offer() helper, "
+        "which drops-with-counter on backpressure, or give the put an "
+        "explicit timeout=.  Control-plane puts where blocking is the "
+        "point (task/result queues) carry a per-line suppression."
+    )
+
+    #: Only the streaming modules are in scope; queues elsewhere are
+    #: not part of the event-bus contract.
+    _MODULES = ("repro.telemetry.live", "repro.fleet")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_in(*self._MODULES):
+            return
+        # The offer() helpers *are* the drop-accounting path; their
+        # bodies legitimately call put_nowait.
+        offer_lines: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and "offer" in node.name:
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Call):
+                        offer_lines.add(id(child))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = _queue_receiver(node)
+            if not receiver:
+                continue
+            if func.attr == "put":
+                if any(kw.arg == "timeout" for kw in node.keywords):
+                    continue
+                yield ctx.violation(
+                    self, node,
+                    f"blocking {receiver}.put() on the event bus; use "
+                    "offer() (drop-with-counter) or pass timeout=",
+                )
+            elif func.attr == "put_nowait":
+                if id(node) in offer_lines:
+                    continue
+                yield ctx.violation(
+                    self, node,
+                    f"bare {receiver}.put_nowait() loses events "
+                    "silently on backpressure; enqueue through "
+                    "offer() so drops are counted",
                 )

@@ -208,6 +208,66 @@ def _run_telemetry_disabled(repeats: int, seed: int) -> BenchCaseResult:
     )
 
 
+def _streamed_decision_loop(seed: int):
+    """The decision loop with a live emitter bound to a bounded queue.
+
+    Returns ``(emitter, aggregator)`` after draining the queue, so the
+    counters can assert both ends of the bus: everything emitted was
+    aggregated and nothing was dropped at baseline.
+    """
+    import queue as queue_mod
+
+    from repro.telemetry import Telemetry
+    from repro.telemetry.live import (
+        LiveAggregator,
+        LiveEmitter,
+        install_emitter,
+    )
+
+    sink: "queue_mod.Queue" = queue_mod.Queue(maxsize=1024)
+    emitter = LiveEmitter(sink, unit_id="bench/stream", worker="bench")
+    prior = install_emitter(emitter)
+    try:
+        _decision_loop(seed, Telemetry())
+    finally:
+        install_emitter(prior)
+    aggregator = LiveAggregator()
+    while True:
+        try:
+            aggregator.ingest_event(sink.get_nowait())
+        except queue_mod.Empty:
+            break
+    return emitter, aggregator
+
+
+def _run_stream_overhead(repeats: int, seed: int) -> BenchCaseResult:
+    """Streaming cost on top of ``telemetry.overhead``.
+
+    The counters are the backpressure gate: ``live_dropped_events``
+    has baseline 0, so any drop under the bounded queue at baseline
+    load trips the CI counter comparison.
+    """
+    walls = [
+        _timed_ms(lambda: _streamed_decision_loop(seed))
+        for _ in range(repeats)
+    ]
+    emitter, aggregator = _streamed_decision_loop(seed)
+    return BenchCaseResult(
+        name="telemetry.stream_overhead",
+        description=(
+            f"{QUANTUM_SLICES} decision quanta streaming live quantum "
+            "events into a bounded in-process queue"
+        ),
+        wall_ms=tuple(walls),
+        counters={
+            "live_events": int(emitter.emitted),
+            "live_dropped_events": int(emitter.dropped),
+            "live_quanta_aggregated": int(aggregator.quanta),
+            "live_qos_violations": int(aggregator.qos_violations),
+        },
+    )
+
+
 # -- fleet benchmarks ------------------------------------------------------
 
 #: Slices per cluster-study arm in the fleet cases; enough work per
@@ -307,6 +367,11 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "telemetry.overhead_disabled",
         "decision quanta with a disabled telemetry session",
         _run_telemetry_disabled,
+    ),
+    BenchCase(
+        "telemetry.stream_overhead",
+        "decision quanta streaming live events into a bounded queue",
+        _run_stream_overhead,
     ),
     BenchCase(
         "fleet.pool",

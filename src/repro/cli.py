@@ -15,11 +15,18 @@ Commands:
   see docs/scaling.md)
 * ``fleet``                 — the fleet execution surface: parallel
   ``cluster``/``scalability``/``report`` runs, plus ``status`` to
-  inspect a checkpoint file
+  inspect a checkpoint file (``--watch`` paints live fleet status to
+  stderr mid-run; ``--jsonl`` writes the merged telemetry log)
 * ``fault-study``           — hardened vs unhardened control under the
-  default fault scenarios (docs/robustness.md)
+  default fault scenarios (docs/robustness.md); fleet-sharded, so
+  ``--jobs``/``--checkpoint``/``--resume``/``--watch`` apply
 * ``report``                — run the full evaluation, write a markdown report
 * ``telemetry-report``      — summarise a JSONL telemetry log
+* ``top``                   — terminal status view of a JSONL telemetry
+  log: rolling-window latency/power percentiles, QoS violations and
+  fleet health (``--follow`` re-reads the log like ``top(1)``)
+* ``dashboard``             — render a JSONL telemetry log into one
+  self-contained HTML dashboard (inline SVG/CSS, no external assets)
 * ``audit``                 — run one mix with the prediction-accuracy
   auditor attached: per-metric error percentiles against the oracle,
   EWMA drift flags, QoS-violation attribution (docs/observability.md)
@@ -194,6 +201,102 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
         return 2
     print(render_jsonl_report(records))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl
+    from repro.telemetry.live import LiveAggregator, render_live_status
+
+    def render_once() -> int:
+        try:
+            records = read_jsonl(args.log)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.log}: {exc}",
+                  file=sys.stderr)
+            return 2
+        aggregator = LiveAggregator(window=args.window)
+        aggregator.replay(records)
+        print(render_live_status(aggregator))
+        return 0
+
+    if not args.follow:
+        return render_once()
+    # --follow re-reads the log on an interval, like top(1).  Wall
+    # clock is fine here: the CLI surface sits outside the determinism
+    # contract (cf. render_scalability's timing column).
+    import time
+
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            code = render_once()
+            if code:
+                return code
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl, render_dashboard
+
+    try:
+        records = read_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    html = render_dashboard(records, title=args.title)
+    try:
+        with open(args.out, "w") as handle:
+            handle.write(html)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.out} ({len(html)} bytes, self-contained)")
+    return 0
+
+
+def _watch_live(args: argparse.Namespace):
+    """A ``LiveAggregator`` that repaints fleet status on stderr.
+
+    Returns ``None`` unless ``--watch`` was given.  The live view goes
+    to *stderr* so stdout stays byte-identical to a watch-less run —
+    like the scalability table's timing column, the watch surface sits
+    outside the determinism contract.
+    """
+    if not getattr(args, "watch", False):
+        return None
+    from repro.telemetry.live import LiveAggregator, render_live_status
+
+    class _Watch(LiveAggregator):
+        #: Events between stderr repaints (amortises terminal writes).
+        _EVERY = 8
+
+        def __init__(self) -> None:
+            super().__init__()
+            self._pending = 0
+
+        def ingest_event(self, event) -> None:
+            super().ingest_event(event)
+            self._pending += 1
+            if self._pending >= self._EVERY:
+                self.repaint()
+
+        def repaint(self) -> None:
+            self._pending = 0
+            print("\n" + render_live_status(self),
+                  file=sys.stderr, flush=True)
+
+    return _Watch()
+
+
+def _write_jsonl_records(path: str, records: Sequence[dict]) -> None:
+    import json
+
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(records)} lines)")
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -418,6 +521,15 @@ def _cmd_fault_study(args: argparse.Namespace) -> int:
     )
     from repro.faults import default_scenarios, scenario_by_name
 
+    code = _fleet_flags_error(args)
+    if code:
+        return code
+    if args.checkpoint and len(args.mixes) > 1:
+        # The checkpoint fingerprint embeds the mix index, so one file
+        # cannot snapshot a multi-mix sweep.
+        print("error: --checkpoint requires a single --mixes index",
+              file=sys.stderr)
+        return 2
     if args.scenario:
         try:
             scenarios = tuple(
@@ -437,6 +549,9 @@ def _cmd_fault_study(args: argparse.Namespace) -> int:
             return 2
     exit_code = 0
     for mix_index in args.mixes:
+        # One aggregator per mix: the study's unit ids repeat across
+        # mixes, and the incremental merge rejects duplicates.
+        live = _watch_live(args)
         outcomes = run_fault_study(
             mix_index=mix_index,
             cap=args.cap,
@@ -444,7 +559,13 @@ def _cmd_fault_study(args: argparse.Namespace) -> int:
             n_slices=args.slices,
             seed=args.seed,
             scenarios=scenarios,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            live=live,
         )
+        if live is not None:
+            live.repaint()
         print(f"mix {mix_index}:")
         print(render_fault_study(outcomes))
         print()
@@ -492,11 +613,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return code
     from repro.experiments.full_eval import render_report, run_full_evaluation
 
+    fleet_stats: dict = {}
     results = run_full_evaluation(
         n_slices=args.slices, only=args.only, jobs=args.jobs,
         checkpoint=args.checkpoint, resume=args.resume,
+        fleet_stats=fleet_stats,
     )
-    text = render_report(results)
+    text = render_report(results, fleet_stats=fleet_stats)
     with open(args.out, "w") as handle:
         handle.write(text)
     failed = [r.title for r in results if r.error is not None]
@@ -537,6 +660,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"fleet:      {fingerprint.get('fleet')}")
             print(f"seed:       {fingerprint.get('seed')}")
             print(f"context:    {json.dumps(fingerprint.get('context'), sort_keys=True)}")
+            stats = payload.get("stats")
+            if stats:
+                print(f"stats:      {json.dumps(stats, sort_keys=True)}")
             units = fingerprint.get("units", [])
             print(f"completed:  {len(completed)}/{len(units)} unit(s)")
             for unit_id in units:
@@ -547,33 +673,40 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             from repro.experiments.cluster_study import (
                 render_cluster_study, run_cluster_study,
             )
-            print(render_cluster_study(
-                run_cluster_study(
-                    n_slices=args.slices, seed=args.seed, jobs=args.jobs,
-                    checkpoint=args.checkpoint, resume=args.resume,
-                )
-            ))
+            live = _watch_live(args)
+            # Collecting the merged log whenever --watch is on makes
+            # every watched run exercise the streaming-vs-post-hoc
+            # equivalence self-check inside run_cluster_study.
+            merged = [] if (args.jsonl or live is not None) else None
+            results = run_cluster_study(
+                n_slices=args.slices, seed=args.seed, jobs=args.jobs,
+                checkpoint=args.checkpoint, resume=args.resume,
+                merged_telemetry=merged, live=live,
+            )
+            if live is not None:
+                live.repaint()
+            print(render_cluster_study(results))
+            if args.jsonl:
+                _write_jsonl_records(args.jsonl, merged or [])
             return 0
         if args.fleet_command == "scalability":
             from repro.experiments.scalability import (
                 render_scalability, run_scalability,
             )
-            merged = [] if args.jsonl else None
+            live = _watch_live(args)
+            merged = [] if (args.jsonl or live is not None) else None
             points = run_scalability(
                 core_counts=tuple(args.cores), n_slices=args.slices,
                 seed=args.seed, jobs=args.jobs, checkpoint=args.checkpoint,
-                resume=args.resume, merged_telemetry=merged,
+                resume=args.resume, merged_telemetry=merged, live=live,
             )
+            if live is not None:
+                live.repaint()
             print(render_scalability(
                 points, include_timings=not args.no_timings
             ))
             if args.jsonl:
-                import json
-
-                with open(args.jsonl, "w") as handle:
-                    for record in merged or []:
-                        handle.write(json.dumps(record, sort_keys=True) + "\n")
-                print(f"wrote {args.jsonl} ({len(merged or [])} lines)")
+                _write_jsonl_records(args.jsonl, merged or [])
             return 0
         if args.fleet_command == "report":
             return _cmd_report(args)
@@ -655,6 +788,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume", action="store_true",
                        help="skip units already in --checkpoint")
 
+    def add_watch_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--watch", action="store_true",
+                       help="paint live fleet status to stderr while "
+                       "the run streams (stdout stays byte-stable)")
+
+    add_fleet_flags(fault_study)
+    add_watch_flag(fault_study)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -688,7 +829,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_cluster.add_argument("--slices", type=int, default=8,
                                help="decision quanta (default 8)")
+    fleet_cluster.add_argument("--jsonl", default=None, metavar="PATH",
+                               help="write the per-unit telemetry, merged "
+                               "into one canonical JSONL session log")
     add_fleet_flags(fleet_cluster)
+    add_watch_flag(fleet_cluster)
 
     fleet_scale = fleet_sub.add_parser(
         "scalability", help="scaling grid, sharded by (cores, arm)"
@@ -705,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the per-unit telemetry, merged "
                              "into one canonical JSONL session log")
     add_fleet_flags(fleet_scale)
+    add_watch_flag(fleet_scale)
 
     fleet_report = fleet_sub.add_parser(
         "report", help="full evaluation, sharded by section"
@@ -728,6 +874,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     telemetry_report.add_argument("log", help="JSONL log written by "
                                   "`run --jsonl` or Telemetry.write_jsonl")
+
+    top = sub.add_parser(
+        "top",
+        help="terminal status view of a JSONL telemetry log "
+        "(docs/observability.md)",
+    )
+    top.add_argument("log", help="JSONL log written by `run --jsonl` "
+                     "or `fleet ... --jsonl`")
+    top.add_argument("--follow", action="store_true",
+                     help="re-read the log on an interval, like top(1)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="--follow refresh interval (default 2.0)")
+    top.add_argument("--window", type=int, default=256,
+                     help="rolling-window size in quanta (default 256)")
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render a JSONL telemetry log into one self-contained "
+        "HTML dashboard",
+    )
+    dashboard.add_argument("log", help="JSONL log written by "
+                           "`run --jsonl` or `fleet ... --jsonl`")
+    dashboard.add_argument("-o", "--out", default="dashboard.html",
+                           help="output path (default: dashboard.html)")
+    dashboard.add_argument("--title", default="repro run dashboard",
+                           help="dashboard page title")
 
     audit = sub.add_parser(
         "audit",
@@ -799,6 +972,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "fault-study": _cmd_fault_study,
         "telemetry-report": _cmd_telemetry_report,
+        "top": _cmd_top,
+        "dashboard": _cmd_dashboard,
         "audit": _cmd_audit,
         "bench": _cmd_bench,
         "lint": _cmd_lint,

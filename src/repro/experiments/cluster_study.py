@@ -25,7 +25,14 @@ from repro.core.broker import BrokerParams, PowerBroker, Socket
 from repro.core.runtime import CuttleSysPolicy
 from repro.experiments.harness import build_machine_for_mix
 from repro.experiments.reporting import format_table
-from repro.fleet import FleetParams, FleetRun, WorkUnit
+from repro.fleet import (
+    FleetParams,
+    FleetRun,
+    WorkUnit,
+    merge_unit_telemetry,
+    telemetry_records,
+)
+from repro.telemetry.live import LiveAggregator
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
 
@@ -81,7 +88,10 @@ def _build_sockets(seed: int, n_slices: int):
     return sockets, rack_budget, qos
 
 
-def _scheme_cell(scheme: str, n_slices: int, seed: int) -> Dict[str, Any]:
+def _scheme_cell(
+    scheme: str, n_slices: int, seed: int,
+    collect_telemetry: bool = False,
+) -> Dict[str, Any]:
     """One scheme's full rack simulation as a JSONable fleet unit.
 
     Top-level so worker processes can unpickle it by reference; returns
@@ -94,24 +104,42 @@ def _scheme_cell(scheme: str, n_slices: int, seed: int) -> Dict[str, Any]:
     else:
         raise ValueError(f"unknown allocation scheme {scheme!r}")
     sockets, rack_budget, qos = _build_sockets(seed, n_slices)
+    session = None
+    if collect_telemetry:
+        from repro.telemetry import Telemetry
+
+        session = Telemetry()
+        for socket in sockets:
+            socket.machine.attach_telemetry(session)
     broker = PowerBroker(sockets, rack_budget, params)
     run = broker.run(n_slices)
     series = run.budget_series("socket-a")
-    return {
+    cell: Dict[str, Any] = {
         "scheme": scheme,
         "rack_instructions_b": run.total_batch_instructions() / 1e9,
         "qos_violations": run.qos_violations(qos),
         "socket_a_budget_range": [min(series), max(series)],
     }
+    if session is not None:
+        session.counter("cluster.qos_violations").inc(
+            run.qos_violations(qos)
+        )
+        cell["telemetry"] = telemetry_records(session)
+    return cell
 
 
-def cluster_units(n_slices: int, seed: int) -> List[WorkUnit]:
+def cluster_units(
+    n_slices: int, seed: int, collect_telemetry: bool = False
+) -> List[WorkUnit]:
     """The study's fleet work units, one per allocation scheme."""
     return [
         WorkUnit(
             unit_id=f"cluster/{scheme}",
             fn=_scheme_cell,
-            kwargs={"scheme": scheme, "n_slices": n_slices, "seed": seed},
+            kwargs={
+                "scheme": scheme, "n_slices": n_slices, "seed": seed,
+                "collect_telemetry": collect_telemetry,
+            },
         )
         for scheme in SCHEMES
     ]
@@ -138,17 +166,46 @@ def run_cluster_study(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     telemetry: Any = None,
+    merged_telemetry: Optional[List[Dict]] = None,
+    live: Optional[LiveAggregator] = None,
 ) -> Dict[str, ClusterOutcome]:
-    """Static 50/50 split vs dynamic brokering over two sockets."""
+    """Static 50/50 split vs dynamic brokering over two sockets.
+
+    ``merged_telemetry`` / ``live`` mirror
+    :func:`repro.experiments.scalability.run_scalability`: collect
+    per-unit telemetry into one merged session log, and optionally
+    stream it through a :class:`LiveAggregator` mid-run.  When both
+    are given, the merged log comes from the aggregator's incremental
+    merge *after* it is verified byte-identical to the post-hoc one.
+    """
     fleet = FleetRun(
         "cluster_study",
-        cluster_units(n_slices, seed),
+        cluster_units(
+            n_slices, seed,
+            collect_telemetry=(
+                merged_telemetry is not None or live is not None
+            ),
+        ),
         FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
         seed=seed,
         context={"n_slices": n_slices},
         telemetry=telemetry,
+        live=live,
     )
-    return outcomes_from_cells(fleet.execute().values())
+    outcome = fleet.execute()
+    if merged_telemetry is not None:
+        posthoc = merge_unit_telemetry(outcome.results)
+        if live is not None:
+            streamed = live.merged_records()
+            if streamed != posthoc:
+                raise RuntimeError(
+                    "streaming incremental merge diverged from the "
+                    "post-hoc merge_jsonl merge"
+                )
+            merged_telemetry.extend(streamed)
+        else:
+            merged_telemetry.extend(posthoc)
+    return outcomes_from_cells(outcome.values())
 
 
 def render_cluster_study(results: Dict[str, ClusterOutcome]) -> str:

@@ -19,8 +19,8 @@ violations than the unhardened one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import ControllerConfig
 from repro.core.runtime import CuttleSysPolicy
@@ -32,8 +32,15 @@ from repro.experiments.harness import (
 )
 from repro.experiments.reporting import format_table
 from repro.faults import FaultInjector, FaultScenario, default_scenarios
+from repro.fleet import (
+    FleetParams,
+    FleetRun,
+    WorkUnit,
+    telemetry_records,
+)
 from repro.logs import get_logger
 from repro.telemetry import Telemetry
+from repro.telemetry.live import LiveAggregator
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
 
@@ -76,7 +83,7 @@ def _run_arm(
     load: float,
     n_slices: int,
     seed: int,
-) -> FaultStudyOutcome:
+) -> Tuple[FaultStudyOutcome, Telemetry]:
     machine = build_machine_for_mix(mix, seed=seed)
     config = ControllerConfig(seed=seed, hardened=hardened)
     policy = CuttleSysPolicy.for_machine(machine, seed=seed, config=config)
@@ -113,7 +120,7 @@ def _run_arm(
     instructions = (
         run.total_batch_instructions() / 1e9 if run is not None else 0.0
     )
-    return FaultStudyOutcome(
+    outcome = FaultStudyOutcome(
         scenario=scenario.name,
         policy="hardened" if hardened else "unhardened",
         n_slices=n_slices,
@@ -126,6 +133,77 @@ def _run_arm(
         detected=_counter_total(telemetry, "faults.detected."),
         recovered=_counter_total(telemetry, "faults.recovered."),
     )
+    return outcome, telemetry
+
+
+def _fault_cell(
+    scenario: FaultScenario,
+    hardened: bool,
+    mix_index: int,
+    cap: float,
+    load: float,
+    n_slices: int,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> Dict[str, Any]:
+    """One (scenario, arm) cell as a JSONable fleet unit value.
+
+    Top-level so worker processes can unpickle it by reference.  The
+    mix and power reference are rebuilt from ``mix_index`` inside the
+    unit (both are deterministic in the seed), keeping the kwargs
+    picklable and the value plain JSON.
+    """
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    outcome, telemetry = _run_arm(
+        scenario, hardened, mix, reference, cap, load, n_slices, seed,
+    )
+    cell: Dict[str, Any] = asdict(outcome)
+    if collect_telemetry:
+        cell["telemetry"] = telemetry_records(telemetry)
+    return cell
+
+
+def fault_study_units(
+    mix_index: int,
+    cap: float,
+    load: float,
+    n_slices: int,
+    seed: int,
+    scenarios: Sequence[FaultScenario],
+    collect_telemetry: bool = False,
+) -> List[WorkUnit]:
+    """The study's fleet work units, one per (scenario, arm)."""
+    return [
+        WorkUnit(
+            unit_id=(
+                f"faults/{scenario.name}/"
+                f"{'hardened' if hardened else 'unhardened'}"
+            ),
+            fn=_fault_cell,
+            kwargs={
+                "scenario": scenario, "hardened": hardened,
+                "mix_index": mix_index, "cap": cap, "load": load,
+                "n_slices": n_slices, "seed": seed,
+                "collect_telemetry": collect_telemetry,
+            },
+        )
+        for scenario in scenarios
+        for hardened in (True, False)
+    ]
+
+
+def outcomes_from_cells(
+    cells: Sequence[Dict[str, Any]],
+) -> Tuple[FaultStudyOutcome, ...]:
+    """Rehydrate :class:`FaultStudyOutcome` rows from unit cell dicts."""
+    return tuple(
+        FaultStudyOutcome(**{
+            key: value for key, value in cell.items()
+            if key != "telemetry"
+        })
+        for cell in cells
+    )
 
 
 def run_fault_study(
@@ -135,27 +213,44 @@ def run_fault_study(
     n_slices: int = 12,
     seed: int = 7,
     scenarios: Optional[Sequence[FaultScenario]] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+    live: Optional[LiveAggregator] = None,
 ) -> Tuple[FaultStudyOutcome, ...]:
     """Hardened vs unhardened CuttleSys across the fault scenarios.
 
     Both arms of each scenario see byte-identical machines, training
     sets, and injection streams (the injector reseeds per scenario), so
     any divergence is the hardening, not luck.
+
+    The (scenario, arm) cells are independent simulations, so the study
+    shards them as a fleet grid: ``jobs``/``checkpoint``/``resume``
+    behave as for the other studies, and ``--jobs N`` output is
+    byte-identical to serial.  ``live`` streams worker events (and each
+    cell's telemetry shard) through a
+    :class:`~repro.telemetry.live.LiveAggregator` mid-run.
     """
-    mix = paper_mixes()[mix_index]
-    reference = reference_power_for_mix(mix, seed=seed)
     if scenarios is None:
         scenarios = default_scenarios(seed)
-    outcomes = []
-    for scenario in scenarios:
-        for hardened in (True, False):
-            outcomes.append(
-                _run_arm(
-                    scenario, hardened, mix, reference,
-                    cap, load, n_slices, seed,
-                )
-            )
-    return tuple(outcomes)
+    fleet = FleetRun(
+        "fault_study",
+        fault_study_units(
+            mix_index, cap, load, n_slices, seed, scenarios,
+            collect_telemetry=live is not None,
+        ),
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=seed,
+        context={
+            "mix_index": mix_index, "cap": cap, "load": load,
+            "n_slices": n_slices,
+            "scenarios": [s.name for s in scenarios],
+        },
+        telemetry=telemetry,
+        live=live,
+    )
+    return outcomes_from_cells(fleet.execute().values())
 
 
 def study_totals(

@@ -252,11 +252,19 @@ def run_full_evaluation(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     telemetry: Any = None,
+    fleet_stats: Optional[Dict[str, int]] = None,
 ) -> List[SectionResult]:
-    """Run every (or a filtered subset of) experiment section."""
+    """Run every (or a filtered subset of) experiment section.
+
+    ``fleet_stats``, when given a dict, receives the run's execution
+    tallies (retries, serial fallbacks) for :func:`render_report`'s
+    fleet-execution section.
+    """
     sections = _selected_sections(n_slices, only)
     if jobs <= 1 and checkpoint is None:
         # Fast path: no sharding/snapshot machinery for the plain run.
+        if fleet_stats is not None:
+            fleet_stats.update({"retries": 0, "serial_fallbacks": 0})
         return [_section(title, fn) for title, fn in sections]
     fleet = FleetRun(
         "full_eval",
@@ -273,17 +281,32 @@ def run_full_evaluation(
         context={"n_slices": n_slices},
         telemetry=telemetry,
     )
+    outcome = fleet.execute()
+    if fleet_stats is not None:
+        fleet_stats.update({
+            "retries": outcome.retries,
+            "serial_fallbacks": outcome.serial_fallbacks,
+        })
     return [
         SectionResult(
             title=cell["title"], body=cell["body"],
             seconds=cell["seconds"], error=cell["error"],
         )
-        for cell in fleet.execute().values()
+        for cell in outcome.values()
     ]
 
 
-def render_report(results: Sequence[SectionResult]) -> str:
-    """Assemble the markdown report."""
+def render_report(
+    results: Sequence[SectionResult],
+    fleet_stats: Optional[Dict[str, int]] = None,
+) -> str:
+    """Assemble the markdown report.
+
+    ``fleet_stats`` appends a fleet-execution health section.  It
+    deliberately carries only the tallies that are zero on a healthy
+    run regardless of ``--jobs`` (worker-death retries and serial
+    fallbacks), so the report stays byte-identical across job counts.
+    """
     total = sum(r.seconds for r in results)
     lines = [
         "# CuttleSys reproduction — full evaluation report",
@@ -303,5 +326,15 @@ def render_report(results: Sequence[SectionResult]) -> str:
             lines.append("```")
         lines.append("")
         lines.append(f"_({result.seconds:.1f} s)_")
+        lines.append("")
+    if fleet_stats is not None:
+        lines.append("## Fleet execution")
+        lines.append("")
+        lines.append(
+            f"worker retries (WorkerDied resubmissions): "
+            f"{fleet_stats.get('retries', 0)}; "
+            f"serial fallbacks: "
+            f"{fleet_stats.get('serial_fallbacks', 0)}."
+        )
         lines.append("")
     return "\n".join(lines)

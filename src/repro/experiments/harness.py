@@ -18,6 +18,7 @@ from repro.logs import get_logger
 from repro.sim.machine import Machine, MachineParams, SliceMeasurement
 from repro.sim.perf import PerformanceModel
 from repro.sim.power import PowerModel
+from repro.telemetry.live import current_emitter
 from repro.telemetry.metrics import DecisionRecord
 from repro.telemetry.tracer import tracer_of
 from repro.workloads.batch import batch_profile
@@ -537,8 +538,32 @@ def run_policy(
                         "%.2f ms)", i, measurement.lc_p99 * 1e3,
                         run.qos_s * 1e3,
                     )
-                if measurement.total_power > budget * (1.0 + POWER_TOLERANCE):
+                power_violated = (
+                    measurement.total_power > budget * (1.0 + POWER_TOLERANCE)
+                )
+                if power_violated:
                     metrics.counter("harness.power_violations").inc()
+                live = current_emitter()
+                if live is not None:
+                    # Streaming fleet run: push this quantum's outcome
+                    # through the bounded event bus (lossy, non-
+                    # blocking — see repro.telemetry.live).
+                    prediction = (
+                        None if degraded
+                        else getattr(policy, "last_prediction", None)
+                    )
+                    live.emit(
+                        "quantum",
+                        index=i,
+                        lc_p99_ms=measurement.lc_p99 * 1e3,
+                        power_w=measurement.total_power,
+                        budget_w=budget,
+                        qos_violated=bool(qos_violated),
+                        power_violated=power_violated,
+                        predicted_power_w=getattr(
+                            prediction, "power_w", None
+                        ),
+                    )
                 metrics.gauge("harness.power_w").set(measurement.total_power)
                 metrics.gauge("harness.lc_load").set(actual_load)
                 metrics.histogram("slice.lc_p99_ms").observe(

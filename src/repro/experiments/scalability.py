@@ -42,6 +42,7 @@ from repro.fleet import (
     telemetry_records,
 )
 from repro.sim.machine import Machine, MachineParams
+from repro.telemetry.live import LiveAggregator
 from repro.workloads.batch import batch_profile, train_test_split
 from repro.workloads.latency_critical import lc_service
 from repro.workloads.loadgen import LoadTrace
@@ -190,18 +191,27 @@ def run_scalability(
     resume: bool = False,
     telemetry: Any = None,
     merged_telemetry: Optional[List[Dict]] = None,
+    live: Optional["LiveAggregator"] = None,
 ) -> Tuple[ScalePoint, ...]:
     """CuttleSys and the oracle across machine sizes.
 
     ``merged_telemetry``, when given a list, receives the per-unit
     telemetry JSONL records merged into one canonical session log
     (:func:`repro.fleet.merge_unit_telemetry`).
+
+    ``live``, when given a :class:`~repro.telemetry.live.LiveAggregator`,
+    streams worker events into it mid-run and switches the merged log
+    to the aggregator's *incremental* merge — byte-identical to the
+    post-hoc one (the streaming-equivalence tests and CI diff pin
+    this).
     """
     fleet = FleetRun(
         "scalability",
         scalability_units(
             core_counts, cap, load, n_slices, seed,
-            collect_telemetry=merged_telemetry is not None,
+            collect_telemetry=(
+                merged_telemetry is not None or live is not None
+            ),
         ),
         FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
         seed=seed,
@@ -210,10 +220,21 @@ def run_scalability(
             "n_slices": n_slices,
         },
         telemetry=telemetry,
+        live=live,
     )
     outcome = fleet.execute()
     if merged_telemetry is not None:
-        merged_telemetry.extend(merge_unit_telemetry(outcome.results))
+        posthoc = merge_unit_telemetry(outcome.results)
+        if live is not None:
+            streamed = live.merged_records()
+            if streamed != posthoc:
+                raise RuntimeError(
+                    "streaming incremental merge diverged from the "
+                    "post-hoc merge_jsonl merge"
+                )
+            merged_telemetry.extend(streamed)
+        else:
+            merged_telemetry.extend(posthoc)
     return points_from_cells(outcome.values())
 
 

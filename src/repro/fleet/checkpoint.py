@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.logs import get_logger
 
@@ -113,13 +113,24 @@ class CheckpointStore:
         )
         return completed
 
-    def save(self, completed: Mapping[str, Any]) -> None:
-        """Atomically replace the snapshot with ``completed``."""
+    def save(
+        self,
+        completed: Mapping[str, Any],
+        stats: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Atomically replace the snapshot with ``completed``.
+
+        ``stats`` (optional) adds execution health — retries, serial
+        fallbacks, jobs — for ``repro fleet status``.  Purely additive,
+        ignored by :meth:`load`, so the schema version stays put.
+        """
         payload = {
             "schema": SCHEMA_VERSION,
             "fingerprint": self.fingerprint,
             "completed": dict(completed),
         }
+        if stats is not None:
+            payload["stats"] = dict(stats)
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:
             with open(tmp, "w", encoding="utf-8") as handle:

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.fleet.shard import UnitResult, WorkUnit
 from repro.logs import get_logger
+from repro.telemetry.live import CallbackSink, LiveEmitter, install_emitter
 
 log = get_logger("fleet.pool")
 
@@ -86,6 +87,10 @@ class PoolParams:
     start_method: Optional[str] = None
     #: Result-queue poll interval; bounds worker-death detection lag.
     poll_interval_s: float = 0.05
+    #: Bound on the live-event queue.  Backpressure past this *drops*
+    #: events (with a counter) rather than ever blocking a worker's
+    #: decision loop — events are observability, not results.
+    event_queue_cap: int = 1024
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -94,6 +99,8 @@ class PoolParams:
             raise ValueError("max_retries must be non-negative")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if self.event_queue_cap < 1:
+            raise ValueError("event_queue_cap must be >= 1")
 
     def resolved_start_method(self) -> str:
         if self.start_method is not None:
@@ -101,39 +108,66 @@ class PoolParams:
         return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
 
 
-def _worker_main(task_q: Any, result_q: Any) -> None:
+def _worker_main(task_q: Any, result_q: Any,
+                 event_q: Any = None) -> None:
     """Worker loop: execute units until the ``None`` sentinel arrives.
 
     Results travel back as ``(index, ok, value, error)``.  A unit
     exception is *reported*, not raised, so one bad unit cannot take
     the worker down with it — worker death is reserved for real
     crashes, which the parent retries.
+
+    When streaming is on, a per-unit :class:`LiveEmitter` is installed
+    around ``unit.run()`` so instrumentation anywhere down the call
+    stack (the harness's per-quantum hook) can push events through the
+    bounded ``event_q``.  ``unit_finished`` travels *before* the result
+    so its drop tally is normally drained in time; result-queue puts
+    below are control plane, not live events — they must never drop,
+    hence the TEL403 suppressions.
     """
     while True:
         item = task_q.get()
         if item is None:
             return
         index, unit = item
+        emitter = None
+        if event_q is not None:
+            emitter = LiveEmitter(
+                event_q, unit.unit_id,
+                worker=mp.current_process().name,
+            )
+        prior = install_emitter(emitter)
+        if emitter is not None:
+            emitter.emit("unit_started")
+        ok = False
+        value = None
+        error = None
         try:
             value = unit.run()
+            ok = True
         except BaseException as exc:  # noqa: BLE001 - reported to parent
-            result_q.put(
-                (index, False, None, f"{type(exc).__name__}: {exc}")
-            )
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            install_emitter(prior)
+        if emitter is not None:
+            emitter.emit("unit_finished", ok=ok, dropped=emitter.dropped)
+        if ok:
+            result_q.put((index, True, value, None))  # repro: noqa[TEL403]
         else:
-            result_q.put((index, True, value, None))
+            result_q.put((index, False, None, error))  # repro: noqa[TEL403]
 
 
 class _WorkerSlot:
     """One worker process plus its private task queue."""
 
-    def __init__(self, ctx: Any, slot: int, result_q: Any) -> None:
+    def __init__(self, ctx: Any, slot: int, result_q: Any,
+                 event_q: Any = None) -> None:
         self.slot = slot
         self.task_q = ctx.Queue()
         self.inflight: Optional[int] = None
         self.process = ctx.Process(
             target=_worker_main,
-            args=(self.task_q, result_q),
+            args=(self.task_q, result_q, event_q),
             name=f"fleet-worker-{slot}",
             daemon=True,
         )
@@ -145,14 +179,16 @@ class _WorkerSlot:
 
     def submit(self, index: int, unit: WorkUnit) -> None:
         self.inflight = index
-        self.task_q.put((index, unit))
+        # Control plane: task delivery must never drop.
+        self.task_q.put((index, unit))  # repro: noqa[TEL403]
 
     def alive(self) -> bool:
         return self.process.is_alive()
 
     def stop(self) -> None:
         try:
-            self.task_q.put(None)
+            # Control plane: the shutdown sentinel must never drop.
+            self.task_q.put(None)  # repro: noqa[TEL403]
         except (OSError, ValueError):  # queue already torn down
             pass
 
@@ -188,12 +224,19 @@ class FleetPool:
         self,
         units: Sequence[WorkUnit],
         on_result: Optional[Callable[[UnitResult], None]] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> List[UnitResult]:
         """Execute every unit; returns results in submission order.
 
         ``on_result`` fires in the *parent* process as each result
         arrives (completion order) — the checkpoint hook.  An exception
         it raises aborts the run after worker shutdown.
+
+        ``on_event`` (optional) turns on live streaming: workers push
+        event dicts through a bounded queue and the callback fires in
+        the parent, in arrival order, as the scheduler drains it.
+        Events are lossy by design (see ``PoolParams.event_queue_cap``)
+        and carry no results — dropping all of them changes no output.
         """
         units = list(units)
         ids = [u.unit_id for u in units]
@@ -203,14 +246,20 @@ class FleetPool:
             return []
         jobs = min(self.params.jobs, len(units))
         if jobs <= 1:
-            return self._run_serial(units, on_result)
+            return self._run_serial(units, on_result, on_event)
         try:
             ctx = mp.get_context(self.params.resolved_start_method())
             result_q = ctx.Queue()
+            event_q = (
+                ctx.Queue(self.params.event_queue_cap)
+                if on_event is not None else None
+            )
             workers: List[_WorkerSlot] = []
             try:
                 for slot in range(jobs):
-                    workers.append(_WorkerSlot(ctx, slot, result_q))
+                    workers.append(
+                        _WorkerSlot(ctx, slot, result_q, event_q)
+                    )
             except BaseException:
                 for worker in workers:
                     worker.kill()
@@ -223,11 +272,16 @@ class FleetPool:
                 "worker pool unavailable (%s: %s); degrading to serial "
                 "execution", type(exc).__name__, exc,
             )
-            return self._run_serial(units, on_result)
+            if on_event is not None:
+                on_event({"kind": "serial_fallback"})
+            return self._run_serial(units, on_result, on_event)
         try:
-            return self._schedule(units, workers, result_q, ctx, on_result)
+            return self._schedule(
+                units, workers, result_q, ctx, on_result,
+                event_q, on_event,
+            )
         finally:
-            self._shutdown(workers, result_q)
+            self._shutdown(workers, result_q, event_q, on_event)
 
     # ------------------------------------------------------------------
 
@@ -235,15 +289,35 @@ class FleetPool:
         self,
         units: Sequence[WorkUnit],
         on_result: Optional[Callable[[UnitResult], None]],
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> List[UnitResult]:
         results: List[UnitResult] = []
         for index, unit in enumerate(units):
+            emitter = None
+            if on_event is not None:
+                # No process boundary: events go straight to the
+                # callback through the queue-shaped shim, exercising
+                # the exact emission path workers use.
+                emitter = LiveEmitter(
+                    CallbackSink(on_event), unit.unit_id, worker="serial"
+                )
+            prior = install_emitter(emitter)
+            if emitter is not None:
+                emitter.emit("unit_started")
+            ok = False
             try:
                 value = unit.run()
+                ok = True
             except Exception as exc:
                 raise UnitFailed(
                     unit.unit_id, f"{type(exc).__name__}: {exc}"
                 ) from exc
+            finally:
+                install_emitter(prior)
+                if emitter is not None:
+                    emitter.emit(
+                        "unit_finished", ok=ok, dropped=emitter.dropped
+                    )
             result = UnitResult(
                 unit_id=unit.unit_id, index=index, value=value,
                 attempts=1, worker="serial",
@@ -253,6 +327,23 @@ class FleetPool:
                 on_result(result)
         return results
 
+    @staticmethod
+    def _drain_events(
+        event_q: Any,
+        on_event: Optional[Callable[[Dict[str, Any]], None]],
+    ) -> None:
+        """Forward every queued live event to the parent-side callback."""
+        if event_q is None or on_event is None:
+            return
+        while True:
+            try:
+                event = event_q.get_nowait()
+            except queue_mod.Empty:
+                return
+            except (OSError, ValueError):  # queue torn down mid-drain
+                return
+            on_event(event)
+
     def _schedule(
         self,
         units: List[WorkUnit],
@@ -260,11 +351,14 @@ class FleetPool:
         result_q: Any,
         ctx: Any,
         on_result: Optional[Callable[[UnitResult], None]],
+        event_q: Any = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> List[UnitResult]:
         pending = deque(range(len(units)))
         attempts = [0] * len(units)
         done: Dict[int, UnitResult] = {}
         while len(done) < len(units):
+            self._drain_events(event_q, on_event)
             for worker in workers:
                 if worker.inflight is None and pending:
                     index = pending.popleft()
@@ -276,7 +370,8 @@ class FleetPool:
                 )
             except queue_mod.Empty:
                 self._reap(
-                    units, workers, pending, attempts, done, ctx, result_q
+                    units, workers, pending, attempts, done, ctx,
+                    result_q, event_q, on_event,
                 )
                 continue
             owner = next(
@@ -312,6 +407,8 @@ class FleetPool:
         done: Dict[int, UnitResult],
         ctx: Any,
         result_q: Any,
+        event_q: Any = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         """Detect dead workers; resubmit their units and respawn."""
         for i, worker in enumerate(workers):
@@ -330,10 +427,24 @@ class FleetPool:
                     "resubmitting to a fresh worker",
                     worker.name, index, attempts[index],
                 )
+                if on_event is not None:
+                    # Parent-side direct call — no queue, cannot drop.
+                    on_event({
+                        "kind": "unit_retry",
+                        "unit": units[index].unit_id,
+                        "worker": worker.name,
+                        "attempt": attempts[index],
+                    })
                 pending.appendleft(index)
-            workers[i] = _WorkerSlot(ctx, worker.slot, result_q)
+            workers[i] = _WorkerSlot(ctx, worker.slot, result_q, event_q)
 
-    def _shutdown(self, workers: List[_WorkerSlot], result_q: Any) -> None:
+    def _shutdown(
+        self,
+        workers: List[_WorkerSlot],
+        result_q: Any,
+        event_q: Any = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
         for worker in workers:
             worker.stop()
         deadline = time.monotonic() + _SHUTDOWN_GRACE_S
@@ -346,5 +457,12 @@ class FleetPool:
                 worker.kill()
                 worker.process.join(timeout=1.0)
             worker.close()
+        # Workers have flushed (or died); whatever made it into the
+        # event queue is forwarded before teardown so end-of-unit drop
+        # tallies are not themselves dropped on the healthy path.
+        self._drain_events(event_q, on_event)
         result_q.cancel_join_thread()
         result_q.close()
+        if event_q is not None:
+            event_q.cancel_join_thread()
+            event_q.close()

@@ -43,6 +43,7 @@ from repro.fleet.shard import (
     merge_results,
 )
 from repro.logs import get_logger
+from repro.telemetry.live import LiveAggregator
 
 log = get_logger("fleet.runner")
 
@@ -136,6 +137,7 @@ class FleetRun:
         seed: int = 0,
         context: Optional[Mapping[str, Any]] = None,
         telemetry: Any = None,
+        live: Optional[LiveAggregator] = None,
     ) -> None:
         if not name:
             raise ValueError("fleet name must be non-empty")
@@ -152,6 +154,11 @@ class FleetRun:
         #: fingerprint (scale knobs like n_slices).
         self.context: Dict[str, Any] = dict(context or {})
         self.telemetry = telemetry
+        #: Optional :class:`LiveAggregator`: streams worker events and
+        #: folds each unit's telemetry shard in as it completes, so the
+        #: merged log exists incrementally instead of only after
+        #: ``merge_unit_telemetry`` at end of run.
+        self.live = live
         self._store: Optional[CheckpointStore] = None
         if params.checkpoint is not None:
             self._store = CheckpointStore(
@@ -176,6 +183,19 @@ class FleetRun:
             completed = self._store.load()
         resumed = len(completed)
         todo = [u for u in self.units if u.unit_id not in completed]
+        if self.live is not None:
+            # Resumed units never re-execute, so their telemetry shards
+            # enter the incremental merge straight from the checkpoint.
+            for unit in self.units:
+                value = completed.get(unit.unit_id)
+                if isinstance(value, dict) and "telemetry" in value:
+                    self.live.ingest(unit.unit_id, value["telemetry"])
+                if unit.unit_id in completed:
+                    self.live.units.setdefault(
+                        unit.unit_id,
+                        {"state": "done", "events": 0,
+                         "worker": "checkpoint"},
+                    )
         log.info(
             "fleet %s: %d unit(s), %d resumed, %d to run on %d job(s)",
             self.name, len(self.units), resumed, len(todo),
@@ -190,9 +210,26 @@ class FleetRun:
         executed: Dict[str, UnitResult] = {}
         progress = {"since_save": 0, "done_this_run": 0}
 
+        def run_stats() -> Dict[str, Any]:
+            return {
+                "jobs": self.params.jobs,
+                "executed": progress["done_this_run"],
+                "resumed": resumed,
+                "retries": pool.retries,
+                "serial_fallbacks": pool.serial_fallbacks,
+            }
+
         def on_result(result: UnitResult) -> None:
             completed[result.unit_id] = result.value
             executed[result.unit_id] = result
+            if (
+                self.live is not None
+                and isinstance(result.value, dict)
+                and "telemetry" in result.value
+            ):
+                self.live.ingest(
+                    result.unit_id, result.value["telemetry"]
+                )
             progress["since_save"] += 1
             progress["done_this_run"] += 1
             flush_due = (
@@ -204,15 +241,18 @@ class FleetRun:
                 >= self.params.inject_abort_after
             )
             if self._store is not None and (flush_due or abort_due):
-                self._store.save(completed)
+                self._store.save(completed, stats=run_stats())
                 progress["since_save"] = 0
             if abort_due:
                 raise FleetAborted(self.name, progress["done_this_run"])
 
+        on_event = (
+            self.live.ingest_event if self.live is not None else None
+        )
         if todo:
-            pool.map(todo, on_result)
+            pool.map(todo, on_result, on_event)
         if self._store is not None and progress["since_save"]:
-            self._store.save(completed)
+            self._store.save(completed, stats=run_stats())
 
         by_id: Dict[str, UnitResult] = {}
         for index, unit in enumerate(self.units):
@@ -258,3 +298,7 @@ class FleetRun:
             outcome.serial_fallbacks
         )
         metrics.gauge("fleet.jobs").set(outcome.jobs)
+        if self.live is not None:
+            metrics.counter("live.dropped_events").inc(
+                self.live.dropped_events
+            )

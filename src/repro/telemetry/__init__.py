@@ -44,6 +44,7 @@ from repro.telemetry.accuracy import (
     median_error_pct,
     render_accuracy_report,
 )
+from repro.telemetry.dashboard import render_dashboard
 from repro.telemetry.exporters import (
     chrome_trace_events,
     decision_records_from_jsonl,
@@ -52,8 +53,19 @@ from repro.telemetry.exporters import (
     read_jsonl,
     render_jsonl_report,
     render_metrics_report,
+    render_prometheus,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.telemetry.live import (
+    CallbackSink,
+    LiveAggregator,
+    LiveEmitter,
+    RollingWindow,
+    current_emitter,
+    install_emitter,
+    offer,
+    render_live_status,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -141,28 +153,38 @@ class Telemetry:
 __all__ = [
     "AccuracyAuditor",
     "AuditConfig",
+    "CallbackSink",
     "Counter",
     "DecisionRecord",
     "DriftTracker",
     "Gauge",
     "Histogram",
     "Instant",
+    "LiveAggregator",
+    "LiveEmitter",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "RollingWindow",
     "Span",
     "Telemetry",
     "Tracer",
     "chrome_trace_events",
+    "current_emitter",
     "decision_records_from_jsonl",
     "decisions_to_csv",
+    "install_emitter",
     "median_error_pct",
     "merge_jsonl",
+    "offer",
     "read_jsonl",
     "render_accuracy_report",
+    "render_dashboard",
     "render_jsonl_report",
+    "render_live_status",
     "render_metrics_report",
+    "render_prometheus",
     "signed_error_percent",
     "tracer_of",
     "write_chrome_trace",

@@ -415,6 +415,151 @@ def decisions_to_csv(decisions: Sequence[DecisionRecord],
             handle.close()
 
 
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus grammar.
+
+    ``fleet.units_total`` -> ``repro_fleet_units_total``: dots and any
+    other illegal characters become underscores under a ``repro_``
+    namespace prefix (docs/observability.md documents the mapping).
+    """
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def _prometheus_value(value) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prometheus_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(val)}"'
+        for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(metrics) -> str:
+    """Render metrics in the Prometheus text exposition format (v0.0.4).
+
+    ``metrics`` is either a live :class:`MetricsRegistry` (or the
+    ``Telemetry.metrics`` attribute) or an iterable of parsed JSONL
+    records (the archival/merged form) — merged records keep their
+    ``unit`` tag as a label.  Counters render with the conventional
+    ``_total`` suffix, histograms as summaries (``quantile`` series
+    plus ``_count``/``_sum``), so a control-plane daemon can scrape a
+    run's state without bespoke parsing.
+    """
+    counters: List[tuple] = []
+    gauges: List[tuple] = []
+    summaries: List[tuple] = []
+    if hasattr(metrics, "counters"):
+        for name, counter in sorted(metrics.counters.items()):
+            counters.append((name, {}, counter.value))
+        for name, gauge in sorted(metrics.gauges.items()):
+            gauges.append((name, {}, gauge.value))
+        for name, hist in sorted(metrics.histograms.items()):
+            summary = hist.summary()
+            summary["sum"] = sum(hist.samples)
+            summaries.append((name, {}, summary))
+        gauges.append(("decisions", {}, len(metrics.decisions)))
+    else:
+        decisions = 0
+        for rec in metrics:
+            kind = rec.get("type")
+            labels = (
+                {"unit": rec["unit"]} if rec.get("unit") is not None else {}
+            )
+            if kind == "counter":
+                counters.append((rec["name"], labels, rec["value"]))
+            elif kind == "gauge":
+                gauges.append((rec["name"], labels, rec["value"]))
+            elif kind == "histogram":
+                summary = dict(rec.get("summary", {}))
+                count = summary.get("count", 0) or 0
+                mean = summary.get("mean")
+                summary["sum"] = (
+                    mean * count if isinstance(mean, (int, float)) else 0.0
+                )
+                summaries.append((rec["name"], labels, summary))
+            elif kind == "decision":
+                decisions += 1
+        gauges.append(("decisions", {}, decisions))
+
+    lines: List[str] = []
+
+    def emit_header(name: str, source: str, kind: str) -> None:
+        lines.append(f"# HELP {name} repro metric {source}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    seen = set()
+    for name, labels, value in counters:
+        metric = _prometheus_name(name) + "_total"
+        if metric not in seen:
+            seen.add(metric)
+            emit_header(metric, name, "counter")
+        lines.append(
+            f"{metric}{_prometheus_labels(labels)} "
+            f"{_prometheus_value(value)}"
+        )
+    for name, labels, value in gauges:
+        metric = _prometheus_name(name)
+        if metric not in seen:
+            seen.add(metric)
+            emit_header(metric, name, "gauge")
+        lines.append(
+            f"{metric}{_prometheus_labels(labels)} "
+            f"{_prometheus_value(value)}"
+        )
+    for name, labels, summary in summaries:
+        metric = _prometheus_name(name)
+        if metric not in seen:
+            seen.add(metric)
+            emit_header(metric, name, "summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                              ("0.99", "p99")):
+            value = summary.get(key)
+            if not isinstance(value, (int, float)):
+                continue
+            q_labels = dict(labels)
+            q_labels["quantile"] = quantile
+            lines.append(
+                f"{metric}{_prometheus_labels(q_labels)} "
+                f"{_prometheus_value(value)}"
+            )
+        label_text = _prometheus_labels(labels)
+        lines.append(
+            f"{metric}_count{label_text} "
+            f"{_prometheus_value(summary.get('count', 0) or 0)}"
+        )
+        lines.append(
+            f"{metric}_sum{label_text} "
+            f"{_prometheus_value(summary.get('sum', 0.0) or 0.0)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def render_jsonl_report(records: Iterable[Dict]) -> str:
     """Summarise a parsed JSONL event log (``telemetry-report`` CLI).
 

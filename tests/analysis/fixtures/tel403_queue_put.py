@@ -1,0 +1,39 @@
+# Fixture for TEL403: event-bus queue puts without drop accounting.
+# lint-module: repro.telemetry.live
+
+
+def stream(event_q, record) -> None:
+    event_q.put(record)  # expect: TEL403
+
+
+def stream_nowait(event_q, record) -> None:
+    event_q.put_nowait(record)  # expect: TEL403
+
+
+def stream_attribute(worker, record) -> None:
+    worker.events_queue.put(record)  # expect: TEL403
+
+
+def good_bounded(event_q, record) -> None:
+    event_q.put(record, timeout=0.1)
+
+
+def offer_event(event_q, record) -> bool:
+    # The drop-accounting helper itself may use put_nowait: its whole
+    # job is to catch queue.Full and count the drop.
+    try:
+        event_q.put_nowait(record)
+    except Exception:
+        return False
+    return True
+
+
+def good_suppressed(result_q, value) -> None:
+    # Control plane: the result queue is unbounded and blocking is
+    # the point, so the suppression is explicit.
+    result_q.put(value)  # repro: noqa[TEL403]
+
+
+def good_not_a_queue(results, record) -> None:
+    # Non-queue receivers are out of scope.
+    results.put(record)

@@ -1,0 +1,102 @@
+"""Tests for the self-contained HTML dashboard renderer.
+
+The golden snapshot pins the full output for the committed fixture log
+(``data/run_fixture.jsonl``, a real 2-unit scalability run): the
+dashboard is a pure function of the records, so any rendering change
+must consciously regenerate the golden file::
+
+    PYTHONPATH=src python -c "from repro.telemetry import *; \
+        open('tests/telemetry/data/dashboard_golden.html','w').write(\
+        render_dashboard(read_jsonl('tests/telemetry/data/run_fixture.jsonl')))"
+"""
+
+import re
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import read_jsonl, render_dashboard
+
+DATA = Path(__file__).parent / "data"
+FIXTURE = DATA / "run_fixture.jsonl"
+GOLDEN = DATA / "dashboard_golden.html"
+
+
+@pytest.fixture(scope="module")
+def fixture_records():
+    return read_jsonl(FIXTURE)
+
+
+@pytest.fixture(scope="module")
+def html(fixture_records):
+    return render_dashboard(fixture_records)
+
+
+class TestGoldenSnapshot:
+    def test_matches_committed_golden(self, html):
+        assert html == GOLDEN.read_text(), (
+            "dashboard output changed; regenerate the golden file if "
+            "intentional (see module docstring)"
+        )
+
+    def test_pure_function_of_records(self, fixture_records, html):
+        assert render_dashboard(list(fixture_records)) == html
+
+
+class TestSelfContained:
+    def test_no_external_assets(self, html):
+        assert not re.search(r"https?://", html)
+        assert "<script" not in html
+        assert "url(" not in html
+        assert "@import" not in html
+
+    def test_single_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<html") == 1
+        assert html.rstrip().endswith("</html>")
+
+
+class TestContent:
+    def test_timeline_and_power_charts_present(self, html):
+        assert "Tail latency per quantum" in html
+        assert "Chip power per quantum" in html
+        assert "Per-unit decision throughput" in html
+        for unit in ("scale/16c/cuttlesys", "scale/16c/oracle"):
+            assert unit in html
+
+    def test_predicted_vs_measured_error_band(self, html):
+        assert "measured" in html and "predicted" in html
+        assert 'class="band"' in html
+
+    def test_stat_tiles(self, html):
+        for label in ("decision quanta", "QoS violations",
+                      "power violations", "drift events",
+                      "fleet retries", "serial fallbacks",
+                      "dropped live events"):
+            assert label in html
+
+    def test_dark_mode_is_selected_not_flipped(self, html):
+        assert "prefers-color-scheme: dark" in html
+
+    def test_svgs_are_well_formed(self, html):
+        svgs = re.findall(r"<svg.*?</svg>", html, re.S)
+        assert len(svgs) >= 2
+        for svg in svgs:
+            ET.fromstring(svg)
+
+    def test_geometry_stays_in_viewport(self, html):
+        for points in re.findall(r'points="([^"]+)"', html):
+            for pair in points.split():
+                x, y = (float(v) for v in pair.split(","))
+                assert -1 <= x <= 641 and -1 <= y <= 221
+
+    def test_title_is_escaped(self):
+        html = render_dashboard([], title="<b>&evil</b>")
+        assert "<b>" not in html.split("<body", 1)[1]
+        assert "&lt;b&gt;&amp;evil&lt;/b&gt;" in html
+
+    def test_empty_log_renders_empty_state(self):
+        html = render_dashboard([])
+        assert "no decision records" in html
+        assert html.startswith("<!DOCTYPE html>")
