@@ -130,6 +130,7 @@ def all_rules() -> Tuple[Rule, ...]:
         rules_determinism,
         rules_fleet,
         rules_rng,
+        rules_robustness,
         rules_telemetry,
         rules_units,
     )

@@ -1,0 +1,89 @@
+"""Robustness rules: exception handling in the decision-critical core.
+
+The hardened decision loop (``repro.core``) and the fleet executor
+(``repro.fleet``) promise that every fault is *accounted for* — a
+telemetry counter, a degraded-quantum record, a log line, or a re-raise
+into the harness's containment.  A silently swallowed exception breaks
+that ledger: the run keeps going, the invariants the chaos harness
+checks (docs/robustness.md) still appear to hold, and the fault is
+unattributable after the fact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: Packages whose exception handlers must leave a trace.
+_SCOPED_PACKAGES = ("repro.core", "repro.fleet")
+
+
+def _is_silent_body(body: list) -> bool:
+    """Whether a handler body swallows without any observable action.
+
+    ``pass``, ``...``, ``continue``/``break`` and bare constant
+    expressions (stray docstrings) leave no trace; anything else — a
+    raise, a call (logging, counting), an assignment feeding later
+    logic, a return of a computed fallback — counts as handling.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SilentExceptionRule(Rule):
+    id = "ROB601"
+    title = "silent exception swallowing in decision-critical code"
+    rationale = (
+        "repro.core and repro.fleet promise every fault is accounted "
+        "for: counted, logged, degraded, or re-raised. An except whose "
+        "body is only pass/... swallows the failure invisibly — the "
+        "chaos invariants still look healthy while state quietly "
+        "corrupts, and contextlib.suppress is the same swallow in "
+        "with-statement clothing. Record the fault (telemetry counter, "
+        "log line) or let it propagate into the harness's containment."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_in(*_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _is_silent_body(node.body):
+                    if node.type is None:
+                        caught = "everything (bare except)"
+                    elif isinstance(node.type, ast.Tuple):
+                        caught = ", ".join(
+                            dotted_name(t) or "?" for t in node.type.elts
+                        )
+                    else:
+                        caught = dotted_name(node.type) or "?"
+                    yield ctx.violation(
+                        self, node,
+                        f"except catching {caught} swallows the failure "
+                        "with no counter, log, or re-raise; record it "
+                        "or let it propagate",
+                    )
+            elif isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target in ("suppress", "contextlib.suppress"):
+                    yield ctx.violation(
+                        self, node,
+                        "contextlib.suppress() swallows exceptions with "
+                        "no trace; use an except that records the fault",
+                    )

@@ -173,6 +173,70 @@ def _run_quantum(repeats: int, seed: int) -> BenchCaseResult:
     )
 
 
+#: Per-quantum decision budget comfortably above one full quantum's
+#: metered cost (~6.5k operations): the deadline layer must never
+#: degrade at this level, so ``degradation_rungs`` has baseline 0.
+AMPLE_DECISION_BUDGET = 8000
+
+
+def _budgeted_decision_loop(seed: int, telemetry):
+    """The decision loop under an ample per-quantum deadline budget."""
+    from repro.core.controller import ControllerConfig
+    from repro.core.runtime import CuttleSysPolicy
+    from repro.experiments.harness import build_machine_for_mix, run_policy
+    from repro.workloads.loadgen import LoadTrace
+    from repro.workloads.mixes import paper_mixes
+
+    mix = paper_mixes()[0]
+    machine = build_machine_for_mix(mix, seed=seed)
+    policy = CuttleSysPolicy.for_machine(
+        machine, seed=seed,
+        config=ControllerConfig(
+            seed=seed, decision_budget=AMPLE_DECISION_BUDGET
+        ),
+    )
+    run_policy(
+        machine, policy, LoadTrace.constant(0.6),
+        n_slices=QUANTUM_SLICES, telemetry=telemetry,
+    )
+    return policy
+
+
+def _run_deadline_quantum(repeats: int, seed: int) -> BenchCaseResult:
+    """The decision loop with the deadline meter armed at ample budget.
+
+    The counters are the zero-rung regression gate: at ample budget the
+    graceful-degradation ladder must never fire, so ``degradation_rungs``
+    has baseline 0 and any metering-cost creep that pushes a quantum
+    over budget trips the CI counter comparison.  ``budget_total_spent``
+    pins the meter's deterministic arithmetic itself.
+    """
+    from repro.telemetry import Telemetry
+
+    walls = [
+        _timed_ms(lambda: _budgeted_decision_loop(seed, None))
+        for _ in range(repeats)
+    ]
+    session = Telemetry()
+    policy = _budgeted_decision_loop(seed, session)
+    counters = session.metrics.as_dict()["counters"]
+    return BenchCaseResult(
+        name="deadline.quantum",
+        description=(
+            f"{QUANTUM_SLICES} decision quanta under an ample "
+            f"{AMPLE_DECISION_BUDGET}-op deadline budget"
+        ),
+        wall_ms=tuple(walls),
+        counters={
+            "degradation_rungs": int(
+                counters.get("controller.degradation.rungs", 0)
+            ),
+            "budget_total_spent": int(policy.controller.budget.total_spent),
+            "budget_quanta": int(policy.controller.budget.quanta),
+        },
+    )
+
+
 def _run_telemetry_overhead(repeats: int, seed: int) -> BenchCaseResult:
     from repro.telemetry import Telemetry
 
@@ -357,6 +421,11 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "quantum.decision",
         "full decision quanta, telemetry off",
         _run_quantum,
+    ),
+    BenchCase(
+        "deadline.quantum",
+        "decision quanta under an ample deadline budget (zero-rung gate)",
+        _run_deadline_quantum,
     ),
     BenchCase(
         "telemetry.overhead",

@@ -7,19 +7,27 @@ Commands:
 * ``characterize``          — Fig. 1 service characterisation
 * ``run``                   — run one policy on one mix and print the timeline
   (``--trace``/``--jsonl``/``--metrics``/``--decisions-csv`` export the
-  run's telemetry, ``--faults SPEC`` injects faults; see
-  docs/observability.md and docs/robustness.md)
+  run's telemetry, ``--faults SPEC`` injects faults,
+  ``--decision-budget`` caps the decision loop's virtual-time budget,
+  and ``--stop-after``/``--save-state``/``--resume-state`` pause and
+  resume a run crash-safely; see docs/observability.md and
+  docs/robustness.md)
 * ``experiment``            — regenerate one paper table/figure by name
   (``--jobs``/``--checkpoint``/``--resume`` shard the fleet-enabled
-  studies — ``cluster``, ``scalability`` — across worker processes;
-  see docs/scaling.md)
+  studies — ``cluster``, ``scalability``, ``fig5c``, ``fig8``,
+  ``ablations`` — across worker processes; see docs/scaling.md)
 * ``fleet``                 — the fleet execution surface: parallel
   ``cluster``/``scalability``/``report`` runs, plus ``status`` to
   inspect a checkpoint file (``--watch`` paints live fleet status to
   stderr mid-run; ``--jsonl`` writes the merged telemetry log)
 * ``fault-study``           — hardened vs unhardened control under the
-  default fault scenarios (docs/robustness.md); fleet-sharded, so
-  ``--jobs``/``--checkpoint``/``--resume``/``--watch`` apply
+  default fault scenarios (docs/robustness.md); fleet-sharded with
+  mix-qualified unit ids, so ``--jobs``/``--checkpoint``/``--resume``/
+  ``--watch`` apply and one checkpoint covers a multi-mix sweep
+* ``chaos``                 — the chaos/soak harness: kills and resumes
+  runs mid-quantum, injects faults and deadline pressure, and asserts
+  the robustness invariants (docs/robustness.md); exits 1 if any
+  invariant broke
 * ``report``                — run the full evaluation, write a markdown report
 * ``telemetry-report``      — summarise a JSONL telemetry log
 * ``top``                   — terminal status view of a JSONL telemetry
@@ -84,7 +92,7 @@ POLICIES = {
 RECONFIGURABLE_POLICIES = {"cuttlesys", "flicker", "oracle-reconfig"}
 
 EXPERIMENTS = (
-    "fig1", "fig5", "fig5c", "fig7", "fig8a", "fig8b", "fig8c",
+    "fig1", "fig5", "fig5c", "fig7", "fig8", "fig8a", "fig8b", "fig8c",
     "fig9", "fig10", "table2", "flicker", "dvfs", "ablations",
     "scalability", "bandwidth", "churn", "multi-service", "area", "cluster",
 )
@@ -118,13 +126,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: mix index must be in [0, {len(mixes)})",
               file=sys.stderr)
         return 2
+    if args.stop_after is not None and not args.save_state:
+        print("error: --stop-after requires --save-state", file=sys.stderr)
+        return 2
+    if args.resume_state and args.stop_after is not None:
+        print("error: --resume-state cannot combine with --stop-after",
+              file=sys.stderr)
+        return 2
+    needs_cuttlesys = (
+        args.decision_budget is not None
+        or args.stop_after is not None
+        or args.resume_state
+    )
+    if needs_cuttlesys and args.policy != "cuttlesys":
+        print("error: --decision-budget/--stop-after/--resume-state "
+              "require --policy cuttlesys", file=sys.stderr)
+        return 2
     mix = mixes[args.mix]
     reference = reference_power_for_mix(mix, seed=args.seed)
     machine = build_machine_for_mix(
         mix, seed=args.seed,
         reconfigurable=args.policy in RECONFIGURABLE_POLICIES,
     )
-    policy = POLICIES[args.policy](machine, args.seed)
+    if args.decision_budget is not None:
+        from repro.core.controller import ControllerConfig
+
+        policy = CuttleSysPolicy.for_machine(
+            machine, seed=args.seed,
+            config=ControllerConfig(
+                seed=args.seed, decision_budget=args.decision_budget
+            ),
+        )
+    else:
+        policy = POLICIES[args.policy](machine, args.seed)
+    resume_state = None
+    if args.resume_state:
+        import json
+
+        try:
+            with open(args.resume_state) as handle:
+                resume_state = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.resume_state}: {exc}",
+                  file=sys.stderr)
+            return 2
     faults = None
     if args.faults:
         from repro.faults import FaultInjector, FaultSpecError, parse_fault_spec
@@ -152,7 +197,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_power_w=reference,
         telemetry=telemetry,
         faults=faults,
+        stop_after=args.stop_after,
+        resume_state=resume_state,
     )
+    if args.save_state:
+        if run.resume_state is None:
+            print("error: run completed without pausing; nothing to save "
+                  "(--stop-after must fall inside the run)",
+                  file=sys.stderr)
+            return 2
+        import json
+        import os
+
+        tmp = args.save_state + ".tmp"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(run.resume_state, handle, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, args.save_state)
+        except OSError as exc:
+            print(f"error: cannot write {args.save_state}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"paused at quantum {args.stop_after}; wrote "
+              f"{args.save_state} (resume with --resume-state)")
     qos = machine.lc_service.qos_latency_s
     print(f"mix {args.mix} ({mix.lc_name}), cap {args.cap:.0%}, "
           f"load {args.load:.0%}, budget {run.power_budget_w:.1f} W")
@@ -413,10 +483,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         from repro.experiments.fig5c_powercaps import (
             render_fig5c, run_fig5c,
         )
-        print(render_fig5c(run_fig5c(n_slices=args.slices)))
+        print(render_fig5c(run_fig5c(
+            n_slices=args.slices, seed=args.seed, jobs=args.jobs,
+            checkpoint=args.checkpoint, resume=args.resume,
+        )))
     elif name == "fig7":
         from repro.experiments.fig7_timeline import render_fig7, run_fig7
         print(render_fig7(run_fig7(n_slices=args.slices)))
+    elif name == "fig8":
+        from repro.experiments.fig8_dynamic import (
+            SCENARIOS, render_fig8, run_fig8_grid,
+        )
+        traces = run_fig8_grid(
+            seed=args.seed, jobs=args.jobs,
+            checkpoint=args.checkpoint, resume=args.resume,
+        )
+        print("\n\n".join(
+            render_fig8(traces[scenario]) for scenario in SCENARIOS
+        ))
     elif name in ("fig8a", "fig8b", "fig8c"):
         from repro.experiments import fig8_dynamic
         runner = getattr(fig8_dynamic, f"run_{name}")
@@ -498,17 +582,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ))
     elif name == "ablations":
         from repro.experiments.ablations import (
-            ablate_guards, ablate_inference, ablate_variants,
-            render_ablation,
+            render_ablation_matrix, run_ablation_matrix,
         )
-        print(render_ablation("SGD vs oracle inference",
-                              ablate_inference(n_slices=args.slices)))
-        print()
-        print(render_ablation("QoS guardbands",
-                              ablate_guards(n_slices=args.slices)))
-        print()
-        print(render_ablation("latency training variants",
-                              ablate_variants(n_slices=args.slices)))
+        print(render_ablation_matrix(run_ablation_matrix(
+            n_slices=args.slices, seed=args.seed, jobs=args.jobs,
+            checkpoint=args.checkpoint, resume=args.resume,
+        )))
     else:  # pragma: no cover - argparse choices prevent this
         print(f"unknown experiment {name!r}", file=sys.stderr)
         return 2
@@ -524,12 +603,6 @@ def _cmd_fault_study(args: argparse.Namespace) -> int:
     code = _fleet_flags_error(args)
     if code:
         return code
-    if args.checkpoint and len(args.mixes) > 1:
-        # The checkpoint fingerprint embeds the mix index, so one file
-        # cannot snapshot a multi-mix sweep.
-        print("error: --checkpoint requires a single --mixes index",
-              file=sys.stderr)
-        return 2
     if args.scenario:
         try:
             scenarios = tuple(
@@ -547,36 +620,92 @@ def _cmd_fault_study(args: argparse.Namespace) -> int:
             print(f"error: mix index must be in [0, {n_mixes})",
                   file=sys.stderr)
             return 2
-    exit_code = 0
-    for mix_index in args.mixes:
-        # One aggregator per mix: the study's unit ids repeat across
-        # mixes, and the incremental merge rejects duplicates.
-        live = _watch_live(args)
-        outcomes = run_fault_study(
-            mix_index=mix_index,
-            cap=args.cap,
-            load=args.load,
-            n_slices=args.slices,
-            seed=args.seed,
-            scenarios=scenarios,
-            jobs=args.jobs,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-            live=live,
-        )
-        if live is not None:
-            live.repaint()
-        print(f"mix {mix_index}:")
-        print(render_fault_study(outcomes))
-        print()
-        totals = study_totals(outcomes)
-        hard = totals.get("hardened", {})
-        if hard.get("aborted", 0):
-            exit_code = 1
-    if exit_code:
+    # Unit ids are mix-qualified, so the whole multi-mix sweep is one
+    # fleet run: one checkpoint file, one live aggregator, one table.
+    live = _watch_live(args)
+    outcomes = run_fault_study(
+        mix_indices=args.mixes,
+        cap=args.cap,
+        load=args.load,
+        n_slices=args.slices,
+        seed=args.seed,
+        scenarios=scenarios,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        live=live,
+    )
+    if live is not None:
+        live.repaint()
+    print(render_fault_study(outcomes))
+    totals = study_totals(outcomes)
+    hard = totals.get("hardened", {})
+    if hard.get("aborted", 0):
         print("error: hardened controller aborted at least one run",
               file=sys.stderr)
-    return exit_code
+        return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos_study import (
+        render_chaos_study, run_chaos_study,
+    )
+    from repro.faults import default_scenarios
+
+    code = _fleet_flags_error(args)
+    if code:
+        return code
+    known = {s.name for s in default_scenarios(args.seed)}
+    scenarios: list = []
+    for name in args.scenarios:
+        if name == "fault-free":
+            scenarios.append(None)
+        elif name in known:
+            scenarios.append(name)
+        else:
+            options = ", ".join(sorted(known) + ["fault-free"])
+            print(f"error: unknown scenario {name!r}; expected one of "
+                  f"{options}", file=sys.stderr)
+            return 2
+    budgets: list = []
+    for value in args.budgets:
+        if value == "inf":
+            budgets.append(None)
+        else:
+            try:
+                budgets.append(int(value))
+            except ValueError:
+                print(f"error: --budgets takes integers or 'inf', "
+                      f"got {value!r}", file=sys.stderr)
+                return 2
+    if args.slices < 2:
+        print("error: --slices must be at least 2 (the kill point must "
+              "fall inside the run)", file=sys.stderr)
+        return 2
+    live = _watch_live(args)
+    merged = [] if (args.jsonl or live is not None) else None
+    outcomes = run_chaos_study(
+        seeds=tuple(args.seeds),
+        mix_indices=tuple(args.mixes),
+        scenarios=tuple(scenarios),
+        budgets=tuple(budgets),
+        n_slices=args.slices,
+        cooldown=args.cooldown,
+        load=args.load,
+        cap=args.cap,
+        jobs=args.jobs,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        merged_telemetry=merged,
+        live=live,
+    )
+    if live is not None:
+        live.repaint()
+    print(render_chaos_study(outcomes))
+    if args.jsonl:
+        _write_jsonl_records(args.jsonl, merged or [])
+    return 0 if all(o.ok for o in outcomes) else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -763,13 +892,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject faults, e.g. "
                      "'drop_sample:rate=0.2;cap_drop:magnitude=0.6,start=4' "
                      "(see docs/robustness.md)")
+    run.add_argument("--decision-budget", type=int, default=None,
+                     metavar="OPS",
+                     help="virtual-time operation budget per decision "
+                     "quantum; exhaustion walks the degradation ladder "
+                     "(cuttlesys only; docs/robustness.md)")
+    run.add_argument("--stop-after", type=int, default=None, metavar="K",
+                     help="pause crash-safely after K quanta and write "
+                     "the loop state to --save-state (cuttlesys only)")
+    run.add_argument("--save-state", default=None, metavar="PATH",
+                     help="where --stop-after writes the resume state")
+    run.add_argument("--resume-state", default=None, metavar="PATH",
+                     help="resume a run paused by --stop-after; other "
+                     "flags must match the paused run")
 
     fault_study = sub.add_parser(
         "fault-study",
         help="hardened vs unhardened control under injected faults",
     )
     fault_study.add_argument("--mixes", type=int, nargs="+", default=[0],
-                             help="mix indices to study (default: 0)")
+                             help="mix indices to study (default: 0); "
+                             "one --checkpoint covers the whole grid")
     fault_study.add_argument("--cap", type=float, default=0.7,
                              help="power cap fraction (default 0.7)")
     fault_study.add_argument("--load", type=float, default=0.7,
@@ -795,6 +938,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_fleet_flags(fault_study)
     add_watch_flag(fault_study)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos/soak harness: kill/resume cycles, faults and "
+        "deadline pressure vs the robustness invariants "
+        "(docs/robustness.md)",
+    )
+    chaos.add_argument("--seeds", type=int, nargs="+", default=[7],
+                       help="replayable seeds to soak (default: 7); "
+                       "each seed also picks a different kill point")
+    chaos.add_argument("--mixes", type=int, nargs="+", default=[0, 12],
+                       help="mix indices to soak (default: 0 12)")
+    chaos.add_argument("--scenarios", nargs="+",
+                       default=["fault-free", "sensor-noise",
+                                "perfect-storm"],
+                       help="fault scenarios (default-scenario names "
+                       "plus 'fault-free')")
+    chaos.add_argument("--budgets", nargs="+", default=["inf", "2000"],
+                       help="decision budgets in operations, or 'inf' "
+                       "(default: inf 2000)")
+    chaos.add_argument("--slices", type=int, default=10,
+                       help="decision quanta per run (default 10)")
+    chaos.add_argument("--cooldown", type=int, default=8,
+                       help="fault-free quanta granted for safe-mode "
+                       "exit (default 8)")
+    chaos.add_argument("--load", type=float, default=0.7,
+                       help="LC load fraction (default 0.7)")
+    chaos.add_argument("--cap", type=float, default=0.7,
+                       help="power cap fraction (default 0.7)")
+    chaos.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="write the per-cell telemetry, merged into "
+                       "one canonical JSONL session log")
+    add_fleet_flags(chaos)
+    add_watch_flag(chaos)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -971,6 +1148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "experiment": _cmd_experiment,
         "fault-study": _cmd_fault_study,
+        "chaos": _cmd_chaos,
         "telemetry-report": _cmd_telemetry_report,
         "top": _cmd_top,
         "dashboard": _cmd_dashboard,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.telemetry import Telemetry
 
 from repro.core.dds import DDSParams, DDSSearch
+from repro.core.deadline import (
+    DecisionBudget,
+    dds_search_cost,
+    reduced_dds_params,
+)
 from repro.core.ga import GAParams, GeneticSearch
 from repro.logs import get_logger
 from repro.telemetry.tracer import Tracer, tracer_of
@@ -55,6 +60,8 @@ from repro.sim.machine import (
     Machine,
     ProfilingSample,
     SliceMeasurement,
+    assignment_from_state,
+    assignment_state,
 )
 from repro.sim.perf import AppProfile
 from repro.workloads.latency_critical import LC_SERVICE_NAMES, service_variants
@@ -128,6 +135,14 @@ class ControllerConfig:
     #: How many quanta a quarantined core is left alone before the
     #: controller retries reconfiguring it.
     quarantine_quanta: int = 6
+    #: Per-quantum decision-operation budget: SGD refinement iterations
+    #: plus search-candidate evaluations, counted in virtual time
+    #: (deterministic operation counts, never wall-clock).  None meters
+    #: without degrading; a finite budget makes :meth:`decide` walk the
+    #: degradation ladder of docs/robustness.md on exhaustion — full
+    #: DDS, reduced-sample DDS, last-known-good assignment, static
+    #: fair-share.
+    decision_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.initial_lc_cores < 1:
@@ -146,6 +161,8 @@ class ControllerConfig:
                      "quarantine_after", "quarantine_quanta"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be at least 1")
+        if self.decision_budget is not None and self.decision_budget < 1:
+            raise ValueError("decision_budget must be at least 1")
 
 
 @dataclass
@@ -227,6 +244,39 @@ class ReconstructionSnapshot:
     batch_power: np.ndarray
     #: Per-hosted-LC-service latency regimes, primary first.
     lc: Tuple[LCRegimeSnapshot, ...]
+
+
+def _matrix_state(matrix: ObservedMatrix) -> Dict[str, Any]:
+    """JSONable form of an :class:`ObservedMatrix` for snapshots.
+
+    Values travel as nested lists; float ``repr`` round-trips exactly
+    through JSON, so a restored matrix reconstructs bit-identically.
+    """
+    return {
+        "n_rows": matrix.n_rows,
+        "n_cols": matrix.n_cols,
+        "values": matrix.values.tolist(),
+        "mask": matrix.mask.tolist(),
+        "age": matrix.age.tolist(),
+        "known_rows": matrix.known_rows.tolist(),
+    }
+
+
+def _restore_matrix(matrix: ObservedMatrix, state: Dict[str, Any]) -> None:
+    """Overwrite ``matrix`` in place from :func:`_matrix_state` output."""
+    if (matrix.n_rows, matrix.n_cols) != (
+        int(state["n_rows"]), int(state["n_cols"])
+    ):
+        raise ValueError("matrix shape mismatch in controller snapshot")
+    matrix.values = np.asarray(state["values"], dtype=float)
+    matrix.mask = np.asarray(state["mask"], dtype=bool)
+    matrix.age = np.asarray(state["age"], dtype=int)
+    matrix.known_rows = np.asarray(state["known_rows"], dtype=bool)
+
+
+def _regime_key(raw: Sequence[Any]) -> Tuple[int, float, int]:
+    """A latency-regime key (service, load bucket, cores) from JSON."""
+    return int(raw[0]), float(raw[1]), int(raw[2])
 
 
 class ResourceController:
@@ -331,6 +381,23 @@ class ResourceController:
         self._reconstructor.tracer = self.tracer
         self._searcher.tracer = self.tracer
 
+        # Virtual-time deadline metering (docs/robustness.md): the
+        # reconstructor and searcher charge their operation counts
+        # against this budget; exhaustion walks the degradation ladder
+        # in decide().  The reduced searcher is rung 1 (DDS only).
+        self.budget = DecisionBudget(config.decision_budget)
+        self._reconstructor.budget = self.budget
+        self._searcher.budget = self.budget
+        self._reduced_searcher: Optional[DDSSearch] = None
+        if config.explorer == "dds":
+            self._reduced_searcher = DDSSearch(reduced_dds_params(config.dds))
+            self._reduced_searcher.tracer = self.tracer
+            self._reduced_searcher.budget = self.budget
+        #: True while the most recent decide() took a degradation rung;
+        #: the accuracy auditor attributes that quantum's QoS
+        #: violations to the deadline_degraded cause.
+        self.deadline_degraded_quantum = False
+
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route spans/metrics into a :class:`repro.telemetry.Telemetry`.
 
@@ -344,6 +411,11 @@ class ResourceController:
         self.tracer = tracer
         self._reconstructor.tracer = tracer
         self._searcher.tracer = tracer
+        # attach_telemetry runs from __init__ before the searchers are
+        # built, then again whenever a session attaches later.
+        reduced = getattr(self, "_reduced_searcher", None)
+        if reduced is not None:
+            reduced.tracer = tracer
 
     def _count(self, name: str, n: int = 1) -> None:
         """Increment a session counter, if a session is attached."""
@@ -683,6 +755,8 @@ class ResourceController:
                 f"expected {self.n_services - 1} extra loads, "
                 f"got {len(extra_loads)}"
             )
+        self.deadline_degraded_quantum = False
+        self.budget.begin_quantum()
         self._age_observations()
 
         if self.config.hardened:
@@ -748,6 +822,31 @@ class ResourceController:
             lc=tuple(lc_snapshots),
         )
 
+        # Degradation ladder (docs/robustness.md): the reconstructions
+        # above already charged the budget; price the search before
+        # running it and step down a rung when it does not fit.
+        searcher = self._searcher
+        if (
+            self.budget.limited
+            and self._reduced_searcher is not None
+            and not self.budget.can_afford(
+                dds_search_cost(self.config.dds, self._last_x is not None)
+            )
+        ):
+            reduced_cost = dds_search_cost(
+                self._reduced_searcher.params, self._last_x is not None
+            )
+            if self.budget.can_afford(reduced_cost):
+                searcher = self._reduced_searcher
+                self._degradation_rung("reduced_dds")
+            elif (
+                self.last_good_assignment is not None
+                or self._last_assignment is not None
+            ):
+                return self._deadline_last_good_assignment()
+            else:
+                return self._deadline_fair_share_assignment()
+
         total_lc_cores = sum(cores for _, cores, _ in selections)
         batch_cores = self.machine.params.n_cores - total_lc_cores
         time_share = min(1.0, batch_cores / self.n_batch)
@@ -772,7 +871,7 @@ class ResourceController:
         with self.tracer.span(
             "search", category="controller", explorer=self.config.explorer
         ) as search_span:
-            result = self._searcher.search(
+            result = searcher.search(
                 objective,
                 n_dims=self.n_batch,
                 n_confs=N_JOINT_CONFIGS,
@@ -926,6 +1025,93 @@ class ResourceController:
         )
         # No trusted reconstruction backs this decision: pair it with
         # no prediction rather than a stale one.
+        self.last_prediction = None
+        self.last_reconstruction = None
+        self._last_assignment = assignment
+        return assignment
+
+    # ------------------------------------------------------------------
+    # Deadline degradation ladder (docs/robustness.md).
+    # ------------------------------------------------------------------
+
+    def _degradation_rung(self, rung: str) -> None:
+        """Record one degradation-ladder step taken this quantum."""
+        self.deadline_degraded_quantum = True
+        self._count("controller.degradation.rungs")
+        self._count(f"controller.degradation.{rung}")
+        log.warning(
+            "decision budget exhausted (%d of %s operations spent): "
+            "taking degradation rung %s",
+            self.budget.spent, self.budget.limit, rung,
+        )
+
+    def _deadline_last_good_assignment(self) -> Assignment:
+        """Degradation rung 2: re-serve the last assignment known good.
+
+        Falls back to the most recently *requested* assignment when no
+        slice has come back clean yet.  No trusted reconstruction backs
+        the decision, so the prediction and reconstruction snapshots
+        are cleared — the accuracy auditor counts the quantum as
+        unaudited and attributes its QoS violations to the deadline.
+        """
+        self._degradation_rung("last_good")
+        assignment = self.last_good_assignment
+        if assignment is None:
+            assignment = self._last_assignment
+        if assignment is None:  # pragma: no cover - guarded by decide()
+            raise RuntimeError("no previous assignment to degrade to")
+        self.last_prediction = None
+        self.last_reconstruction = None
+        self._last_assignment = assignment
+        self.lc_cores_by_service = [
+            cores for cores, _ in assignment.lc_allocations()
+        ]
+        return assignment
+
+    def _deadline_fair_share_assignment(self) -> Assignment:
+        """Degradation rung 3: a static fair-share assignment.
+
+        Taken when the budget cannot even fund the reduced search and
+        no previous assignment exists (cold start under extreme
+        pressure).  Every LC service keeps its cores on the
+        conservative widest configuration; the LLC ways left after the
+        LC reservation are split evenly across the batch jobs on the
+        narrowest core, gating the tail if the cache cannot cover
+        everyone.
+        """
+        self._degradation_rung("fair_share")
+        p = self.machine.params
+        conservative = JointConfig(CoreConfig.widest(), CACHE_ALLOCS[-1])
+        lc_ways = conservative.cache_ways * sum(
+            1 for c in self.lc_cores_by_service if c > 0
+        )
+        free_ways = max(0.0, p.llc_ways - lc_ways)
+        share = free_ways / max(1, self.n_batch)
+        fair_ways = CACHE_ALLOCS[0]
+        for candidate in CACHE_ALLOCS:
+            if candidate <= share:
+                fair_ways = max(fair_ways, candidate)
+        fair = JointConfig(CoreConfig.narrowest(), fair_ways)
+        # Half-way shares are the exact sentinel 0.5, never computed;
+        # two half-way holders share one physical way.
+        if fair.cache_ways == 0.5:  # repro: noqa[UNIT301]
+            budget_jobs = int(free_ways * 2)
+        else:
+            budget_jobs = int(free_ways // fair.cache_ways)
+        configs: List[Optional[JointConfig]] = [
+            fair if j < budget_jobs else None
+            for j in range(self.n_batch)
+        ]
+        lc_cores = self.lc_cores_by_service[0]
+        assignment = Assignment(
+            lc_cores=lc_cores,
+            lc_config=conservative if lc_cores > 0 else None,
+            batch_configs=tuple(configs),
+            extra_lc=tuple(
+                LCAllocation(cores=cores, config=conservative)
+                for cores in self.lc_cores_by_service[1:]
+            ),
+        )
         self.last_prediction = None
         self.last_reconstruction = None
         self._last_assignment = assignment
@@ -1230,3 +1416,137 @@ class ResourceController:
             )
             configs[hungriest] = None
         return configs
+
+    # ------------------------------------------------------------------
+    # Crash-safe snapshots (docs/robustness.md).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSONable mutable state for crash-safe checkpoints.
+
+        Captures every piece of state that shapes future decisions:
+        the sampled metric matrices, the latency-evidence ledger, the
+        RNG stream, the safe-mode and quarantine machines, the
+        last-known-good cache and the deadline meter.  Wall-clock
+        ``timings`` and the per-quantum prediction snapshots are
+        excluded: timings sit outside the determinism contract, and a
+        completed quantum's prediction/reconstruction is never read
+        again once the next decision starts.  Restoring into a freshly
+        constructed controller replays the run bit-exactly.
+        """
+        return {
+            "version": 1,
+            "rng": self._rng.bit_generator.state,
+            "lc_cores_by_service": list(self.lc_cores_by_service),
+            "last_assignment": assignment_state(self._last_assignment),
+            "last_good_assignment": assignment_state(
+                self.last_good_assignment
+            ),
+            "last_x": (
+                [int(v) for v in self._last_x]
+                if self._last_x is not None
+                else None
+            ),
+            "rejections_this_quantum": int(self._rejections_this_quantum),
+            "bad_quanta_streak": int(self._bad_quanta_streak),
+            "safe_mode_remaining": int(self._safe_mode_remaining),
+            "last_profile_powers": (
+                list(self._last_profile_powers)
+                if self._last_profile_powers is not None
+                else None
+            ),
+            "reconfig_fail_streak": [
+                int(v) for v in self._reconfig_fail_streak
+            ],
+            "quarantine": [int(v) for v in self._quarantine],
+            "quarantine_config": [
+                cfg.index if cfg is not None else None
+                for cfg in self._quarantine_config
+            ],
+            "bips_matrix": _matrix_state(self._bips_matrix),
+            "power_matrix": _matrix_state(self._power_matrix),
+            "latency_matrices": [
+                {
+                    "key": list(key),
+                    "matrix": _matrix_state(self._latency_matrices[key]),
+                }
+                for key in sorted(self._latency_matrices)
+            ],
+            "latency_evidence": [
+                {
+                    "key": list(key),
+                    "configs": sorted(
+                        int(c) for c in self._latency_evidence[key]
+                    ),
+                }
+                for key in sorted(self._latency_evidence)
+            ],
+            "budget": self.budget.state(),
+            "deadline_degraded_quantum": bool(self.deadline_degraded_quantum),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`snapshot`.
+
+        The controller must have been constructed against the same
+        machine, training set, and configuration as the snapshotted one
+        (that part of its state is deterministic); only the mutable
+        runtime state is overwritten.
+        """
+        if state.get("version") != 1:
+            raise ValueError(
+                "unsupported controller snapshot version "
+                f"{state.get('version')!r}"
+            )
+        self._rng.bit_generator.state = state["rng"]
+        self.lc_cores_by_service = [
+            int(v) for v in state["lc_cores_by_service"]
+        ]
+        self._last_assignment = assignment_from_state(
+            state["last_assignment"]
+        )
+        self.last_good_assignment = assignment_from_state(
+            state["last_good_assignment"]
+        )
+        last_x = state["last_x"]
+        self._last_x = (
+            np.asarray(last_x, dtype=int) if last_x is not None else None
+        )
+        self._rejections_this_quantum = int(state["rejections_this_quantum"])
+        self._bad_quanta_streak = int(state["bad_quanta_streak"])
+        self._safe_mode_remaining = int(state["safe_mode_remaining"])
+        powers = state["last_profile_powers"]
+        self._last_profile_powers = (
+            tuple(float(v) for v in powers) if powers is not None else None
+        )
+        self._reconfig_fail_streak = np.asarray(
+            state["reconfig_fail_streak"], dtype=int
+        )
+        self._quarantine = np.asarray(state["quarantine"], dtype=int)
+        self._quarantine_config = [
+            JointConfig.from_index(int(i)) if i is not None else None
+            for i in state["quarantine_config"]
+        ]
+        _restore_matrix(self._bips_matrix, state["bips_matrix"])
+        _restore_matrix(self._power_matrix, state["power_matrix"])
+        self._latency_matrices = {}
+        for entry in state["latency_matrices"]:
+            shape = entry["matrix"]
+            matrix = ObservedMatrix(
+                int(shape["n_rows"]), int(shape["n_cols"])
+            )
+            _restore_matrix(matrix, entry["matrix"])
+            self._latency_matrices[_regime_key(entry["key"])] = matrix
+        self._latency_evidence = {
+            _regime_key(entry["key"]): {int(c) for c in entry["configs"]}
+            for entry in state["latency_evidence"]
+        }
+        self.budget.restore(state["budget"])
+        self.deadline_degraded_quantum = bool(
+            state["deadline_degraded_quantum"]
+        )
+        # A completed quantum's prediction snapshots are never read
+        # after the next decide() begins; a resumed run starts at a
+        # quantum boundary, so they restart empty.
+        self.last_prediction = None
+        self.last_reconstruction = None

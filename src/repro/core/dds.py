@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.deadline import DecisionBudget
 from repro.telemetry.tracer import NULL_TRACER
 
 Objective = Callable[[np.ndarray], float]
@@ -76,6 +77,10 @@ class DDSSearch:
 
     #: Telemetry tracer; the shared no-op unless a session attaches one.
     tracer = NULL_TRACER
+    #: Decision-budget meter (repro.core.deadline); when a controller
+    #: attaches one, every search charges its candidate evaluations
+    #: against the current quantum.
+    budget: Optional[DecisionBudget] = None
 
     def __init__(self, params: DDSParams = DDSParams()) -> None:
         self.params = params
@@ -105,6 +110,8 @@ class DDSSearch:
                 record_explored,
             )
             span.set(evaluations=result.evaluations)
+            if self.budget is not None:
+                self.budget.charge(result.evaluations)
             return result
 
     def _search(

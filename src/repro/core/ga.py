@@ -15,6 +15,9 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.deadline import DecisionBudget
+from repro.telemetry.tracer import NULL_TRACER
+
 Objective = Callable[[np.ndarray], float]
 
 
@@ -57,6 +60,13 @@ class GAResult:
 
 class GeneticSearch:
     """Discrete GA over joint-configuration decision vectors."""
+
+    #: Telemetry tracer; the shared no-op unless a session attaches one.
+    tracer = NULL_TRACER
+    #: Decision-budget meter (repro.core.deadline); when a controller
+    #: attaches one, every search charges its candidate evaluations
+    #: against the current quantum.
+    budget: Optional[DecisionBudget] = None
 
     def __init__(self, params: GAParams = GAParams()) -> None:
         self.params = params
@@ -126,6 +136,8 @@ class GeneticSearch:
         best = int(np.argmax(fitness))
         result.best_x = population[best]
         result.best_objective = float(fitness[best])
+        if self.budget is not None:
+            self.budget.charge(result.evaluations)
         return result
 
     def _tournament(

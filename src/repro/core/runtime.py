@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import (
     TYPE_CHECKING,
+    Any,
+    Dict,
     Optional,
     Protocol,
     Sequence,
@@ -141,6 +143,17 @@ class CuttleSysPolicy:
     def on_job_replaced(self, job: int) -> None:
         """A batch job completed; treat its replacement as unseen (§V)."""
         self.controller.reset_job(job)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialize the policy's mutable state (controller matrices,
+        RNG, guard streaks, budget meter) for crash-safe resume."""
+        return {"controller": self.controller.snapshot()}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`snapshot` at a quantum
+        boundary; the resumed run is byte-identical to an
+        uninterrupted one."""
+        self.controller.restore(state["controller"])
 
     def run(
         self,

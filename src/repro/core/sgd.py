@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.deadline import DecisionBudget
 from repro.core.matrices import ObservedMatrix
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -94,6 +95,10 @@ class PQReconstructor:
 
     #: Telemetry tracer; the shared no-op unless a session attaches one.
     tracer = NULL_TRACER
+    #: Decision-budget meter (repro.core.deadline); when a controller
+    #: attaches one, every reconstruction charges its refinement
+    #: iterations against the current quantum.
+    budget: Optional[DecisionBudget] = None
 
     def __init__(self, params: SGDParams = SGDParams()) -> None:
         self.params = params
@@ -111,6 +116,8 @@ class PQReconstructor:
             result = self._reconstruct(matrix)
             if self.last_diagnostics is not None:
                 span.set(iterations=self.last_diagnostics.iterations)
+                if self.budget is not None:
+                    self.budget.charge(self.last_diagnostics.iterations)
             return result
 
     def _reconstruct(self, matrix: ObservedMatrix) -> np.ndarray:

@@ -21,7 +21,7 @@ on useful work, QoS, and the power budget:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +37,15 @@ from repro.experiments.harness import (
     run_policy,
 )
 from repro.experiments.reporting import format_table
+from repro.fleet import (
+    FleetParams,
+    FleetRun,
+    WorkUnit,
+    merge_unit_telemetry,
+    telemetry_records,
+)
 from repro.sim.coreconfig import N_JOINT_CONFIGS
+from repro.telemetry.live import LiveAggregator
 from repro.workloads.batch import batch_profile, train_test_split
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
@@ -60,14 +68,19 @@ def _run_cuttlesys(
     seed: int,
     config: ControllerConfig,
     label: str,
+    telemetry: Any = None,
+    train_profiles: Optional[Sequence] = None,
 ) -> AblationRow:
     mix = paper_mixes()[mix_index]
     reference = reference_power_for_mix(mix, seed=seed)
     machine = build_machine_for_mix(mix, seed=seed)
-    policy = CuttleSysPolicy.for_machine(machine, seed=seed, config=config)
+    policy = CuttleSysPolicy.for_machine(
+        machine, seed=seed, config=config, train_profiles=train_profiles
+    )
     run = run_policy(
         machine, policy, LoadTrace.constant(0.8),
         power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        telemetry=telemetry,
     )
     return AblationRow(
         label=label,
@@ -302,3 +315,335 @@ def render_ablation(title: str, rows: Sequence[AblationRow]) -> str:
             ],
         )
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet-sharded ablation matrix.
+# ----------------------------------------------------------------------
+
+#: The matrix's (ablation, variants) grid, in render order.  Every
+#: (ablation, variant) pair is one independent simulation, so the whole
+#: matrix shards as fleet work units (``repro experiment ablations
+#: --jobs N --checkpoint ...``).
+ABLATION_MATRIX: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("inference", ("sgd", "oracle")),
+    ("guards", ("on", "off")),
+    ("variants", ("default", "none")),
+    ("training-size", ("8", "16", "24")),
+    ("penalty-weight", ("0.25", "2", "16")),
+    ("transition-cost", ("50us", "2ms", "10ms")),
+    ("dds-budget", ("5", "40", "120")),
+)
+
+#: Per-ablation power cap, matching the standalone ablate_* defaults.
+_ABLATION_CAPS: Dict[str, float] = {
+    "inference": 0.6,
+    "guards": 0.7,
+    "variants": 0.7,
+    "training-size": 0.6,
+    "penalty-weight": 0.6,
+    "transition-cost": 0.6,
+    "dds-budget": 0.6,
+}
+
+_TRANSITION_SECONDS: Dict[str, float] = {
+    "50us": 50e-6, "2ms": 2e-3, "10ms": 10e-3,
+}
+
+
+def _run_oracle(
+    mix_index: int, cap: float, n_slices: int, seed: int, label: str,
+    telemetry: Any = None,
+) -> AblationRow:
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    machine = build_machine_for_mix(mix, seed=seed)
+    run = run_policy(
+        machine, OracleReconfigPolicy(seed=seed), LoadTrace.constant(0.8),
+        power_cap_fraction=cap, n_slices=n_slices, max_power_w=reference,
+        telemetry=telemetry,
+    )
+    return AblationRow(
+        label=label,
+        batch_instructions_b=run.total_batch_instructions() / 1e9,
+        qos_violations=run.qos_violations(),
+        power_violations=run.power_violations(),
+    )
+
+
+def _frozen_search_row(
+    mix_index: int,
+    cap: float,
+    seed: int,
+    label: str,
+    penalty_weight: Optional[float] = None,
+    max_iter: Optional[int] = None,
+) -> AblationRow:
+    """One frozen-problem DDS run (penalty-weight / dds-budget cells).
+
+    For ``penalty_weight`` cells the row mirrors
+    :func:`ablate_penalty_weight` (predicted instructions + feasibility);
+    for ``max_iter`` cells ``batch_instructions_b`` carries the achieved
+    *objective* of :func:`ablate_dds_budget` — the matrix keeps one row
+    shape and the renderer labels the difference.
+    """
+    mix = paper_mixes()[mix_index]
+    machine = build_machine_for_mix(mix, seed=seed)
+    budget = machine.reference_max_power() * cap * 0.6  # batch share
+    bips = throughput_rows(machine.batch_profiles, machine.perf)
+    power = power_rows(machine.batch_profiles, machine.power)
+    objective = SystemObjective(
+        bips=bips,
+        power=power,
+        max_power=budget,
+        max_ways=machine.params.llc_ways - 4.0,
+        **(
+            {"penalty_power": penalty_weight}
+            if penalty_weight is not None else {}
+        ),
+    )
+    params = (
+        DDSParams(max_iter=max_iter) if max_iter is not None else DDSParams()
+    )
+    result = DDSSearch(params).search(
+        objective, n_dims=bips.shape[0], n_confs=N_JOINT_CONFIGS,
+        rng=np.random.default_rng(seed),
+    )
+    if max_iter is not None:
+        return AblationRow(
+            label=label,
+            batch_instructions_b=result.best_objective,
+            qos_violations=0,
+            power_violations=0,
+        )
+    x = result.best_x
+    over = max(0.0, objective.total_power(x) - budget)
+    return AblationRow(
+        label=label,
+        batch_instructions_b=float(bips[np.arange(bips.shape[0]), x].sum()),
+        qos_violations=0,
+        power_violations=int(over > budget * 0.01),
+    )
+
+
+def _ablation_cell(
+    ablation: str,
+    variant: str,
+    mix_index: int,
+    n_slices: int,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> Dict[str, Any]:
+    """One (ablation, variant) simulation as a JSONable fleet unit."""
+    cap = _ABLATION_CAPS[ablation]
+    session = None
+    if collect_telemetry:
+        from repro.telemetry import Telemetry
+
+        session = Telemetry()
+    if ablation == "inference":
+        if variant == "sgd":
+            row = _run_cuttlesys(
+                mix_index, cap, n_slices, seed, ControllerConfig(seed=seed),
+                "cuttlesys (SGD inference)", telemetry=session,
+            )
+        else:
+            row = _run_oracle(
+                mix_index, cap, n_slices, seed, "oracle inference",
+                telemetry=session,
+            )
+    elif ablation == "guards":
+        config = (
+            ControllerConfig(seed=seed) if variant == "on"
+            else ControllerConfig(
+                seed=seed,
+                qos_guard_sparse=1e-6,
+                qos_guard_medium=1e-6,
+                qos_guard_dense=1e-6,
+            )
+        )
+        label = "guards on (default)" if variant == "on" else "guards off"
+        row = _run_cuttlesys(
+            mix_index, cap, n_slices, seed, config, label, telemetry=session
+        )
+    elif ablation == "variants":
+        config = (
+            ControllerConfig(seed=seed) if variant == "default"
+            else ControllerConfig(seed=seed, latency_variants_per_service=0)
+        )
+        label = (
+            "3 variants/service (default)" if variant == "default"
+            else "no variants"
+        )
+        row = _run_cuttlesys(
+            mix_index, cap, n_slices, seed, config, label, telemetry=session
+        )
+    elif ablation == "training-size":
+        size = int(variant)
+        train_names, _ = train_test_split(n_train=size)
+        row = _run_cuttlesys(
+            mix_index, cap, n_slices, seed, ControllerConfig(seed=seed),
+            f"{size} training apps", telemetry=session,
+            train_profiles=[batch_profile(n) for n in train_names],
+        )
+    elif ablation == "penalty-weight":
+        weight = float(variant)
+        row = _frozen_search_row(
+            mix_index, cap, seed, f"penalty={weight:g}",
+            penalty_weight=weight,
+        )
+    elif ablation == "transition-cost":
+        from repro.sim.machine import MachineParams
+
+        transition = _TRANSITION_SECONDS[variant]
+        mix = paper_mixes()[mix_index]
+        reference = reference_power_for_mix(mix, seed=seed)
+        machine = build_machine_for_mix(
+            mix, seed=seed,
+            params=MachineParams(reconfig_transition_s=transition),
+        )
+        policy = CuttleSysPolicy.for_machine(
+            machine, seed=seed, config=ControllerConfig(seed=seed)
+        )
+        run = run_policy(
+            machine, policy, LoadTrace.constant(0.8),
+            power_cap_fraction=cap, n_slices=n_slices,
+            max_power_w=reference, telemetry=session,
+        )
+        row = AblationRow(
+            label=f"transition {transition * 1e3:g} ms",
+            batch_instructions_b=run.total_batch_instructions() / 1e9,
+            qos_violations=run.qos_violations(),
+            power_violations=run.power_violations(),
+        )
+    elif ablation == "dds-budget":
+        row = _frozen_search_row(
+            mix_index, cap, seed, f"maxIter={int(variant)}",
+            max_iter=int(variant),
+        )
+    else:
+        raise ValueError(f"unknown ablation {ablation!r}")
+    cell: Dict[str, Any] = {
+        "ablation": ablation,
+        "variant": variant,
+        "label": row.label,
+        "batch_instructions_b": row.batch_instructions_b,
+        "qos_violations": row.qos_violations,
+        "power_violations": row.power_violations,
+    }
+    if session is not None:
+        cell["telemetry"] = telemetry_records(session)
+    return cell
+
+
+def ablation_units(
+    mix_index: int,
+    n_slices: int,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> List[WorkUnit]:
+    """The matrix's fleet work units, one per (ablation, variant)."""
+    return [
+        WorkUnit(
+            unit_id=f"ablate/{ablation}/{variant}",
+            fn=_ablation_cell,
+            kwargs={
+                "ablation": ablation, "variant": variant,
+                "mix_index": mix_index, "n_slices": n_slices, "seed": seed,
+                "collect_telemetry": collect_telemetry,
+            },
+        )
+        for ablation, variants in ABLATION_MATRIX
+        for variant in variants
+    ]
+
+
+def rows_from_cells(
+    cells: Sequence[Dict[str, Any]],
+) -> Dict[str, Tuple[AblationRow, ...]]:
+    """Regroup matrix cells into per-ablation row tuples (matrix order)."""
+    by_key = {(c["ablation"], c["variant"]): c for c in cells}
+    out: Dict[str, Tuple[AblationRow, ...]] = {}
+    for ablation, variants in ABLATION_MATRIX:
+        rows = []
+        for variant in variants:
+            cell = by_key[(ablation, variant)]
+            rows.append(AblationRow(
+                label=str(cell["label"]),
+                batch_instructions_b=float(cell["batch_instructions_b"]),
+                qos_violations=int(cell["qos_violations"]),
+                power_violations=int(cell["power_violations"]),
+            ))
+        out[ablation] = tuple(rows)
+    return out
+
+
+def run_ablation_matrix(
+    mix_index: int = 0,
+    n_slices: int = 10,
+    seed: int = 7,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+    merged_telemetry: Optional[List[Dict]] = None,
+    live: Optional["LiveAggregator"] = None,
+) -> Dict[str, Tuple[AblationRow, ...]]:
+    """Every ablation of :data:`ABLATION_MATRIX` as one sharded grid.
+
+    The fleet flags follow the same contract as
+    :func:`repro.experiments.scalability.run_scalability`.
+    """
+    fleet = FleetRun(
+        "ablations",
+        ablation_units(
+            mix_index, n_slices, seed,
+            collect_telemetry=(
+                merged_telemetry is not None or live is not None
+            ),
+        ),
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=seed,
+        context={"mix_index": mix_index, "n_slices": n_slices},
+        telemetry=telemetry,
+        live=live,
+    )
+    outcome = fleet.execute()
+    if merged_telemetry is not None:
+        posthoc = merge_unit_telemetry(outcome.results)
+        if live is not None:
+            streamed = live.merged_records()
+            if streamed != posthoc:
+                raise RuntimeError(
+                    "streaming incremental merge diverged from the "
+                    "post-hoc merge_jsonl merge"
+                )
+            merged_telemetry.extend(streamed)
+        else:
+            merged_telemetry.extend(posthoc)
+    return rows_from_cells(outcome.values())
+
+
+def render_ablation_matrix(
+    rows_by_ablation: Dict[str, Tuple[AblationRow, ...]],
+) -> str:
+    """All matrix tables, in :data:`ABLATION_MATRIX` order.
+
+    ``dds-budget`` rows carry the achieved search *objective* in the
+    instructions column, so that table gets its own heading.
+    """
+    titles = {
+        "inference": "inference: SGD vs oracle",
+        "guards": "QoS guardbands",
+        "variants": "latency training variants",
+        "training-size": "offline training-set size",
+        "penalty-weight": "power-penalty weight (frozen search)",
+        "transition-cost": "reconfiguration transition cost",
+        "dds-budget": "DDS iteration budget (objective, frozen search)",
+    }
+    sections = []
+    for ablation, _variants in ABLATION_MATRIX:
+        rows = rows_by_ablation.get(ablation)
+        if rows:
+            sections.append(render_ablation(titles[ablation], rows))
+    return "\n\n".join(sections)

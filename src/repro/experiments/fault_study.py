@@ -19,7 +19,7 @@ violations than the unhardened one.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import ControllerConfig
@@ -64,6 +64,8 @@ class FaultStudyOutcome:
     injected: int
     detected: int
     recovered: int
+    #: Which paper mix the cell ran on (multi-mix grids disambiguate).
+    mix_index: int = 0
 
 
 def _counter_total(telemetry: Telemetry, prefix: str) -> int:
@@ -158,14 +160,14 @@ def _fault_cell(
     outcome, telemetry = _run_arm(
         scenario, hardened, mix, reference, cap, load, n_slices, seed,
     )
-    cell: Dict[str, Any] = asdict(outcome)
+    cell: Dict[str, Any] = asdict(replace(outcome, mix_index=mix_index))
     if collect_telemetry:
         cell["telemetry"] = telemetry_records(telemetry)
     return cell
 
 
 def fault_study_units(
-    mix_index: int,
+    mix_indices: Sequence[int],
     cap: float,
     load: float,
     n_slices: int,
@@ -173,11 +175,16 @@ def fault_study_units(
     scenarios: Sequence[FaultScenario],
     collect_telemetry: bool = False,
 ) -> List[WorkUnit]:
-    """The study's fleet work units, one per (scenario, arm)."""
+    """The study's fleet work units, one per (mix, scenario, arm).
+
+    Unit ids are mix-qualified so one checkpoint file can snapshot a
+    whole multi-mix sweep (the single-mix limitation of the original
+    study is gone).
+    """
     return [
         WorkUnit(
             unit_id=(
-                f"faults/{scenario.name}/"
+                f"faults/m{mix_index}/{scenario.name}/"
                 f"{'hardened' if hardened else 'unhardened'}"
             ),
             fn=_fault_cell,
@@ -188,6 +195,7 @@ def fault_study_units(
                 "collect_telemetry": collect_telemetry,
             },
         )
+        for mix_index in mix_indices
         for scenario in scenarios
         for hardened in (True, False)
     ]
@@ -218,6 +226,7 @@ def run_fault_study(
     resume: bool = False,
     telemetry: Any = None,
     live: Optional[LiveAggregator] = None,
+    mix_indices: Optional[Sequence[int]] = None,
 ) -> Tuple[FaultStudyOutcome, ...]:
     """Hardened vs unhardened CuttleSys across the fault scenarios.
 
@@ -225,25 +234,32 @@ def run_fault_study(
     sets, and injection streams (the injector reseeds per scenario), so
     any divergence is the hardening, not luck.
 
-    The (scenario, arm) cells are independent simulations, so the study
-    shards them as a fleet grid: ``jobs``/``checkpoint``/``resume``
+    The (mix, scenario, arm) cells are independent simulations, so the
+    study shards them as a fleet grid: ``jobs``/``checkpoint``/``resume``
     behave as for the other studies, and ``--jobs N`` output is
     byte-identical to serial.  ``live`` streams worker events (and each
     cell's telemetry shard) through a
     :class:`~repro.telemetry.live.LiveAggregator` mid-run.
+
+    ``mix_indices`` sweeps several mixes in one fleet run — one
+    checkpoint file then covers the whole grid.  ``mix_index`` remains
+    as the single-mix shorthand and is ignored when ``mix_indices`` is
+    given.
     """
     if scenarios is None:
         scenarios = default_scenarios(seed)
+    if mix_indices is None:
+        mix_indices = (mix_index,)
     fleet = FleetRun(
         "fault_study",
         fault_study_units(
-            mix_index, cap, load, n_slices, seed, scenarios,
+            mix_indices, cap, load, n_slices, seed, scenarios,
             collect_telemetry=live is not None,
         ),
         FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
         seed=seed,
         context={
-            "mix_index": mix_index, "cap": cap, "load": load,
+            "mix_indices": list(mix_indices), "cap": cap, "load": load,
             "n_slices": n_slices,
             "scenarios": [s.name for s in scenarios],
         },
@@ -280,9 +296,15 @@ def study_totals(
 
 
 def render_fault_study(outcomes: Sequence[FaultStudyOutcome]) -> str:
-    """Text table plus the hardened-vs-unhardened headline."""
+    """Text table plus the hardened-vs-unhardened headline.
+
+    Multi-mix grids get a leading ``mix`` column; single-mix output is
+    byte-identical to what the study printed before mixes existed.
+    """
+    multi_mix = len({o.mix_index for o in outcomes}) > 1
     rows = [
-        (
+        ((f"m{o.mix_index}",) if multi_mix else ())
+        + (
             o.scenario,
             o.policy,
             f"{o.completed_slices}/{o.n_slices}"
@@ -297,7 +319,8 @@ def render_fault_study(outcomes: Sequence[FaultStudyOutcome]) -> str:
         for o in outcomes
     ]
     table = format_table(
-        [
+        (["mix"] if multi_mix else [])
+        + [
             "scenario", "controller", "slices", "QoS viol.", "degraded",
             "batch instr (B)", "injected", "detected", "recovered",
         ],

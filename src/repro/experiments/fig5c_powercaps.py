@@ -11,12 +11,18 @@ stringent caps, with QoS always met.
 The full paper sweep is 50 mixes x 5 caps; ``run_fig5c`` defaults to a
 representative subset (one mix per LC service) so it completes in
 minutes — pass ``mix_indices=range(50)`` for the full rerun.
+
+Fleet sharding: each (cap, mix) pair is one independent
+:class:`~repro.fleet.WorkUnit` running every policy of the catalogue
+(the no-gating baseline must share the cell so relative work is
+computed against the *same* simulation), so the grid shards across
+``--jobs`` workers and checkpoints/resumes like any fleet run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +39,15 @@ from repro.experiments.harness import (
     run_policy,
 )
 from repro.experiments.reporting import format_table
+from repro.fleet import (
+    FleetParams,
+    FleetRun,
+    WorkUnit,
+    merge_unit_telemetry,
+    telemetry_records,
+)
 from repro.sim.machine import Machine
+from repro.telemetry.live import LiveAggregator
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
 
@@ -74,52 +88,158 @@ class Fig5cResult:
         return self.relative[cap][policy] / self.relative[cap][over]
 
 
+def _fig5c_cell(
+    cap: float,
+    mix_index: int,
+    n_slices: int,
+    load: float,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> Dict[str, Any]:
+    """One (cap, mix) fleet unit: every catalogue policy on that mix.
+
+    All policies run inside one unit because the relative-work metric
+    divides by the no-gating baseline *of the same mix and cap*; a
+    per-policy sharding would force cross-unit data flow.
+    """
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=seed)
+    trace = LoadTrace.constant(load)
+    session = None
+    if collect_telemetry:
+        from repro.telemetry import Telemetry
+
+        session = Telemetry()
+    relative: Dict[str, float] = {}
+    qos: Dict[str, int] = {}
+    baseline_instr = None
+    for name, factory, reconfigurable in policy_catalogue(seed):
+        machine = build_machine_for_mix(
+            mix, seed=seed, reconfigurable=reconfigurable
+        )
+        policy = factory(machine)
+        run = run_policy(
+            machine,
+            policy,
+            trace,
+            power_cap_fraction=cap,
+            n_slices=n_slices,
+            max_power_w=reference,
+            telemetry=session,
+        )
+        instr = run.total_batch_instructions()
+        if name == "no-gating":
+            baseline_instr = instr
+        if baseline_instr:
+            relative[name] = instr / baseline_instr
+        qos[name] = run.qos_violations()
+    cell: Dict[str, Any] = {
+        "cap": cap,
+        "mix_index": mix_index,
+        "relative": relative,
+        "qos_violations": qos,
+    }
+    if session is not None:
+        cell["telemetry"] = telemetry_records(session)
+    return cell
+
+
+def fig5c_units(
+    mix_indices: Sequence[int],
+    caps: Sequence[float],
+    n_slices: int,
+    load: float,
+    seed: int,
+    collect_telemetry: bool = False,
+) -> List[WorkUnit]:
+    """The sweep's fleet work units, one per (cap, mix)."""
+    return [
+        WorkUnit(
+            unit_id=f"fig5c/c{int(round(cap * 100))}/m{mix_index}",
+            fn=_fig5c_cell,
+            kwargs={
+                "cap": cap, "mix_index": mix_index, "n_slices": n_slices,
+                "load": load, "seed": seed,
+                "collect_telemetry": collect_telemetry,
+            },
+        )
+        for cap in caps
+        for mix_index in mix_indices
+    ]
+
+
+def result_from_cells(
+    cells: Sequence[Dict[str, Any]],
+    caps: Sequence[float],
+    policies: Sequence[str],
+) -> Fig5cResult:
+    """Aggregate per-(cap, mix) cells back into a :class:`Fig5cResult`."""
+    result = Fig5cResult(caps=tuple(caps), policies=tuple(policies))
+    for cap in caps:
+        matching = [cell for cell in cells if cell["cap"] == cap]
+        result.relative[cap] = {
+            name: float(np.mean([c["relative"][name] for c in matching]))
+            for name in policies
+        }
+        result.qos_violations[cap] = {
+            name: int(sum(c["qos_violations"][name] for c in matching))
+            for name in policies
+        }
+    return result
+
+
 def run_fig5c(
     mix_indices: Sequence[int] = DEFAULT_MIX_INDICES,
     caps: Sequence[float] = PAPER_CAPS,
     n_slices: int = 10,
     load: float = 0.8,
     seed: int = 7,
-    policies: Optional[List[Tuple[str, PolicyFactory, bool]]] = None,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+    merged_telemetry: Optional[List[Dict]] = None,
+    live: Optional["LiveAggregator"] = None,
 ) -> Fig5cResult:
-    """Sweep policies x caps x mixes at near-saturation load."""
-    mixes = paper_mixes()
-    chosen = [mixes[i] for i in mix_indices]
-    catalogue = policies if policies is not None else policy_catalogue(seed)
-    result = Fig5cResult(
-        caps=tuple(caps), policies=tuple(name for name, _, _ in catalogue)
+    """Sweep policies x caps x mixes at near-saturation load.
+
+    The (cap, mix) grid executes as fleet work units: ``jobs`` shards
+    it across worker processes, ``checkpoint``/``resume`` make the
+    sweep crash-safe, and ``merged_telemetry``/``live`` follow the
+    same contract as :func:`repro.experiments.scalability.run_scalability`.
+    """
+    fleet = FleetRun(
+        "fig5c",
+        fig5c_units(
+            mix_indices, caps, n_slices, load, seed,
+            collect_telemetry=(
+                merged_telemetry is not None or live is not None
+            ),
+        ),
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=seed,
+        context={
+            "mix_indices": list(mix_indices), "caps": list(caps),
+            "n_slices": n_slices, "load": load,
+        },
+        telemetry=telemetry,
+        live=live,
     )
-    trace = LoadTrace.constant(load)
-    for cap in caps:
-        sums: Dict[str, List[float]] = {name: [] for name, _, _ in catalogue}
-        qos: Dict[str, int] = {name: 0 for name, _, _ in catalogue}
-        for mix in chosen:
-            reference = reference_power_for_mix(mix, seed=seed)
-            baseline_instr = None
-            for name, factory, reconfigurable in catalogue:
-                machine = build_machine_for_mix(
-                    mix, seed=seed, reconfigurable=reconfigurable
+    outcome = fleet.execute()
+    if merged_telemetry is not None:
+        posthoc = merge_unit_telemetry(outcome.results)
+        if live is not None:
+            streamed = live.merged_records()
+            if streamed != posthoc:
+                raise RuntimeError(
+                    "streaming incremental merge diverged from the "
+                    "post-hoc merge_jsonl merge"
                 )
-                policy = factory(machine)
-                run = run_policy(
-                    machine,
-                    policy,
-                    trace,
-                    power_cap_fraction=cap,
-                    n_slices=n_slices,
-                    max_power_w=reference,
-                )
-                instr = run.total_batch_instructions()
-                if name == "no-gating":
-                    baseline_instr = instr
-                if baseline_instr:
-                    sums[name].append(instr / baseline_instr)
-                qos[name] += run.qos_violations()
-        result.relative[cap] = {
-            name: float(np.mean(vals)) for name, vals in sums.items()
-        }
-        result.qos_violations[cap] = qos
-    return result
+            merged_telemetry.extend(streamed)
+        else:
+            merged_telemetry.extend(posthoc)
+    policies = tuple(name for name, _, _ in policy_catalogue(seed))
+    return result_from_cells(outcome.values(), tuple(caps), policies)
 
 
 def render_fig5c(result: Fig5cResult) -> str:

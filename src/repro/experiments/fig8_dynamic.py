@@ -16,8 +16,8 @@ Three scenarios, all Xapian + a SPEC-like mix:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import ControllerConfig
 from repro.core.runtime import CuttleSysPolicy
@@ -28,8 +28,19 @@ from repro.experiments.harness import (
     run_policy,
 )
 from repro.experiments.reporting import format_table
+from repro.fleet import (
+    FleetParams,
+    FleetRun,
+    WorkUnit,
+    merge_unit_telemetry,
+    telemetry_records,
+)
+from repro.telemetry.live import LiveAggregator
 from repro.workloads.loadgen import LoadTrace
 from repro.workloads.mixes import paper_mixes
+
+#: Grid scenarios in merge order (keys of ``run_fig8_grid``'s result).
+SCENARIOS: Tuple[str, ...] = ("a", "b", "c")
 
 
 @dataclass(frozen=True)
@@ -76,6 +87,7 @@ def _run(
     seed: int,
     power_cap_trace: Optional[List[float]] = None,
     config: Optional[ControllerConfig] = None,
+    telemetry: Any = None,
 ) -> DynamicTrace:
     mix = paper_mixes()[mix_index]
     reference = reference_power_for_mix(mix, seed=seed)
@@ -89,20 +101,26 @@ def _run(
         n_slices=n_slices,
         power_cap_trace=power_cap_trace,
         max_power_w=reference,
+        telemetry=telemetry,
     )
     return _trace_from_run(scenario, run, machine.lc_service.qos_latency_s)
 
 
 def run_fig8a(
-    mix_index: int = 0, n_slices: int = 20, seed: int = 7
+    mix_index: int = 0, n_slices: int = 20, seed: int = 7,
+    telemetry: Any = None,
 ) -> DynamicTrace:
     """Diurnal load 20 % -> 80 % -> 20 % at a 70 % power cap."""
     diurnal = LoadTrace.diurnal(low=0.2, high=0.8, period=n_slices * 0.1)
-    return _run(diurnal, 0.7, n_slices, "fig8a-varying-load", mix_index, seed)
+    return _run(
+        diurnal, 0.7, n_slices, "fig8a-varying-load", mix_index, seed,
+        telemetry=telemetry,
+    )
 
 
 def run_fig8b(
-    mix_index: int = 0, n_slices: int = 20, seed: int = 7
+    mix_index: int = 0, n_slices: int = 20, seed: int = 7,
+    telemetry: Any = None,
 ) -> DynamicTrace:
     """Power budget step 90 % -> 60 % -> 90 % at constant 80 % load."""
     third = n_slices // 3
@@ -115,12 +133,13 @@ def run_fig8b(
         mix_index,
         seed,
         power_cap_trace=cap_trace,
+        telemetry=telemetry,
     )
 
 
 def run_fig8c(
     mix_index: int = 0, n_slices: int = 24, seed: int = 7,
-    surge_load: float = 1.3,
+    surge_load: float = 1.3, telemetry: Any = None,
 ) -> DynamicTrace:
     """Load surge past saturation forcing core relocation, then recovery.
 
@@ -133,7 +152,138 @@ def run_fig8c(
         [(0.0, 0.2), (n_slices * 0.1 * 0.25, surge_load),
          (n_slices * 0.1 * 0.6, 0.2)]
     )
-    return _run(surge, 0.7, n_slices, "fig8c-core-relocation", mix_index, seed)
+    return _run(
+        surge, 0.7, n_slices, "fig8c-core-relocation", mix_index, seed,
+        telemetry=telemetry,
+    )
+
+
+def _fig8_cell(
+    scenario: str,
+    mix_index: int,
+    n_slices: Optional[int],
+    seed: int,
+    collect_telemetry: bool = False,
+) -> Dict[str, Any]:
+    """One Fig. 8 scenario as a JSONable fleet unit.
+
+    ``n_slices=None`` keeps each scenario's paper-matching default
+    (20/20/24); the telemetry session rides inside the cell so the
+    fleet merge sees per-unit logs, same as every other sharded study.
+    """
+    runners = {"a": run_fig8a, "b": run_fig8b, "c": run_fig8c}
+    if scenario not in runners:
+        raise ValueError(f"unknown fig8 scenario {scenario!r}")
+    session = None
+    if collect_telemetry:
+        from repro.telemetry import Telemetry
+
+        session = Telemetry()
+    kwargs: Dict[str, Any] = {"mix_index": mix_index, "seed": seed}
+    if n_slices is not None:
+        kwargs["n_slices"] = n_slices
+    trace = runners[scenario](telemetry=session, **kwargs)
+    fields = asdict(trace)
+    cell: Dict[str, Any] = {
+        "scenario": scenario,
+        "scenario_name": fields.pop("scenario"),
+        **fields,
+    }
+    if session is not None:
+        cell["telemetry"] = telemetry_records(session)
+    return cell
+
+
+def trace_from_cell(cell: Dict[str, Any]) -> DynamicTrace:
+    """Rebuild a :class:`DynamicTrace` from one fleet cell."""
+    return DynamicTrace(
+        scenario=str(cell["scenario_name"]),
+        loads=tuple(float(v) for v in cell["loads"]),
+        p99_over_qos=tuple(float(v) for v in cell["p99_over_qos"]),
+        batch_gmean_bips=tuple(
+            float(v) for v in cell["batch_gmean_bips"]
+        ),
+        power_w=tuple(float(v) for v in cell["power_w"]),
+        budget_w=tuple(float(v) for v in cell["budget_w"]),
+        lc_configs=tuple(str(v) for v in cell["lc_configs"]),
+        lc_cores=tuple(int(v) for v in cell["lc_cores"]),
+    )
+
+
+def fig8_units(
+    scenarios: Sequence[str],
+    mix_index: int,
+    n_slices: Optional[int],
+    seed: int,
+    collect_telemetry: bool = False,
+) -> List[WorkUnit]:
+    """The dynamic study's fleet work units, one per scenario."""
+    return [
+        WorkUnit(
+            unit_id=f"fig8/{scenario}/m{mix_index}",
+            fn=_fig8_cell,
+            kwargs={
+                "scenario": scenario, "mix_index": mix_index,
+                "n_slices": n_slices, "seed": seed,
+                "collect_telemetry": collect_telemetry,
+            },
+        )
+        for scenario in scenarios
+    ]
+
+
+def run_fig8_grid(
+    scenarios: Sequence[str] = SCENARIOS,
+    mix_index: int = 0,
+    n_slices: Optional[int] = None,
+    seed: int = 7,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    telemetry: Any = None,
+    merged_telemetry: Optional[List[Dict]] = None,
+    live: Optional["LiveAggregator"] = None,
+) -> Dict[str, DynamicTrace]:
+    """All three dynamic scenarios as a sharded fleet grid.
+
+    Returns ``{scenario: trace}`` in ``scenarios`` order; the fleet
+    flags follow the same contract as
+    :func:`repro.experiments.scalability.run_scalability`.
+    """
+    fleet = FleetRun(
+        "fig8",
+        fig8_units(
+            scenarios, mix_index, n_slices, seed,
+            collect_telemetry=(
+                merged_telemetry is not None or live is not None
+            ),
+        ),
+        FleetParams(jobs=jobs, checkpoint=checkpoint, resume=resume),
+        seed=seed,
+        context={
+            "scenarios": list(scenarios), "mix_index": mix_index,
+            "n_slices": n_slices,
+        },
+        telemetry=telemetry,
+        live=live,
+    )
+    outcome = fleet.execute()
+    if merged_telemetry is not None:
+        posthoc = merge_unit_telemetry(outcome.results)
+        if live is not None:
+            streamed = live.merged_records()
+            if streamed != posthoc:
+                raise RuntimeError(
+                    "streaming incremental merge diverged from the "
+                    "post-hoc merge_jsonl merge"
+                )
+            merged_telemetry.extend(streamed)
+        else:
+            merged_telemetry.extend(posthoc)
+    return {
+        cell["scenario"]: trace_from_cell(cell)
+        for cell in outcome.values()
+    }
 
 
 def render_fig8(trace: DynamicTrace) -> str:

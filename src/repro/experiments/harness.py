@@ -10,12 +10,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.logs import get_logger
-from repro.sim.machine import Machine, MachineParams, SliceMeasurement
+from repro.sim.machine import (
+    Machine,
+    MachineParams,
+    SliceMeasurement,
+    measurement_from_state,
+    measurement_state,
+)
 from repro.sim.perf import PerformanceModel
 from repro.sim.power import PowerModel
 from repro.telemetry.live import current_emitter
@@ -94,6 +100,13 @@ class PolicyRun:
     #: Quanta where the policy raised and the harness served a fallback
     #: assignment instead of dying (see ``run_policy`` degradation).
     degraded_quanta: int = 0
+    #: When ``run_policy(stop_after=k)`` paused the run at quantum ``k``,
+    #: the JSONable state that resumes it (``resume_state=``); ``None``
+    #: for completed runs.  Excluded from comparisons: two runs covering
+    #: the same slices are equal whether or not one was paused later.
+    resume_state: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def n_slices(self) -> int:
@@ -285,6 +298,85 @@ def _record_decision(telemetry, quantum: int, policy,
     ))
 
 
+def _capture_harness_state(
+    machine: Machine,
+    policy,
+    run: PolicyRun,
+    next_slice: int,
+    load_estimate: float,
+    extra_estimates: Tuple[float, ...],
+    churn_rng: np.random.Generator,
+    faults,
+) -> Dict[str, Any]:
+    """Everything needed to resume the quantum loop at ``next_slice``.
+
+    The machine may be a :class:`~repro.faults.injector.FaultyMachine`;
+    ``snapshot`` delegates to the wrapped machine, and the injector's
+    own state travels under ``"faults"``.
+    """
+    return {
+        "version": 1,
+        "next_slice": next_slice,
+        "load_estimate": load_estimate,
+        "extra_estimates": list(extra_estimates),
+        "churn_rng": churn_rng.bit_generator.state,
+        "machine": machine.snapshot(),
+        "policy": policy.snapshot(),
+        "faults": faults.snapshot() if faults is not None else None,
+        "run": {
+            "degraded_quanta": run.degraded_quanta,
+            "churn_events": [list(event) for event in run.churn_events],
+            "loads": list(run.loads),
+            "budgets": list(run.budgets),
+            "measurements": [
+                measurement_state(m) for m in run.measurements
+            ],
+        },
+    }
+
+
+def _restore_harness_state(
+    state: Dict[str, Any],
+    machine: Machine,
+    policy,
+    run: PolicyRun,
+    churn_rng: np.random.Generator,
+    faults,
+) -> Tuple[int, float, Tuple[float, ...]]:
+    """Inverse of :func:`_capture_harness_state`.
+
+    Returns ``(next_slice, load_estimate, extra_estimates)``.
+    """
+    if state.get("version") != 1:
+        raise ValueError(
+            f"unsupported harness resume-state version: "
+            f"{state.get('version')!r}"
+        )
+    machine.restore(state["machine"])
+    policy.restore(state["policy"])
+    if state["faults"] is not None:
+        if faults is None:
+            raise ValueError(
+                "resume state carries fault-injector state but no "
+                "injector was passed"
+            )
+        faults.restore(state["faults"])
+    churn_rng.bit_generator.state = state["churn_rng"]
+    saved = state["run"]
+    run.degraded_quanta = int(saved["degraded_quanta"])
+    run.churn_events = [tuple(event) for event in saved["churn_events"]]
+    run.loads = [float(v) for v in saved["loads"]]
+    run.budgets = [float(v) for v in saved["budgets"]]
+    run.measurements = [
+        measurement_from_state(m) for m in saved["measurements"]
+    ]
+    return (
+        int(state["next_slice"]),
+        float(state["load_estimate"]),
+        tuple(float(v) for v in state["extra_estimates"]),
+    )
+
+
 def run_policy(
     machine: Machine,
     policy,
@@ -300,6 +392,8 @@ def run_policy(
     telemetry=None,
     faults=None,
     on_policy_error: str = "degrade",
+    stop_after: Optional[int] = None,
+    resume_state: Optional[Dict[str, Any]] = None,
 ) -> PolicyRun:
     """Drive ``policy`` on ``machine`` for ``n_slices`` decision quanta.
 
@@ -337,9 +431,29 @@ def run_policy(
     assignment (or a gated-batch fallback), and keeps running;
     ``"raise"`` propagates, aborting the run — the unhardened arm of
     the fault study.
+
+    Crash-safe pause/resume (docs/robustness.md): ``stop_after=k``
+    executes quanta ``0..k-1``, captures the full loop state (machine,
+    policy, fault injector, churn RNG, accumulated measurements) in the
+    returned run's :attr:`PolicyRun.resume_state`, and returns early.
+    Passing that dict back via ``resume_state=`` — with the *same*
+    machine/policy/trace arguments — continues at quantum ``k``; the
+    completed resumed run is byte-identical to an uninterrupted one.
+    Both require a policy exposing ``snapshot``/``restore``
+    (:class:`repro.core.runtime.CuttleSysPolicy` does).
     """
     if n_slices <= 0:
         raise ValueError("n_slices must be positive")
+    if stop_after is not None and stop_after <= 0:
+        raise ValueError("stop_after must be positive")
+    if stop_after is not None or resume_state is not None:
+        if getattr(policy, "snapshot", None) is None or (
+            getattr(policy, "restore", None) is None
+        ):
+            raise ValueError(
+                f"policy {policy.name!r} does not support "
+                f"snapshot/restore; stop_after/resume_state need both"
+            )
     if not 0 < power_cap_fraction <= 1.0:
         raise ValueError("power_cap_fraction must be in (0, 1]")
     if on_policy_error not in ("degrade", "raise"):
@@ -391,7 +505,15 @@ def run_policy(
     churn_rng = np.random.default_rng(churn_seed)
     load_estimate = trace.load_at(0.0)
     extra_estimates = tuple(t.load_at(0.0) for t in extra_traces)
-    for i in range(n_slices):
+    start = 0
+    if resume_state is not None:
+        start, load_estimate, extra_estimates = _restore_harness_state(
+            resume_state, machine, policy, run, churn_rng, faults
+        )
+        log.info(
+            "resuming %s at quantum %d/%d", policy.name, start, n_slices
+        )
+    for i in range(start, n_slices):
         with tracer.span("quantum", category="harness", index=i):
             if faults is not None:
                 faults.begin_quantum(i)
@@ -577,4 +699,14 @@ def run_policy(
                     )
             load_estimate = actual_load
             extra_estimates = actual_extras
+        if stop_after is not None and i + 1 >= stop_after and i + 1 < n_slices:
+            run.resume_state = _capture_harness_state(
+                machine, policy, run, i + 1, load_estimate,
+                extra_estimates, churn_rng, faults,
+            )
+            log.info(
+                "pausing %s after quantum %d/%d (resume state captured)",
+                policy.name, i + 1, n_slices,
+            )
+            break
     return run

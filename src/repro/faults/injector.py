@@ -21,13 +21,13 @@ how the fault study proves faults actually fired.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.faults.spec import FaultScenario, FaultSpec
 from repro.logs import get_logger
-from repro.sim.coreconfig import JointConfig
+from repro.sim.coreconfig import CoreConfig, JointConfig
 from repro.sim.machine import (
     Assignment,
     Machine,
@@ -150,6 +150,107 @@ class FaultInjector:
                         self.quantum, slot,
                     )
         return slots
+
+    # ------------------------------------------------------------------
+    # Crash-safe snapshots (docs/robustness.md).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSONable form of the injector's mutable state.
+
+        Captures the per-spec RNG streams, tallies, frozen-sensor
+        snapshots and standing reconfiguration pins, so a killed run
+        resumed mid-scenario replays injection-for-injection.
+        """
+        previous = getattr(self, "_previous_batch_configs", None)
+        return {
+            "quantum": self.quantum,
+            "rngs": [rng.bit_generator.state for rng in self._rngs],
+            "injected": dict(self.injected),
+            "frozen_profile": [
+                {
+                    "spec": i,
+                    "pow_hi": hi.tolist(),
+                    "pow_lo": lo.tolist(),
+                    "lc_hi": lc_hi,
+                    "lc_lo": lc_lo,
+                }
+                for i, (hi, lo, lc_hi, lc_lo) in sorted(
+                    self._frozen_profile.items()
+                )
+            ],
+            "frozen_power": [
+                {
+                    "spec": i,
+                    "batch_power": batch.tolist(),
+                    "total_power": total,
+                    "lc_core_power": lc,
+                }
+                for i, (batch, total, lc) in sorted(
+                    self._frozen_power.items()
+                )
+            ],
+            "pins": [
+                {"job": job, "core": core.index, "expiry": expiry}
+                for job, (core, expiry) in sorted(self._pins.items())
+            ],
+            "previous_batch_configs": (
+                None
+                if previous is None
+                else [
+                    cfg.index if cfg is not None else None
+                    for cfg in previous
+                ]
+            ),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        if len(state["rngs"]) != len(self._rngs):
+            raise ValueError(
+                "fault snapshot spec count does not match this injector"
+            )
+        self.quantum = int(state["quantum"])
+        for rng, rng_state in zip(self._rngs, state["rngs"]):
+            rng.bit_generator.state = rng_state
+        self.injected = {
+            str(k): int(v) for k, v in state["injected"].items()
+        }
+        self._frozen_profile = {
+            int(entry["spec"]): (
+                np.asarray(entry["pow_hi"], dtype=float),
+                np.asarray(entry["pow_lo"], dtype=float),
+                float(entry["lc_hi"]),
+                float(entry["lc_lo"]),
+            )
+            for entry in state["frozen_profile"]
+        }
+        self._frozen_power = {
+            int(entry["spec"]): (
+                np.asarray(entry["batch_power"], dtype=float),
+                float(entry["total_power"]),
+                float(entry["lc_core_power"]),
+            )
+            for entry in state["frozen_power"]
+        }
+        self._pins = {
+            int(entry["job"]): (
+                CoreConfig.from_index(int(entry["core"])),
+                int(entry["expiry"]),
+            )
+            for entry in state["pins"]
+        }
+        previous: Optional[Tuple[Optional[JointConfig], ...]]
+        if state["previous_batch_configs"] is None:
+            previous = None
+        else:
+            previous = tuple(
+                JointConfig.from_index(int(index))
+                if index is not None
+                else None
+                for index in state["previous_batch_configs"]
+            )
+        self._previous_batch_configs = previous
 
     # ------------------------------------------------------------------
     # Machine-facing faults (sensors and actuators).

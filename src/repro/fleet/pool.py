@@ -189,8 +189,13 @@ class _WorkerSlot:
         try:
             # Control plane: the shutdown sentinel must never drop.
             self.task_q.put(None)  # repro: noqa[TEL403]
-        except (OSError, ValueError):  # queue already torn down
-            pass
+        except (OSError, ValueError) as exc:
+            # Benign on the shutdown path, but never silent (ROB601):
+            # the queue was already torn down, so the sentinel is moot.
+            log.debug(
+                "%s: shutdown sentinel skipped, task queue already "
+                "closed: %s", self.name, exc,
+            )
 
     def kill(self) -> None:
         if self.process.is_alive():

@@ -43,8 +43,13 @@ log = get_logger("telemetry.accuracy")
 AUDIT_METRICS: Tuple[str, ...] = ("bips", "power", "lc_p99")
 
 #: QoS-violation attribution kinds (counter suffixes).
+#: ``deadline_degraded`` marks violations in quanta where the decision
+#: budget forced the controller down its degradation ladder
+#: (repro.core.deadline): the served assignment came from a cheaper
+#: search rung, so the violation is priced to the deadline, not to the
+#: reconstruction or the full search.
 QOS_ATTRIBUTION_KINDS: Tuple[str, ...] = (
-    "misprediction", "search_failure", "infeasible",
+    "misprediction", "search_failure", "infeasible", "deadline_degraded",
 )
 
 
@@ -345,6 +350,13 @@ class AccuracyAuditor:
             getattr(policy, "last_prediction", None)
             if policy is not None else None
         )
+        deadline_degraded = bool(
+            getattr(
+                getattr(policy, "controller", None),
+                "deadline_degraded_quantum",
+                False,
+            )
+        )
         blocks = [(
             0, float(measurement.lc_p99), qos_s,
             assignment.lc_cores, float(measurement.lc_load),
@@ -370,6 +382,12 @@ class AccuracyAuditor:
             finite = truth[np.isfinite(truth)]
             if finite.size and float(finite.min()) > qos:
                 kind = "infeasible"
+            elif deadline_degraded:
+                # The budget ladder served a cheaper rung this quantum;
+                # a feasible configuration existed but the full search
+                # never ran, so neither misprediction nor search
+                # failure describes the miss.
+                kind = "deadline_degraded"
             else:
                 predicted = (
                     float(prediction.p99_s[position])

@@ -540,6 +540,18 @@ def render_live_status(aggregator: LiveAggregator) -> str:
     )
     if snap["drift_events"]:
         lines.append(f"drift events: {snap['drift_events']}")
+    rungs = {
+        name[len("controller.degradation."):]: value
+        for name, value in snap["counters"].items()
+        if name.startswith("controller.degradation.") and value
+        and name != "controller.degradation.rungs"
+    }
+    if rungs:
+        total = snap["counters"].get("controller.degradation.rungs", 0)
+        detail = ", ".join(
+            f"{rung}: {value}" for rung, value in sorted(rungs.items())
+        )
+        lines.append(f"deadline degradations: {total} ({detail})")
     if snap["windows"]:
         lines.append("")
         lines.append(

@@ -1,0 +1,85 @@
+# Fixture for ROB601: silent exception swallowing in decision-critical code.
+# lint-module: repro.core.fixture
+import contextlib
+from contextlib import suppress
+
+from repro.logs import get_logger
+
+log = get_logger("core.fixture")
+
+
+def good_reraise(samples):
+    try:
+        return sum(samples) / len(samples)
+    except ZeroDivisionError:
+        raise ValueError("no samples")
+
+
+def good_logged_fallback(samples):
+    try:
+        return sum(samples) / len(samples)
+    except ZeroDivisionError:
+        log.warning("no samples this quantum; serving last known good")
+        return 0.0
+
+
+def good_counted(telemetry, samples):
+    try:
+        return max(samples)
+    except ValueError:
+        telemetry.count("faults.detected.empty_sample_window")
+        return 0.0
+
+
+def bad_pass(samples):
+    try:
+        return sum(samples) / len(samples)
+    except ZeroDivisionError:  # expect: ROB601
+        pass
+    return 0.0
+
+
+def bad_bare_except(samples):
+    try:
+        return max(samples)
+    except:  # noqa: E722  # expect: ROB601
+        pass
+    return 0.0
+
+
+def bad_tuple(samples):
+    try:
+        return max(samples)
+    except (ValueError, TypeError):  # expect: ROB601
+        pass
+    return 0.0
+
+
+def bad_ellipsis(samples):
+    try:
+        return max(samples)
+    except Exception:  # expect: ROB601
+        ...
+    return 0.0
+
+
+def bad_continue(rows):
+    total = 0.0
+    for row in rows:
+        try:
+            total += float(row)
+        except ValueError:  # expect: ROB601
+            continue
+    return total
+
+
+def bad_suppress(path):
+    with suppress(OSError):  # expect: ROB601
+        return open(path).read()
+    return ""
+
+
+def bad_contextlib_suppress(path):
+    with contextlib.suppress(OSError):  # expect: ROB601
+        return open(path).read()
+    return ""

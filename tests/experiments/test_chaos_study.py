@@ -1,0 +1,120 @@
+"""Acceptance tests for the chaos/soak harness (docs/robustness.md).
+
+The headline claims: every cell of the default-style grid holds all
+robustness invariants (every quantum served, no NaN, monotonic meters,
+safe mode exits, kill/resume byte-identity), the grid shards as a
+fleet run with ``--jobs N`` byte-identical to serial, and a checkpoint
+file covers the whole multi-seed soak.
+"""
+
+import pytest
+
+from repro.experiments.chaos_study import (
+    ChaosOutcome,
+    chaos_units,
+    render_chaos_study,
+    run_chaos_study,
+)
+
+#: Small but representative: two regimes x two budgets, one mix/seed.
+GRID = dict(
+    seeds=(7,),
+    mix_indices=(0,),
+    scenarios=(None, "sensor-noise"),
+    budgets=(None, 2000),
+    n_slices=6,
+    cooldown=6,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_chaos_study(**GRID)
+
+
+class TestInvariants:
+    def test_grid_shape(self, outcomes):
+        assert len(outcomes) == 4
+        assert {o.scenario for o in outcomes} == {
+            "fault-free", "sensor-noise",
+        }
+        assert {o.budget for o in outcomes} == {None, 2000}
+
+    def test_all_cells_healthy(self, outcomes):
+        for o in outcomes:
+            assert o.ok, (
+                f"[{o.scenario}/b{o.budget}] violations: {o.violations}"
+            )
+
+    def test_resume_identical_everywhere(self, outcomes):
+        assert all(o.resume_identical for o in outcomes)
+
+    def test_deadline_pressure_takes_rungs(self, outcomes):
+        pressured = [o for o in outcomes if o.budget == 2000]
+        assert all(o.degradation_rungs > 0 for o in pressured)
+
+    def test_ample_budget_takes_zero_rungs(self, outcomes):
+        unlimited = [o for o in outcomes if o.budget is None]
+        assert all(o.degradation_rungs == 0 for o in unlimited)
+
+    def test_faulted_cells_injected(self, outcomes):
+        faulted = [o for o in outcomes if o.scenario == "sensor-noise"]
+        assert all(o.injected > 0 for o in faulted)
+
+    def test_outcome_fields(self, outcomes):
+        for o in outcomes:
+            assert isinstance(o, ChaosOutcome)
+            assert 0 < o.kill_at < o.n_slices
+
+
+class TestFleetContract:
+    def test_jobs_matches_serial(self, outcomes):
+        parallel = run_chaos_study(jobs=2, **GRID)
+        assert parallel == outcomes
+
+    def test_checkpoint_covers_multi_seed_grid(self, tmp_path, outcomes):
+        path = str(tmp_path / "chaos.ckpt")
+        first = run_chaos_study(checkpoint=path, **GRID)
+        assert first == outcomes
+        # Resuming executes nothing new and reproduces the outcomes.
+        again = run_chaos_study(checkpoint=path, resume=True, **GRID)
+        assert again == outcomes
+
+    def test_unit_ids_qualified_by_seed_mix_scenario_budget(self):
+        units = chaos_units(
+            seeds=(7, 11), mix_indices=(0, 12),
+            scenarios=(None, "sensor-noise"), budgets=(None, 2000),
+            n_slices=6, cooldown=6, load=0.7, cap=0.7,
+        )
+        ids = [u.unit_id for u in units]
+        assert len(ids) == len(set(ids)) == 16
+        assert "chaos/s7/m0/fault-free/binf" in ids
+        assert "chaos/s11/m12/sensor-noise/b2000" in ids
+
+    def test_kill_point_varies_with_seed(self):
+        units = chaos_units(
+            seeds=(7, 11), mix_indices=(0,), scenarios=(None,),
+            budgets=(None,), n_slices=6, cooldown=6, load=0.7, cap=0.7,
+        )
+        kills = {u.kwargs["kill_at"] for u in units}
+        assert len(kills) == 2
+
+
+class TestRender:
+    def test_healthy_render(self, outcomes):
+        text = render_chaos_study(outcomes)
+        assert "all 4 cells healthy" in text
+        assert "sensor-noise" in text and "fault-free" in text
+
+    def test_broken_render_lists_violations(self, outcomes):
+        import dataclasses
+
+        broken = dataclasses.replace(
+            outcomes[0],
+            violations=("resume: diverged",),
+            resume_identical=False,
+        )
+        text = render_chaos_study([broken] + list(outcomes[1:]))
+        assert "VIOLATION" in text
+        assert "resume: diverged" in text
+        assert not broken.ok

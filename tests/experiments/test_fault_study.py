@@ -107,6 +107,52 @@ class TestCounterExport:
         assert any(n.startswith("faults.recovered.") for n in names)
 
 
+class TestMultiMix:
+    """The multi-mix grid: mix-qualified units, one checkpoint."""
+
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        return (scenario_by_name("sensor-noise", seed=7),)
+
+    def test_mix_qualified_unit_ids(self, scenarios):
+        from repro.experiments.fault_study import fault_study_units
+
+        units = fault_study_units(
+            (0, 12), 0.7, 0.7, 6, 7, scenarios,
+        )
+        ids = [u.unit_id for u in units]
+        assert len(ids) == len(set(ids)) == 4
+        assert "faults/m0/sensor-noise/hardened" in ids
+        assert "faults/m12/sensor-noise/unhardened" in ids
+
+    def test_multi_mix_outcomes_and_checkpoint(self, tmp_path, scenarios):
+        path = str(tmp_path / "faults.ckpt")
+        outcomes = run_fault_study(
+            mix_indices=(0, 12), n_slices=6, seed=7,
+            scenarios=scenarios, checkpoint=path,
+        )
+        assert {o.mix_index for o in outcomes} == {0, 12}
+        assert len(outcomes) == 4
+        # One checkpoint file snapshots the whole multi-mix sweep.
+        resumed = run_fault_study(
+            mix_indices=(0, 12), n_slices=6, seed=7,
+            scenarios=scenarios, checkpoint=path, resume=True,
+        )
+        assert resumed == outcomes
+
+    def test_multi_mix_render_adds_mix_column(self, scenarios):
+        outcomes = run_fault_study(
+            mix_indices=(0, 12), n_slices=6, seed=7, scenarios=scenarios,
+        )
+        text = render_fault_study(outcomes)
+        assert "mix" in text.splitlines()[0]
+        assert "m0" in text and "m12" in text
+
+    def test_single_mix_render_has_no_mix_column(self, outcomes):
+        text = render_fault_study(outcomes)
+        assert "mix" not in text.splitlines()[0]
+
+
 class TestPartialStats:
     def test_aborted_outcome_counts_unserved_as_violations(self, outcomes):
         for o in outcomes:

@@ -121,14 +121,18 @@ class TestWatch:
         assert "hardened" in captured.out
         assert "live fleet status" in captured.err
 
-    def test_fault_study_multi_mix_checkpoint_rejected(self, tmp_path,
-                                                       capsys):
-        code = main(
-            ["fault-study", "--mixes", "0", "1",
-             "--checkpoint", str(tmp_path / "ck.json")]
-        )
-        assert code == 2
-        assert "single --mixes" in capsys.readouterr().err
+    def test_fault_study_multi_mix_checkpoint_resumes(self, tmp_path,
+                                                      capsys):
+        # Mix-qualified unit ids let one checkpoint cover a multi-mix
+        # sweep; resuming from it reproduces the output byte for byte.
+        ck = str(tmp_path / "ck.json")
+        args = ["fault-study", "--mixes", "0", "1", "--slices", "4",
+                "--scenario", "stuck-sensor", "--checkpoint", ck]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "m0" in first and "m1" in first
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
 
 
 class TestStatusStats:

@@ -255,9 +255,10 @@ class TestFaultStudyCommand:
         ])
         assert code == 0
         out = capsys.readouterr().out
-        assert "mix 0:" in out
         assert "stuck-sensor" in out
         assert "hardened" in out and "unhardened" in out
+        # Single-mix runs keep the unqualified table (no mix column).
+        assert "mix" not in out.splitlines()[0]
 
     def test_unknown_scenario_exits_2(self, capsys):
         code = main(["fault-study", "--scenario", "meteor-strike"])
@@ -270,6 +271,62 @@ class TestFaultStudyCommand:
         ])
         assert code == 2
         assert "mix index" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seeds == [7]
+        assert args.mixes == [0, 12]
+        assert args.budgets == ["inf", "2000"]
+        assert args.slices == 10
+        assert args.jobs == 1
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code = main(["chaos", "--scenarios", "meteor-strike"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_budget_exits_2(self, capsys):
+        code = main(["chaos", "--budgets", "lots"])
+        assert code == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_short_soak_passes(self, capsys):
+        code = main([
+            "chaos", "--seeds", "7", "--mixes", "0",
+            "--scenarios", "fault-free", "--budgets", "2000",
+            "--slices", "4", "--cooldown", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all 1 cells healthy" in out
+
+
+class TestRunPauseResumeFlags:
+    def test_stop_after_requires_save_state(self, capsys):
+        code = main(["run", "--slices", "4", "--stop-after", "2"])
+        assert code == 2
+        assert "--save-state" in capsys.readouterr().err
+
+    def test_deadline_flags_require_cuttlesys(self, capsys):
+        code = main([
+            "run", "--slices", "2", "--policy", "core-gating",
+            "--decision-budget", "2000",
+        ])
+        assert code == 2
+        assert "cuttlesys" in capsys.readouterr().err
+
+    def test_pause_then_resume_round_trip(self, capsys, tmp_path):
+        state = str(tmp_path / "state.json")
+        assert main(["run", "--slices", "3", "--stop-after", "1",
+                     "--save-state", state]) == 0
+        out = capsys.readouterr().out
+        assert "paused at quantum 1" in out
+        assert main(["run", "--slices", "3",
+                     "--resume-state", state]) == 0
+        resumed = capsys.readouterr().out
+        assert "3 slices" in resumed
 
 
 class TestAuditCommand:
