@@ -2,16 +2,23 @@
 
 An AST-based lint pass enforcing the cross-cutting invariants the
 reproduction's correctness rests on: determinism (DET1xx), RNG-stream
-hygiene (RNG2xx), unit/invariant discipline (UNIT3xx), and telemetry
-span hygiene (TEL4xx).  See docs/static-analysis.md.
+hygiene (RNG2xx), unit/invariant discipline (UNIT3xx), telemetry span
+hygiene (TEL4xx), fleet fork-safety (FLT5xx), robustness (ROB6xx), and
+snapshot completeness (SNAP7xx).  Per-file rules see one
+:class:`LintContext`; whole-program rules (:class:`ProgramRule`)
+additionally see a :class:`ProgramContext` — a symbol table and call
+graph over every file in the run.  See docs/static-analysis.md.
 """
 
+from repro.analysis.cache import DEFAULT_CACHE_NAME, LintCache
 from repro.analysis.engine import (
     PARSE_ERROR_RULE,
     LintContext,
+    ProgramRule,
     Rule,
     Violation,
     all_rules,
+    build_program_context,
     dotted_name,
     iter_python_files,
     lint_paths,
@@ -20,21 +27,31 @@ from repro.analysis.engine import (
     register,
     rule_by_id,
 )
+from repro.analysis.graphio import graph_to_dot, graph_to_json, render_graph
+from repro.analysis.program import ProgramContext
 from repro.analysis.reporters import describe_rules, render_json, render_text
 
 __all__ = [
+    "DEFAULT_CACHE_NAME",
+    "LintCache",
     "PARSE_ERROR_RULE",
     "LintContext",
+    "ProgramContext",
+    "ProgramRule",
     "Rule",
     "Violation",
     "all_rules",
+    "build_program_context",
     "describe_rules",
     "dotted_name",
+    "graph_to_dot",
+    "graph_to_json",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "module_name_for",
     "register",
+    "render_graph",
     "render_json",
     "render_text",
     "rule_by_id",

@@ -1,0 +1,201 @@
+"""Content-hash cache for lint results.
+
+Keyed on (a) a per-file sha256 of the source text and (b) a
+*rules fingerprint* — a sha256 over every source file of the
+``repro.analysis`` package itself — so editing either a linted file or
+any rule logic invalidates exactly the affected entries.  The
+whole-program pass is cached under one combined key derived from every
+file digest in the run, because any file edit can change the call
+graph.
+
+The cache stores *post-suppression* violations: ``# repro: noqa``
+comments live in the hashed source, so a cached replay is
+byte-identical to a cold run (asserted in
+tests/analysis/test_cache.py).  A corrupt, stale-schema, or
+stale-fingerprint cache file is discarded wholesale, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import Violation
+
+__all__ = ["LintCache", "DEFAULT_CACHE_NAME", "rules_fingerprint"]
+
+#: Default cache filename, created in the working directory (it is
+#: listed in .gitignore).
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+_SCHEMA_VERSION = 1
+
+_fingerprint_memo: Optional[str] = None
+
+
+def rules_fingerprint() -> str:
+    """sha256 over the analysis package's own source files.
+
+    Any edit to the engine, a rule module, or this cache module
+    changes the fingerprint and therefore drops every cached entry.
+    """
+    global _fingerprint_memo
+    if _fingerprint_memo is not None:
+        return _fingerprint_memo
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.glob("*.py")):
+        digest.update(source.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source.read_bytes())
+        digest.update(b"\x00")
+    _fingerprint_memo = digest.hexdigest()
+    return _fingerprint_memo
+
+
+def _violations_to_json(violations: Sequence[Violation]) -> List[Dict[str, object]]:
+    return [v.to_dict() for v in violations]
+
+
+def _violations_from_json(payload: object) -> Optional[List[Violation]]:
+    if not isinstance(payload, list):
+        return None
+    out: List[Violation] = []
+    for item in payload:
+        if not isinstance(item, dict):
+            return None
+        try:
+            out.append(Violation(
+                path=str(item["path"]),
+                line=int(item["line"]),
+                col=int(item["col"]),
+                rule=str(item["rule"]),
+                message=str(item["message"]),
+            ))
+        except (KeyError, TypeError, ValueError):
+            return None
+    return out
+
+
+class LintCache:
+    """Per-file + whole-program lint result cache backed by one JSON file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.fingerprint = rules_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._program: Dict[str, object] = {}
+        self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("version") != _SCHEMA_VERSION:
+            return
+        if raw.get("fingerprint") != self.fingerprint:
+            return
+        files = raw.get("files")
+        if isinstance(files, dict):
+            for key, entry in files.items():
+                if (
+                    isinstance(entry, dict)
+                    and isinstance(entry.get("digest"), str)
+                    and _violations_from_json(entry.get("violations"))
+                    is not None
+                ):
+                    self._files[key] = entry
+        program = raw.get("program")
+        if (
+            isinstance(program, dict)
+            and isinstance(program.get("key"), str)
+            and _violations_from_json(program.get("violations")) is not None
+        ):
+            self._program = program
+
+    def save(self) -> None:
+        """Write the cache back if anything changed.  Best-effort: an
+        unwritable cache path degrades to uncached behaviour."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": _SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "program": self._program,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            return
+        self._dirty = False
+
+    # -- keys ----------------------------------------------------------
+
+    @staticmethod
+    def file_digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def program_key(self, digests: Sequence[Tuple[str, str]]) -> str:
+        """One key over the whole run's file set (order-independent)."""
+        digest = hashlib.sha256()
+        for path, file_digest in sorted(digests):
+            digest.update(path.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(file_digest.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    # -- lookups -------------------------------------------------------
+
+    def get_file(self, path: str, digest: str) -> Optional[List[Violation]]:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            self.misses += 1
+            return None
+        violations = _violations_from_json(entry.get("violations"))
+        if violations is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return violations
+
+    def set_file(
+        self, path: str, digest: str, violations: Sequence[Violation]
+    ) -> None:
+        self._files[path] = {
+            "digest": digest,
+            "violations": _violations_to_json(violations),
+        }
+        self._dirty = True
+
+    def get_program(self, key: str) -> Optional[List[Violation]]:
+        if self._program.get("key") != key:
+            self.misses += 1
+            return None
+        violations = _violations_from_json(self._program.get("violations"))
+        if violations is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return violations
+
+    def set_program(self, key: str, violations: Sequence[Violation]) -> None:
+        self._program = {
+            "key": key,
+            "violations": _violations_to_json(violations),
+        }
+        self._dirty = True

@@ -7,6 +7,15 @@ inline ``# repro: noqa[RULE]`` comment, and returns a sorted list of
 this package and self-register via :func:`register`; reporters that
 render the results live in :mod:`repro.analysis.reporters`.
 
+Two rule scopes exist.  ``scope = "file"`` rules see one
+:class:`LintContext` at a time.  ``scope = "program"`` rules subclass
+:class:`ProgramRule` and run once per lint invocation against a
+:class:`repro.analysis.program.ProgramContext` — a symbol table and
+call graph spanning every file in the run — which is how
+cross-file invariants (snapshot completeness, transitive clock
+reachability) are checked.  Program-rule violations still honour the
+per-line ``noqa`` comments of the file they land in.
+
 See docs/static-analysis.md for the rule catalogue and rationale.
 """
 
@@ -16,12 +25,27 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.cache import LintCache
+    from repro.analysis.program import ProgramContext
 
 __all__ = [
     "Violation",
     "LintContext",
     "Rule",
+    "ProgramRule",
     "register",
     "all_rules",
     "rule_by_id",
@@ -29,6 +53,7 @@ __all__ = [
     "module_name_for",
     "lint_source",
     "lint_paths",
+    "build_program_context",
     "iter_python_files",
     "PARSE_ERROR_RULE",
 ]
@@ -103,8 +128,29 @@ class Rule:
     id: str = ""
     title: str = ""
     rationale: str = ""
+    #: ``"file"`` rules see one file at a time; ``"program"`` rules
+    #: (see :class:`ProgramRule`) see the whole-run symbol table.
+    scope: str = "file"
 
     def check(self, ctx: LintContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class ProgramRule(Rule):
+    """Base class for a whole-program rule.
+
+    Runs once per lint invocation over the cross-file
+    :class:`~repro.analysis.program.ProgramContext` instead of once
+    per file.  :meth:`check` is a no-op so the per-file loop can
+    iterate the full registry without special-casing.
+    """
+
+    scope = "program"
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_program(self, program: "ProgramContext") -> Iterator[Violation]:
         raise NotImplementedError
 
 
@@ -116,6 +162,8 @@ def register(cls: type) -> type:
     rule = cls()
     if not rule.id or not rule.title:
         raise ValueError(f"rule {cls.__name__} must define id and title")
+    if rule.scope not in ("file", "program"):
+        raise ValueError(f"rule {rule.id} has unknown scope {rule.scope!r}")
     if rule.id in _REGISTRY:
         raise ValueError(f"duplicate rule id {rule.id!r}")
     _REGISTRY[rule.id] = rule
@@ -131,6 +179,7 @@ def all_rules() -> Tuple[Rule, ...]:
         rules_fleet,
         rules_rng,
         rules_robustness,
+        rules_snapshot,
         rules_telemetry,
         rules_units,
     )
@@ -209,6 +258,80 @@ def _is_suppressed(
     return rules is None or violation.rule in rules
 
 
+def _parse_context(
+    source: str, path: str, module: Optional[str] = None
+) -> Tuple[Optional[LintContext], Optional[Violation]]:
+    """Parse one file into a context, or a PARSE pseudo-violation."""
+    if module is None:
+        module = module_name_for(Path(path))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Violation(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return LintContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    ), None
+
+
+def _split_rules(
+    rules: Optional[Sequence[Rule]],
+) -> Tuple[Tuple[Rule, ...], Tuple["ProgramRule", ...]]:
+    active = tuple(all_rules() if rules is None else rules)
+    file_rules = tuple(r for r in active if r.scope == "file")
+    program_rules = tuple(
+        r for r in active
+        if r.scope == "program" and isinstance(r, ProgramRule)
+    )
+    return file_rules, program_rules
+
+
+def _check_program(
+    program_rules: Sequence["ProgramRule"],
+    contexts: Sequence[LintContext],
+    suppressions_by_path: Dict[str, Dict[int, Optional[FrozenSet[str]]]],
+) -> List[Violation]:
+    """Run the whole-program rules, honouring per-file suppressions."""
+    if not program_rules or not contexts:
+        return []
+    from repro.analysis.program import ProgramContext
+
+    program = ProgramContext.build(contexts)
+    found: List[Violation] = []
+    for rule in program_rules:
+        for violation in rule.check_program(program):
+            per_file = suppressions_by_path.get(violation.path, {})
+            if not _is_suppressed(violation, per_file):
+                found.append(violation)
+    return found
+
+
+def build_program_context(paths: Iterable[Path]) -> "ProgramContext":
+    """Parse every file under ``paths`` into one ProgramContext.
+
+    Used by ``repro lint --graph`` to export the call graph; files
+    that fail to parse are skipped (the lint pass itself reports
+    them as PARSE violations).
+    """
+    from repro.analysis.program import ProgramContext
+
+    contexts: List[LintContext] = []
+    for path in iter_python_files(paths):
+        ctx, _ = _parse_context(path.read_text(encoding="utf-8"), str(path))
+        if ctx is not None:
+            contexts.append(ctx)
+    return ProgramContext.build(contexts)
+
+
 def lint_source(
     source: str,
     path: str = "<memory>",
@@ -219,31 +342,22 @@ def lint_source(
 
     ``module`` overrides the path-derived module name (used by tests
     to place fixtures inside restricted packages like ``repro.sim``).
+    Whole-program rules run over a single-file program context, so
+    fixtures exercise them exactly like per-file rules.
     """
-    if module is None:
-        module = module_name_for(Path(path))
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=PARSE_ERROR_RULE,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    lines = tuple(source.splitlines())
-    ctx = LintContext(
-        path=path, module=module, source=source, tree=tree, lines=lines
-    )
-    suppressions = _suppressions(lines)
+    ctx, parse_error = _parse_context(source, path, module)
+    if ctx is None:
+        return [parse_error] if parse_error is not None else []
+    suppressions = _suppressions(ctx.lines)
+    file_rules, program_rules = _split_rules(rules)
     found: List[Violation] = []
-    for rule in (all_rules() if rules is None else rules):
+    for rule in file_rules:
         for violation in rule.check(ctx):
             if not _is_suppressed(violation, suppressions):
                 found.append(violation)
+    found.extend(
+        _check_program(program_rules, [ctx], {ctx.path: suppressions})
+    )
     return sorted(found)
 
 
@@ -264,11 +378,76 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[Path], rules: Optional[Sequence[Rule]] = None
+    paths: Iterable[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    cache: Optional["LintCache"] = None,
 ) -> List[Violation]:
-    """Lint every Python file under ``paths``; returns sorted violations."""
+    """Lint every Python file under ``paths``; returns sorted violations.
+
+    The per-file rules run (and cache) independently per file; the
+    whole-program rules then run once over every file that parsed.
+    With a ``cache``, unchanged files reuse their stored per-file
+    violations and an unchanged *file set* reuses the stored program
+    pass — output is byte-identical either way because suppressions
+    and rule logic are part of the cache key.
+    """
+    file_rules, program_rules = _split_rules(rules)
     found: List[Violation] = []
+    contexts: List[LintContext] = []
+    suppressions_by_path: Dict[
+        str, Dict[int, Optional[FrozenSet[str]]]
+    ] = {}
+    digests: List[Tuple[str, str]] = []
     for path in iter_python_files(paths):
         source = path.read_text(encoding="utf-8")
-        found.extend(lint_source(source, path=str(path), rules=rules))
+        path_key = str(path)
+        digest = None
+        if cache is not None:
+            digest = cache.file_digest(source)
+        ctx, parse_error = _parse_context(source, path_key)
+        if ctx is None:
+            if parse_error is not None:
+                found.append(parse_error)
+            continue
+        suppressions = _suppressions(ctx.lines)
+        suppressions_by_path[path_key] = suppressions
+        contexts.append(ctx)
+        if digest is not None:
+            digests.append((path_key, digest))
+        cached = (
+            cache.get_file(path_key, digest)
+            if cache is not None and digest is not None
+            else None
+        )
+        if cached is not None:
+            found.extend(cached)
+            continue
+        file_found: List[Violation] = []
+        for rule in file_rules:
+            for violation in rule.check(ctx):
+                if not _is_suppressed(violation, suppressions):
+                    file_found.append(violation)
+        found.extend(file_found)
+        if cache is not None and digest is not None:
+            cache.set_file(path_key, digest, file_found)
+    if program_rules and contexts:
+        program_key = (
+            cache.program_key(digests) if cache is not None else None
+        )
+        cached_program = (
+            cache.get_program(program_key)
+            if cache is not None and program_key is not None
+            else None
+        )
+        if cached_program is not None:
+            found.extend(cached_program)
+        else:
+            program_found = _check_program(
+                program_rules, contexts, suppressions_by_path
+            )
+            found.extend(program_found)
+            if cache is not None and program_key is not None:
+                cache.set_program(program_key, program_found)
+    if cache is not None:
+        cache.save()
     return sorted(found)

@@ -1,0 +1,85 @@
+"""Call-graph export for ``repro lint --graph``.
+
+Serializes a :class:`~repro.analysis.program.ProgramContext` as JSON
+(the CI artifact format) or Graphviz DOT (picked by a ``.dot`` /
+``.gv`` suffix).  Both renderings are fully sorted so the export is
+byte-stable across runs — the same determinism contract every other
+renderer in this repo honours.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.program import ProgramContext
+
+__all__ = ["graph_to_json", "graph_to_dot", "render_graph"]
+
+
+def _graph_payload(program: ProgramContext) -> Dict[str, object]:
+    functions = [
+        {
+            "qualname": qual,
+            "module": fn.module,
+            "path": fn.path,
+            "line": fn.line,
+            "class": fn.cls,
+        }
+        for qual, fn in sorted(program.functions.items())
+    ]
+    edges = [
+        {"caller": caller, "callee": callee}
+        for caller in sorted(program.call_graph)
+        for callee in sorted(program.call_graph[caller])
+    ]
+    return {
+        "classes": sorted(program.classes),
+        "decision_roots": program.decision_roots(),
+        "edges": edges,
+        "fleet_entry_points": program.fleet_entry_points(),
+        "functions": functions,
+        "modules": sorted(program.modules),
+    }
+
+
+def graph_to_json(program: ProgramContext) -> str:
+    """The call graph as pretty-printed, key-sorted JSON."""
+    return json.dumps(_graph_payload(program), indent=2, sort_keys=True) + "\n"
+
+
+def graph_to_dot(program: ProgramContext) -> str:
+    """The call graph as a Graphviz digraph.
+
+    Decision roots are drawn as doubled octagons and fleet entry
+    points as boxes so the two guarded reachability frontiers are
+    visible at a glance.
+    """
+    decision_roots = set(program.decision_roots())
+    fleet_entries = set(program.fleet_entry_points())
+    lines: List[str] = [
+        "digraph repro_calls {",
+        "  rankdir=LR;",
+        '  node [fontname="monospace" shape=ellipse];',
+    ]
+    for qual in sorted(program.functions):
+        attrs = []
+        if qual in decision_roots:
+            attrs.append("shape=doubleoctagon")
+        elif qual in fleet_entries:
+            attrs.append("shape=box")
+        suffix = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{qual}"{suffix};')
+    for caller in sorted(program.call_graph):
+        for callee in sorted(program.call_graph[caller]):
+            lines.append(f'  "{caller}" -> "{callee}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_graph(program: ProgramContext, filename: str) -> str:
+    """Pick the format from ``filename``'s suffix (DOT for .dot/.gv)."""
+    lowered = filename.lower()
+    if lowered.endswith(".dot") or lowered.endswith(".gv"):
+        return graph_to_dot(program)
+    return graph_to_json(program)

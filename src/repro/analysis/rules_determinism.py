@@ -12,10 +12,14 @@ assignment order).
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:
+    from repro.analysis.program import ProgramContext
 
 from repro.analysis.engine import (
     LintContext,
+    ProgramRule,
     Rule,
     Violation,
     dotted_name,
@@ -71,6 +75,7 @@ def _call_target(node: ast.Call) -> Optional[str]:
 @register
 class UnseededGeneratorRule(Rule):
     id = "DET101"
+    scope = "file"
     title = "np.random.default_rng() called without a seed"
     rationale = (
         "An unseeded generator takes OS entropy, so two runs with the "
@@ -97,6 +102,7 @@ class UnseededGeneratorRule(Rule):
 @register
 class LegacyGlobalRngRule(Rule):
     id = "DET102"
+    scope = "file"
     title = "process-global RNG (random.* / legacy np.random.*) used"
     rationale = (
         "The module-level generators are shared mutable process state: "
@@ -149,6 +155,7 @@ class LegacyGlobalRngRule(Rule):
 @register
 class WallClockRule(Rule):
     id = "DET103"
+    scope = "file"
     title = "wall-clock read inside repro.sim / repro.core / repro.faults"
     rationale = (
         "Simulated time is the only clock the simulator, controller "
@@ -188,6 +195,7 @@ def _is_set_expr(node: ast.AST) -> bool:
 @register
 class SetIterationRule(Rule):
     id = "DET104"
+    scope = "file"
     title = "iteration over an unordered set"
     rationale = (
         "Set iteration order varies across Python versions and hash "
@@ -216,3 +224,70 @@ class SetIterationRule(Rule):
                 if target in ("list", "tuple", "enumerate") and \
                         len(node.args) >= 1 and _is_set_expr(node.args[0]):
                     yield ctx.violation(self, node.args[0], message)
+
+
+#: Packages allowed to read clocks even when called from the hot path
+#: — the tracer timestamps spans by design, and no simulation state
+#: depends on those timestamps.
+_CLOCK_SINK_PACKAGES = ("repro.telemetry",)
+
+
+@register
+class TransitiveHotPathClockRule(ProgramRule):
+    id = "DET105"
+    title = "wall clock / global RNG transitively reachable from the decision hot path"
+    rationale = (
+        "DET102/DET103 catch direct calls, but the decision loop "
+        "(run_policy -> decide -> SGD/DDS/GA) also breaks replay when "
+        "a helper three calls away reads a clock or the process-global "
+        "RNG; the call graph makes the whole transitive frontier "
+        "checkable."
+    )
+
+    def check_program(self, program: "ProgramContext") -> Iterator[Violation]:
+        parents = program.reachable(program.decision_roots())
+        for qual in sorted(parents):
+            fn = program.functions[qual]
+            if program.module_in(fn.module, *_CLOCK_SINK_PACKAGES):
+                continue
+            chain = " -> ".join(
+                q.rsplit(".", 2)[-1] if q.count(".") < 2
+                else ".".join(q.rsplit(".", 2)[-2:])
+                for q in program.chain(parents, qual)
+            )
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _call_target(node)
+                if target is None:
+                    continue
+                problem = None
+                if any(
+                    target == clock or target.endswith("." + clock)
+                    for clock in _WALL_CLOCK
+                ):
+                    problem = "reads the wall clock"
+                elif target.startswith("random.") and \
+                        target.split(".", 1)[1] in _STDLIB_LEGACY:
+                    problem = "draws from the process-global stdlib RNG"
+                else:
+                    for prefix in ("np.random.", "numpy.random."):
+                        if target.startswith(prefix) and \
+                                target[len(prefix):] in _NP_LEGACY:
+                            problem = (
+                                "draws from the legacy global numpy RNG"
+                            )
+                            break
+                if problem is None:
+                    continue
+                yield Violation(
+                    path=fn.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"{target}() {problem} and is reachable from "
+                        f"the decision hot path via {chain}; use "
+                        "simulated time / an explicit seeded stream"
+                    ),
+                )

@@ -11,10 +11,18 @@ their state), no legacy ``np.random.*`` global-stream draws.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Set
+from typing import TYPE_CHECKING, Iterator, Set
+
+if TYPE_CHECKING:
+    from repro.analysis.program import (
+        FunctionInfo,
+        ModuleInfo,
+        ProgramContext,
+    )
 
 from repro.analysis.engine import (
     LintContext,
+    ProgramRule,
     Rule,
     Violation,
     dotted_name,
@@ -53,6 +61,7 @@ def _function_body_nodes(tree: ast.Module) -> Set[int]:
 @register
 class FleetProcessStateRule(Rule):
     id = "FLT501"
+    scope = "file"
     title = "fleet code touches process-global mutable state"
     rationale = (
         "Fleet work units execute in forked worker processes, and the "
@@ -138,3 +147,165 @@ class FleetProcessStateRule(Rule):
                     "fork duplicates into every worker; construct "
                     "generators inside the unit from its arguments",
                 )
+
+
+@register
+class FleetSharedStateReachabilityRule(ProgramRule):
+    id = "FLT502"
+    title = "module-global mutable state reachable from a fleet worker entry point"
+    rationale = (
+        "FLT501 polices repro.fleet's own files, but worker processes "
+        "execute arbitrary unit functions that call into the rest of "
+        "the tree; any module-level dict/list/RNG mutated along that "
+        "transitive path is parent-process state the fork duplicated, "
+        "so workers drift from each other and from serial execution. "
+        "The call graph makes the whole reachable frontier checkable."
+    )
+
+    def check_program(self, program: "ProgramContext") -> Iterator[Violation]:
+        parents = program.reachable(program.fleet_entry_points())
+        for qual in sorted(parents):
+            fn = program.functions[qual]
+            mod = program.modules.get(fn.module)
+            if mod is None:
+                continue
+            chain = " -> ".join(
+                q.rsplit(".", 1)[-1] for q in program.chain(parents, qual)
+            )
+            yield from self._check_function(fn, mod, chain)
+
+    @staticmethod
+    def _local_names(fn_node: ast.AST) -> Set[str]:
+        """Parameters and locally-bound names (they shadow globals)."""
+        out: Set[str] = set()
+        args = getattr(fn_node, "args", None)
+        if args is not None:
+            for arg in [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+                *([args.vararg] if args.vararg else []),
+                *([args.kwarg] if args.kwarg else []),
+            ]:
+                out.add(arg.arg)
+        for node in ast.walk(fn_node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            out.add(elt.id)
+            elif isinstance(node, ast.withitem):
+                if isinstance(node.optional_vars, ast.Name):
+                    out.add(node.optional_vars.id)
+        return out
+
+    def _check_function(
+        self, fn: "FunctionInfo", mod: "ModuleInfo", chain: str
+    ) -> Iterator[Violation]:
+        declared_global: Set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        shadowed = self._local_names(fn.node) - declared_global
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_store(
+                        fn, mod, chain, node, target, declared_global,
+                        shadowed,
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_mutator_call(
+                    fn, mod, chain, node, shadowed
+                )
+
+    def _check_store(
+        self,
+        fn: "FunctionInfo",
+        mod: "ModuleInfo",
+        chain: str,
+        stmt: ast.AST,
+        target: ast.AST,
+        declared_global: Set[str],
+        shadowed: Set[str],
+    ) -> Iterator[Violation]:
+        if isinstance(target, ast.Name):
+            if target.id in declared_global:
+                yield self._violation(
+                    fn, stmt,
+                    f"rebinds module global {target.id!r}",
+                    chain,
+                )
+            return
+        # Attribute writes on instances are the unit's own state; the
+        # shared-state hazards are NAME[...] = ... on a module-level
+        # name and os.environ[...] = ... (outside repro.fleet, where
+        # FLT501 already fires on the latter).
+        if not isinstance(target, ast.Subscript):
+            return
+        base = target.value
+        if _is_environ(base):
+            if not fn.module.startswith("repro.fleet"):
+                yield self._violation(
+                    fn, stmt, "mutates os.environ", chain
+                )
+            return
+        if not isinstance(base, ast.Name):
+            return
+        if base.id in mod.globals and base.id not in shadowed:
+            yield self._violation(
+                fn, stmt,
+                f"writes into module-level container {base.id!r}",
+                chain,
+            )
+
+    def _check_mutator_call(
+        self, fn: "FunctionInfo", mod: "ModuleInfo", chain: str,
+        node: ast.Call, shadowed: Set[str],
+    ) -> Iterator[Violation]:
+        from repro.analysis.program import MUTATOR_METHODS
+
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in MUTATOR_METHODS:
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        receiver = func.value.id
+        if receiver in mod.globals and receiver not in shadowed:
+            yield self._violation(
+                fn, node,
+                f"calls {receiver}.{func.attr}() on a module-level "
+                "container",
+                chain,
+            )
+
+    def _violation(
+        self, fn: "FunctionInfo", node: ast.AST, what: str, chain: str
+    ) -> Violation:
+        return Violation(
+            path=fn.path,
+            line=getattr(node, "lineno", fn.line),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=(
+                f"{fn.name}() {what}, and is reachable from a fleet "
+                f"worker entry point via {chain}; workers fork this "
+                "state and silently diverge — derive it from unit "
+                "arguments instead"
+            ),
+        )

@@ -11,10 +11,14 @@ consume draws (the regression class fixed by hand in
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.analysis.program import ProgramContext, RngForCall
 
 from repro.analysis.engine import (
     LintContext,
+    ProgramRule,
     Rule,
     Violation,
     dotted_name,
@@ -55,6 +59,7 @@ def _is_generator_constructor(node: ast.Call) -> Optional[str]:
 @register
 class NewGeneratorInRngFunctionRule(Rule):
     id = "RNG201"
+    scope = "file"
     title = "function taking an rng parameter constructs a new generator"
     rationale = (
         "A caller hands a function its stream precisely so the draw "
@@ -91,6 +96,7 @@ def _looks_like_rng(target: Optional[str]) -> bool:
 @register
 class DrawInExceptHandlerRule(Rule):
     id = "RNG202"
+    scope = "file"
     title = "RNG draw consumed inside an except handler"
     rationale = (
         "Error paths fire data-dependently, so a draw inside an "
@@ -121,3 +127,109 @@ class DrawInExceptHandlerRule(Rule):
                             "runs, breaking seed-exact replay; compute "
                             "the fallback without the RNG",
                         )
+
+
+@register
+class StreamLineageRule(ProgramRule):
+    id = "RNG203"
+    title = "rng_for stream collision or RNG object crossing a WorkUnit boundary"
+    rationale = (
+        "rng_for keys streams by (name, salt): two call sites deriving "
+        "the same key share one stream, so a draw at one site shifts "
+        "the other's sequence. Likewise, an RNG object baked into a "
+        "WorkUnit's arguments carries parent-process generator state "
+        "across the fork boundary; units must re-derive their streams "
+        "from plain unit arguments via rng_for."
+    )
+
+    def check_program(self, program: "ProgramContext") -> Iterator[Violation]:
+        yield from self._check_collisions(program)
+        yield from self._check_workunit_escapes(program)
+
+    def _check_collisions(
+        self, program: "ProgramContext"
+    ) -> Iterator[Violation]:
+        by_key: Dict[Tuple[str, str], List["RngForCall"]] = {}
+        for call in program.rng_for_calls:
+            key = call.constant_key
+            if key is not None:
+                by_key.setdefault(key, []).append(call)
+        for key in sorted(by_key):
+            sites = sorted(
+                {(c.path, c.line, c.col) for c in by_key[key]}
+            )
+            if len(sites) < 2:
+                continue
+            first = sites[0]
+            name, salt = key
+            label = f"rng_for({name!r}, salt={salt!r})"
+            for path, line, col in sites[1:]:
+                yield Violation(
+                    path=path, line=line, col=col, rule=self.id,
+                    message=(
+                        f"{label} derives the same stream as "
+                        f"{first[0]}:{first[1]}; colliding call sites "
+                        "share one generator, so draws at one shift "
+                        "the other — pick a distinct name or salt"
+                    ),
+                )
+
+    def _check_workunit_escapes(
+        self, program: "ProgramContext"
+    ) -> Iterator[Violation]:
+        for qual in sorted(program.functions):
+            fn = program.functions[qual]
+            rng_names = self._rng_bound_names(fn.node)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = dotted_name(node.func)
+                if target is None or \
+                        target.rsplit(".", 1)[-1] != "WorkUnit":
+                    continue
+                for culprit, culprit_node in self._rng_valued_args(
+                    node, rng_names
+                ):
+                    yield Violation(
+                        path=fn.path,
+                        line=culprit_node.lineno,
+                        col=culprit_node.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"{culprit} escapes into a WorkUnit in "
+                            f"{fn.name}(); generator state does not "
+                            "survive the process boundary — pass the "
+                            "seed/name and re-derive with rng_for "
+                            "inside the unit"
+                        ),
+                    )
+
+    @staticmethod
+    def _rng_bound_names(fn: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            if _is_generator_constructor(node.value) is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _rng_valued_args(
+        call: ast.Call, rng_names: Set[str]
+    ) -> Iterator[Tuple[str, ast.AST]]:
+        values: List[ast.AST] = list(call.args)
+        values.extend(kw.value for kw in call.keywords)
+        for value in values:
+            for node in ast.walk(value):
+                if isinstance(node, ast.Name) and node.id in rng_names:
+                    yield f"RNG object {node.id!r}", node
+                elif isinstance(node, ast.Call):
+                    target = _is_generator_constructor(node)
+                    if target is not None:
+                        yield f"generator from {target}()", node

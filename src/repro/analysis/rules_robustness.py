@@ -48,6 +48,7 @@ def _is_silent_body(body: list) -> bool:
 @register
 class SilentExceptionRule(Rule):
     id = "ROB601"
+    scope = "file"
     title = "silent exception swallowing in decision-critical code"
     rationale = (
         "repro.core and repro.fleet promise every fault is accounted "

@@ -1,0 +1,113 @@
+"""Snapshot-completeness rule (whole-program).
+
+PR 7's crash-safe resume promises that ``snapshot()`` → kill →
+``restore()`` → continue is byte-identical to an uninterrupted run.
+That promise is only as strong as snapshot *coverage*: a new
+``self.<attr>`` added to the controller, machine, injector, budget
+meter, or harness state that is mutated mid-run but never serialized
+resumes at its constructor default — a divergence no unit test sees
+until a chaos soak happens to kill at the wrong quantum.  SNAP701
+closes that gap statically: in any class defining a capture/restore
+method pair, every attribute mutated outside ``__init__`` must be
+mentioned by the pair (captured, restored, or deliberately reset).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.engine import ProgramRule, Violation, register
+from repro.analysis.program import AttrWrite, ClassInfo, ProgramContext
+
+#: Method names that capture state.  ``state()`` joins the canonical
+#: ``snapshot()`` because DecisionBudget uses the ``state``/``restore``
+#: spelling; a class only qualifies when it defines BOTH halves, so a
+#: lone ``state()`` accessor never drags a class into scope.
+CAPTURE_METHODS = frozenset({"snapshot", "to_snapshot", "state"})
+RESTORE_METHODS = frozenset({"restore", "from_snapshot"})
+
+#: Lifecycle methods whose writes are initial values, not mid-run
+#: mutations the snapshot must carry.
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _mentioned_attrs(fn: ast.AST) -> Set[str]:
+    """Every ``self.<attr>`` touched (read or written) inside ``fn``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            out.add(node.attr)
+    return out
+
+
+@register
+class SnapshotCompletenessRule(ProgramRule):
+    id = "SNAP701"
+    title = "mutated attribute missing from the snapshot/restore pair"
+    rationale = (
+        "Crash-safe resume (docs/robustness.md) is byte-identical only "
+        "if every mid-run mutation round-trips through the class's "
+        "snapshot/restore pair; a field the pair never mentions resumes "
+        "at its constructor default and silently diverges after the "
+        "first kill."
+    )
+
+    def check_program(self, program: ProgramContext) -> Iterator[Violation]:
+        for qual in sorted(program.classes):
+            cls = program.classes[qual]
+            capture = sorted(set(cls.methods) & CAPTURE_METHODS)
+            restore = sorted(set(cls.methods) & RESTORE_METHODS)
+            if not capture or not restore:
+                continue
+            yield from self._check_class(program, cls, capture, restore)
+
+    def _check_class(
+        self,
+        program: ProgramContext,
+        cls: ClassInfo,
+        capture: List[str],
+        restore: List[str],
+    ) -> Iterator[Violation]:
+        pair_methods = set(capture) | set(restore)
+        covered: Set[str] = set()
+        for method in sorted(pair_methods):
+            fn = program.functions[cls.methods[method]]
+            covered |= _mentioned_attrs(fn.node)
+        exempt = pair_methods | _INIT_METHODS
+        mutated: Dict[str, AttrWrite] = {}
+        for attr in sorted(cls.attr_writes):
+            if attr in covered:
+                continue
+            for write in cls.attr_writes[attr]:
+                method_name = (
+                    write.method.rsplit(".", 1)[-1]
+                    if write.method is not None else ""
+                )
+                if write.kind != "external" and method_name in exempt:
+                    continue
+                mutated.setdefault(attr, write)
+                break
+        pair_label = f"{capture[0]}()/{restore[0]}()"
+        for attr in sorted(mutated):
+            write = mutated[attr]
+            where = (
+                f"in {write.method}" if write.method is not None
+                else "at class scope"
+            )
+            yield Violation(
+                path=write.path,
+                line=write.line,
+                col=write.col,
+                rule=self.id,
+                message=(
+                    f"{cls.name}.{attr} is mutated {where} but never "
+                    f"mentioned by {cls.name}.{pair_label}; a crash-"
+                    "resume silently resets it — capture it, restore "
+                    "it, or reset it explicitly in restore()"
+                ),
+            )

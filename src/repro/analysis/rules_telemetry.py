@@ -48,6 +48,7 @@ def _is_span_call(node: ast.Call) -> bool:
 @register
 class SpanOutsideWithRule(Rule):
     id = "TEL401"
+    scope = "file"
     title = "tracer span opened outside a with statement"
     rationale = (
         "A span not bound to a with block never closes on exceptions, "
@@ -117,6 +118,7 @@ def _metric_registration(node: ast.Call) -> Tuple[str, str]:
 @register
 class MetricNameConventionRule(Rule):
     id = "TEL402"
+    scope = "file"
     title = "metric name off-convention or registered as two kinds"
     rationale = (
         "Exporters, docs, and the bench/CI baselines key on metric "
@@ -169,6 +171,7 @@ def _queue_receiver(node: ast.Call) -> str:
 @register
 class UnboundedQueuePutRule(Rule):
     id = "TEL403"
+    scope = "file"
     title = "queue put without timeout or drop accounting on the event bus"
     rationale = (
         "The live event bus must never stall a fleet worker behind a "

@@ -53,6 +53,7 @@ def _unit_of(node: ast.AST) -> Optional[Tuple[str, str]]:
 @register
 class FloatEqualityRule(Rule):
     id = "UNIT301"
+    scope = "file"
     title = "exact == / != against a float literal"
     rationale = (
         "Computed floats (powers, latencies, way shares) accumulate "
@@ -91,6 +92,7 @@ _MUTABLE_CALLS = ("list", "dict", "set", "collections.defaultdict",
 @register
 class MutableDefaultRule(Rule):
     id = "UNIT302"
+    scope = "file"
     title = "mutable default argument"
     rationale = (
         "A mutable default is shared across every call: state leaks "
@@ -121,6 +123,7 @@ class MutableDefaultRule(Rule):
 @register
 class UnitSuffixMismatchRule(Rule):
     id = "UNIT303"
+    scope = "file"
     title = "unit-suffixed quantities mixed across different units"
     rationale = (
         "power_w = budget_mw or cap_w < latency_ms compiles and runs; "

@@ -712,8 +712,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import (
+        DEFAULT_CACHE_NAME,
+        LintCache,
+        build_program_context,
         describe_rules,
         lint_paths,
+        render_graph,
         render_json,
         render_text,
     )
@@ -731,7 +735,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    violations = lint_paths(paths)
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(Path(args.cache or DEFAULT_CACHE_NAME))
+    violations = lint_paths(paths, cache=cache)
+    if args.graph:
+        program = build_program_context(paths)
+        Path(args.graph).write_text(
+            render_graph(program, args.graph), encoding="utf-8"
+        )
+        print(f"wrote call graph to {args.graph}", file=sys.stderr)
     print(render_json(violations) if args.json else render_text(violations))
     return 1 if violations else 0
 
@@ -1131,6 +1144,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit a machine-readable JSON report")
     lint.add_argument("--list-rules", action="store_true",
                       help="describe every rule and the suppression syntax")
+    lint.add_argument("--graph", default=None, metavar="PATH",
+                      help="export the whole-program call graph "
+                      "(Graphviz DOT for .dot/.gv suffixes, else JSON)")
+    lint.add_argument("--cache", default=None, metavar="PATH",
+                      help="lint result cache file (default: "
+                      ".repro-lint-cache.json in the working directory)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="bypass the content-hash result cache")
     return parser
 
 

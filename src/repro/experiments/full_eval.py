@@ -252,7 +252,7 @@ def run_full_evaluation(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     telemetry: Any = None,
-    fleet_stats: Optional[Dict[str, int]] = None,
+    fleet_stats: Optional[Dict[str, Any]] = None,
 ) -> List[SectionResult]:
     """Run every (or a filtered subset of) experiment section.
 
@@ -264,7 +264,11 @@ def run_full_evaluation(
     if jobs <= 1 and checkpoint is None:
         # Fast path: no sharding/snapshot machinery for the plain run.
         if fleet_stats is not None:
-            fleet_stats.update({"retries": 0, "serial_fallbacks": 0})
+            fleet_stats.update({
+                "retries": 0,
+                "serial_fallbacks": 0,
+                "unit_attempts": {},
+            })
         return [_section(title, fn) for title, fn in sections]
     fleet = FleetRun(
         "full_eval",
@@ -286,6 +290,7 @@ def run_full_evaluation(
         fleet_stats.update({
             "retries": outcome.retries,
             "serial_fallbacks": outcome.serial_fallbacks,
+            "unit_attempts": outcome.unit_attempts(),
         })
     return [
         SectionResult(
@@ -298,7 +303,7 @@ def run_full_evaluation(
 
 def render_report(
     results: Sequence[SectionResult],
-    fleet_stats: Optional[Dict[str, int]] = None,
+    fleet_stats: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Assemble the markdown report.
 
@@ -337,4 +342,15 @@ def render_report(
             f"{fleet_stats.get('serial_fallbacks', 0)}."
         )
         lines.append("")
+        unit_attempts = fleet_stats.get("unit_attempts") or {}
+        if unit_attempts:
+            # Only rendered when some unit needed more than one
+            # attempt, so healthy reports stay byte-identical.
+            lines.append("Units needing more than one attempt:")
+            lines.append("")
+            for unit_id in sorted(unit_attempts):
+                lines.append(
+                    f"- {unit_id}: {unit_attempts[unit_id]} attempts"
+                )
+            lines.append("")
     return "\n".join(lines)

@@ -84,7 +84,9 @@ class FaultInjector:
 
     def attach_telemetry(self, telemetry) -> None:
         """Route injection counters into a telemetry session."""
-        self.telemetry = telemetry
+        # Session plumbing re-attached after restore(); deliberately
+        # outside the snapshot contract.
+        self.telemetry = telemetry  # repro: noqa[SNAP701]
 
     def _count(self, kind: str, n: int = 1) -> None:
         if n <= 0:

@@ -125,6 +125,19 @@ class FleetOutcome:
             f"retry(ies), {self.serial_fallbacks} serial fallback(s)"
         )
 
+    def unit_attempts(self) -> Dict[str, int]:
+        """Per-unit attempt counts for units that needed more than one.
+
+        Empty on a healthy run (every unit runs once; checkpoint-
+        resumed units report 0), which is what keeps reports that
+        embed it byte-identical across ``--jobs`` values.
+        """
+        return {
+            result.unit_id: result.attempts
+            for result in self.results
+            if result.attempts > 1
+        }
+
 
 class FleetRun:
     """Deterministic parallel execution of one named unit fleet."""

@@ -452,7 +452,9 @@ class Machine:
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route profiling/slice/reconfigure spans into a session."""
-        self.trace = tracer_of(telemetry)
+        # Session plumbing re-attached after restore(); deliberately
+        # outside the snapshot contract.
+        self.trace = tracer_of(telemetry)  # repro: noqa[SNAP701]
 
     def snapshot(self) -> Dict[str, Any]:
         """JSONable mutable state for crash-safe checkpoints.

@@ -136,7 +136,10 @@ def install_emitter(emitter: Optional[LiveEmitter]) -> Optional[LiveEmitter]:
     """
     global _EMITTER
     prior = _EMITTER
-    _EMITTER = emitter
+    # This rebinding IS the per-process hook: the worker loop installs
+    # an emitter scoped to one unit and restores the prior value in a
+    # finally, so no state leaks between units or back to the parent.
+    _EMITTER = emitter  # repro: noqa[FLT502]
     return prior
 
 

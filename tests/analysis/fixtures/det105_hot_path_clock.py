@@ -1,0 +1,38 @@
+"""DET105: wall-clock / global-RNG calls transitively reachable from
+the decision hot path (run_policy -> decide -> helpers)."""
+
+import time
+
+import numpy as np
+
+
+def run_policy(policy, machine, quanta):
+    total = 0.0
+    for _ in range(quanta):
+        total += _run_quantum(policy, machine)
+    return total
+
+
+def _run_quantum(policy, machine):
+    assignment = policy.decide(machine)
+    return _score(assignment)
+
+
+def _score(assignment):
+    started = time.monotonic()  # expect: DET105
+    return float(len(assignment)) + started * 0.0
+
+
+class TinyPolicy:
+    def decide(self, machine):
+        return _jitter([0, 1, 2])
+
+
+def _jitter(cores):
+    noise = np.random.random()  # expect: DET102,DET105
+    return [c for c in cores if noise >= 0.0]
+
+
+def off_path_diagnostic():
+    """Not reachable from any decision root: clocks are fine here."""
+    return time.perf_counter()

@@ -1,0 +1,47 @@
+"""FLT502: module-level mutable state reachable from fleet worker
+entry points (functions handed to WorkUnit(fn=...))."""
+
+_RESULT_CACHE = {}
+_SEEN_UNITS = []
+_MODE = "idle"
+
+
+def _compute(unit_id):
+    return len(unit_id)
+
+
+def _cell(unit_id):
+    """Unit function: everything it touches runs inside a worker."""
+    _RESULT_CACHE[unit_id] = _compute(unit_id)  # expect: FLT502
+    _mark_seen(unit_id)
+    _set_mode("busy")
+    shadowing_cell([unit_id])
+    return _RESULT_CACHE[unit_id]
+
+
+def _mark_seen(unit_id):
+    _SEEN_UNITS.append(unit_id)  # expect: FLT502
+
+
+def _set_mode(mode):
+    global _MODE
+    _MODE = mode  # expect: FLT502
+
+
+def build_units(unit_ids):
+    return [WorkUnit(unit_id=uid, fn=_cell) for uid in unit_ids]
+
+
+def untracked_helper(unit_id):
+    """Not reachable from any worker entry point: writes are fine."""
+    _RESULT_CACHE[unit_id] = 0
+    local_cache = {}
+    local_cache[unit_id] = 1
+    return local_cache
+
+
+def shadowing_cell(rows):
+    """Locals that shadow module globals are the unit's own state."""
+    _SEEN_UNITS = list(rows)
+    _SEEN_UNITS.append("local")
+    return _SEEN_UNITS

@@ -1,0 +1,42 @@
+"""RNG203: rng_for stream collisions and RNG objects crossing a
+WorkUnit boundary."""
+
+from repro.rng import rng_for
+
+
+def good_streams(seed):
+    alpha = rng_for("alpha", seed=seed)
+    beta = rng_for("beta", salt="fixture", seed=seed)
+    return alpha, beta
+
+
+def first_site(seed):
+    return rng_for("dup-stream", seed=seed)
+
+
+def second_site(seed):
+    return rng_for("dup-stream", seed=seed)  # expect: RNG203
+
+
+def salted_apart(seed):
+    """Same name, different salt: a distinct stream — clean."""
+    return rng_for("dup-stream", salt="other", seed=seed)
+
+
+def dynamic_names(unit_ids, seed):
+    """Dynamic name arguments cannot be compared statically — clean."""
+    return [rng_for(uid, salt="per-unit", seed=seed) for uid in unit_ids]
+
+
+def leaky_unit(seed):
+    stream = rng_for("unit-stream", seed=seed)
+    return WorkUnit(unit_id="u0", fn=run_unit, args=(stream,))  # expect: RNG203
+
+
+def safe_unit(seed):
+    """Pass the seed, not the generator: the unit re-derives."""
+    return WorkUnit(unit_id="u1", fn=run_unit, args=(seed,))
+
+
+def run_unit(payload):
+    return payload

@@ -1,0 +1,74 @@
+"""SNAP701: every attribute mutated mid-run must round-trip through
+the class's snapshot/restore pair (or be explicitly reset there)."""
+
+
+class CoveredController:
+    """Every mutated field is mentioned by the pair — clean."""
+
+    def __init__(self):
+        self.counter = 0
+        self.scratch = None
+        self.history = []
+
+    def step(self, value):
+        self.counter += 1
+        self.scratch = value
+        self.history.append(value)
+
+    def snapshot(self):
+        return {"counter": self.counter, "history": list(self.history)}
+
+    def restore(self, state):
+        self.counter = state["counter"]
+        self.history = list(state["history"])
+        # Deliberate reset still counts as coverage: the pair has
+        # accounted for the field.
+        self.scratch = None
+
+
+class LeakyController:
+    """Fields mutated in step() that the pair never mentions."""
+
+    def __init__(self):
+        self.counter = 0
+        self.missing = 0
+        self.log = []
+
+    def step(self, value):
+        self.counter += 1
+        self.missing += 1  # expect: SNAP701
+        self.log.append(value)  # expect: SNAP701
+
+    def snapshot(self):
+        return {"counter": self.counter}
+
+    def restore(self, state):
+        self.counter = state["counter"]
+
+
+class BudgetMeter:
+    """state()/restore() spelling qualifies a class too."""
+
+    def __init__(self):
+        self.spent = 0.0
+        self.quanta = 0
+
+    def charge(self, amount):
+        self.spent += amount
+        self.quanta += 1  # expect: SNAP701
+
+    def state(self):
+        return {"spent": self.spent}
+
+    def restore(self, state):
+        self.spent = state["spent"]
+
+
+class PlainAccumulator:
+    """No capture/restore pair: mutations are out of scope."""
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, value):
+        self.total += value

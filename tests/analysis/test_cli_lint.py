@@ -66,3 +66,65 @@ def test_list_rules_describes_every_rule(capsys):
     for rule in all_rules():
         assert rule.id in out
     assert "repro: noqa" in out
+
+
+SNAP_BAD = (
+    "class S:\n"
+    "    def __init__(self):\n"
+    "        self.a = 0\n"
+    "    def tick(self):\n"
+    "        self.a += 1\n"
+    "    def snapshot(self):\n"
+    "        return {}\n"
+    "    def restore(self, state):\n"
+    "        pass\n"
+)
+
+
+def test_lint_program_rule_violation_exits_one(tmp_path, capsys):
+    """The 0/1/2 contract covers whole-program rules too."""
+    path = tmp_path / "snap.py"
+    path.write_text(SNAP_BAD)
+    assert main(["lint", "--no-cache", str(path)]) == 1
+    assert "SNAP701" in capsys.readouterr().out
+
+
+def test_lint_cached_and_uncached_output_is_byte_identical(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD + SNAP_BAD)
+    cache = tmp_path / "cache.json"
+    assert main(["lint", "--no-cache", str(path)]) == 1
+    uncached = capsys.readouterr().out
+    assert main(["lint", "--cache", str(cache), str(path)]) == 1
+    cold = capsys.readouterr().out
+    assert main(["lint", "--cache", str(cache), str(path)]) == 1
+    warm = capsys.readouterr().out
+    assert uncached == cold == warm
+    assert cache.is_file()
+
+
+def test_lint_graph_exports_json(tmp_path, capsys):
+    source = tmp_path / "mod.py"
+    source.write_text("def a():\n    return b()\n\ndef b():\n    return 1\n")
+    graph = tmp_path / "graph.json"
+    assert main([
+        "lint", "--no-cache", "--graph", str(graph), str(source),
+    ]) == 0
+    payload = json.loads(graph.read_text())
+    assert {"functions", "edges", "decision_roots",
+            "fleet_entry_points"} <= set(payload)
+    quals = {fn["qualname"] for fn in payload["functions"]}
+    assert {"mod.a", "mod.b"} <= quals
+    assert {"caller": "mod.a", "callee": "mod.b"} in payload["edges"]
+
+
+def test_lint_graph_exports_dot(tmp_path, capsys):
+    source = tmp_path / "mod.py"
+    source.write_text("def a():\n    return b()\n\ndef b():\n    return 1\n")
+    graph = tmp_path / "graph.dot"
+    assert main([
+        "lint", "--no-cache", "--graph", str(graph), str(source),
+    ]) == 0
+    text = graph.read_text()
+    assert text.startswith("digraph repro_calls {")
+    assert '"mod.a" -> "mod.b";' in text

@@ -1,0 +1,115 @@
+"""Content-hash lint cache: byte-identical replay, precise invalidation.
+
+The cache's contract is that cached and uncached runs are
+indistinguishable — same violations, same rendered bytes — and that
+invalidation is keyed on file content plus the analysis package's own
+sources (so editing a rule drops stale results instead of serving
+them).
+"""
+
+import json
+
+from repro.analysis import LintCache, lint_paths, render_json, render_text
+from repro.analysis.cache import rules_fingerprint
+
+BAD = "def f(x_w: float) -> bool:\n    return x_w == 0.0\n"
+GOOD = "def f(x_w: float) -> bool:\n    return abs(x_w) <= 1e-9\n"
+SNAP_BAD = (
+    "class S:\n"
+    "    def __init__(self):\n"
+    "        self.a = 0\n"
+    "    def tick(self):\n"
+    "        self.a += 1\n"
+    "    def snapshot(self):\n"
+    "        return {}\n"
+    "    def restore(self, state):\n"
+    "        pass\n"
+)
+
+
+def make_tree(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "bad.py").write_text(BAD)
+    (src / "good.py").write_text(GOOD)
+    (src / "snap.py").write_text(SNAP_BAD)
+    return src
+
+
+def test_cached_run_is_byte_identical_to_uncached(tmp_path):
+    src = make_tree(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    uncached = lint_paths([src])
+    warm = lint_paths([src], cache=LintCache(cache_path))
+    replay = lint_paths([src], cache=LintCache(cache_path))
+    assert uncached == warm == replay
+    assert render_text(uncached) == render_text(replay)
+    assert render_json(uncached) == render_json(replay)
+
+
+def test_second_run_hits_for_every_file_and_the_program_pass(tmp_path):
+    src = make_tree(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    cold = LintCache(cache_path)
+    lint_paths([src], cache=cold)
+    assert cold.hits == 0
+    assert cold.misses == 4  # 3 files + the program pass
+    warm = LintCache(cache_path)
+    lint_paths([src], cache=warm)
+    assert warm.misses == 0
+    assert warm.hits == 4
+
+
+def test_editing_one_file_invalidates_only_that_file(tmp_path):
+    src = make_tree(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    lint_paths([src], cache=LintCache(cache_path))
+    (src / "good.py").write_text(GOOD + "\n# touched\n")
+    cache = LintCache(cache_path)
+    violations = lint_paths([src], cache=cache)
+    # The two untouched files hit; the edited file and the program
+    # pass (whose key spans every file) recompute.
+    assert cache.hits == 2
+    assert cache.misses == 2
+    assert violations == lint_paths([src])
+
+
+def test_fixing_a_violation_updates_the_cached_result(tmp_path):
+    src = make_tree(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    first = lint_paths([src], cache=LintCache(cache_path))
+    assert any(v.rule == "UNIT301" for v in first)
+    (src / "bad.py").write_text(GOOD)
+    second = lint_paths([src], cache=LintCache(cache_path))
+    assert not any(v.rule == "UNIT301" for v in second)
+    # SNAP701 from the program pass survives the edit.
+    assert any(v.rule == "SNAP701" for v in second)
+
+
+def test_corrupt_cache_is_discarded(tmp_path):
+    src = make_tree(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json")
+    cache = LintCache(cache_path)
+    violations = lint_paths([src], cache=cache)
+    assert violations == lint_paths([src])
+    # And the save repaired the file.
+    payload = json.loads(cache_path.read_text())
+    assert payload["version"] == 1
+
+
+def test_stale_fingerprint_drops_every_entry(tmp_path):
+    src = make_tree(tmp_path)
+    cache_path = tmp_path / "cache.json"
+    lint_paths([src], cache=LintCache(cache_path))
+    payload = json.loads(cache_path.read_text())
+    payload["fingerprint"] = "0" * 64
+    cache_path.write_text(json.dumps(payload))
+    cache = LintCache(cache_path)
+    lint_paths([src], cache=cache)
+    assert cache.hits == 0
+
+
+def test_fingerprint_is_stable_within_a_process():
+    assert rules_fingerprint() == rules_fingerprint()
+    assert len(rules_fingerprint()) == 64

@@ -51,3 +51,54 @@ class TestReport:
         assert code == 0
         assert "wrote" in capsys.readouterr().out
         assert out.read_text().startswith("# CuttleSys reproduction")
+
+    def test_fleet_section_zero_on_healthy(self):
+        results = run_full_evaluation(n_slices=2, only=["fig9"])
+        healthy = render_report(
+            results,
+            fleet_stats={"retries": 0, "serial_fallbacks": 0,
+                         "unit_attempts": {}},
+        )
+        assert "## Fleet execution" in healthy
+        assert "worker retries (WorkerDied resubmissions): 0" in healthy
+        # Per-unit lines appear only when a unit actually retried, so
+        # healthy reports are byte-identical with or without the key.
+        assert "more than one attempt" not in healthy
+        assert healthy == render_report(
+            results, fleet_stats={"retries": 0, "serial_fallbacks": 0}
+        )
+
+    def test_fleet_section_lists_retried_units(self):
+        results = run_full_evaluation(n_slices=2, only=["fig9"])
+        report = render_report(
+            results,
+            fleet_stats={
+                "retries": 3,
+                "serial_fallbacks": 0,
+                "unit_attempts": {
+                    "section/Fig. 9 — SGD vs RBF": 2,
+                    "section/Extension — ablations": 3,
+                },
+            },
+        )
+        assert "Units needing more than one attempt:" in report
+        lines = report.splitlines()
+        ablation_line = lines.index(
+            "- section/Extension — ablations: 3 attempts"
+        )
+        fig9_line = lines.index(
+            "- section/Fig. 9 — SGD vs RBF: 2 attempts"
+        )
+        assert ablation_line < fig9_line  # sorted by unit id
+
+    def test_run_full_evaluation_populates_unit_attempts(self):
+        stats = {}
+        run_full_evaluation(n_slices=2, only=["fig9"], fleet_stats=stats)
+        assert stats["unit_attempts"] == {}
+        fleet_stats = {}
+        run_full_evaluation(
+            n_slices=2, only=["fig9"], jobs=2, fleet_stats=fleet_stats
+        )
+        # A healthy parallel run needs exactly one attempt per unit.
+        assert fleet_stats["unit_attempts"] == {}
+        assert fleet_stats["retries"] == 0

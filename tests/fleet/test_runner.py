@@ -158,3 +158,30 @@ class TestTelemetry:
         assert metrics.counter("fleet.retries").value == 0
         assert metrics.counter("fleet.serial_fallbacks").value == 0
         assert metrics.gauge("fleet.jobs").value == 1.0
+
+
+class TestUnitAttempts:
+    def test_healthy_run_reports_no_extra_attempts(self):
+        outcome = FleetRun("t", make_units(3), seed=7).execute()
+        assert all(r.attempts == 1 for r in outcome.results)
+        assert outcome.unit_attempts() == {}
+
+    def test_retried_units_surface_with_their_counts(self):
+        from repro.fleet.runner import FleetOutcome
+        from repro.fleet.shard import UnitResult
+
+        outcome = FleetOutcome(
+            name="t",
+            results=(
+                UnitResult("u0", 0, value=1, worker="w0", attempts=1),
+                UnitResult("u1", 1, value=2, worker="w1", attempts=3),
+                UnitResult("u2", 2, value=3, worker="checkpoint",
+                           attempts=0),
+            ),
+            jobs=2,
+            resumed_units=1,
+            executed_units=2,
+            retries=2,
+            serial_fallbacks=0,
+        )
+        assert outcome.unit_attempts() == {"u1": 3}
