@@ -17,21 +17,31 @@ bare ``put_nowait`` silently loses the event.  Every enqueue must go
 through the drop-accounting ``offer`` helper or carry a ``timeout=``
 (with an explicit suppression where the blocking put is the point,
 e.g. the result queue).
+
+TEL404 keeps the metrics reference honest: every literal metric name
+registered in the live tree must have a row in
+``repro.telemetry.metrics_doc.METRICS_REFERENCE`` — the registry the
+docs/observability.md table is generated from — so a new metric cannot
+ship undocumented.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterator, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Set, Tuple
 
 from repro.analysis.engine import (
     LintContext,
+    ProgramRule,
     Rule,
     Violation,
     dotted_name,
     register,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.program import ProgramContext
 
 
 def _is_span_call(node: ast.Call) -> bool:
@@ -151,6 +161,60 @@ class MetricNameConventionRule(Rule):
                     self, node,
                     f"metric {name!r} registered as both {prior} and "
                     f"{kind}; one name must map to one instrument kind",
+                )
+
+
+@register
+class MetricUndocumentedRule(ProgramRule):
+    id = "TEL404"
+    title = "metric registered in the live tree but missing from the metrics reference"
+    rationale = (
+        "The docs/observability.md metrics table is generated from "
+        "repro.telemetry.metrics_doc.METRICS_REFERENCE; a literal "
+        "registration without a row there is a metric operators can "
+        "see in exports but cannot look up.  Add a MetricDoc row "
+        "(name, kind, unit, module, description).  Dynamic f-string "
+        "names are exempt here but must be documented as explicit "
+        "{placeholder} family rows."
+    )
+
+    def check_program(
+        self, program: "ProgramContext"
+    ) -> Iterator[Violation]:
+        # Imported lazily: the analysis package must stay importable
+        # without pulling the telemetry tree in at module scope.
+        from repro.telemetry.metrics_doc import documented_names
+
+        documented = documented_names()
+        for mod in program.modules.values():
+            if not (
+                mod.module == "repro"
+                or mod.module.startswith("repro.")
+            ):
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                kind, name = _metric_registration(node)
+                if not kind:
+                    continue
+                # Off-convention names are TEL402's finding; flagging
+                # them twice would just be noise.
+                if not _METRIC_NAME.match(name):
+                    continue
+                if name in documented:
+                    continue
+                yield Violation(
+                    path=mod.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule=self.id,
+                    message=(
+                        f"metric {name!r} ({kind}) has no row in "
+                        "METRICS_REFERENCE (repro.telemetry."
+                        "metrics_doc); document it so the generated "
+                        "docs table stays complete"
+                    ),
                 )
 
 

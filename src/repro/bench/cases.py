@@ -332,6 +332,62 @@ def _run_stream_overhead(repeats: int, seed: int) -> BenchCaseResult:
     )
 
 
+def _profiled_decision_loop(seed: int):
+    """The decision loop with a live session, then the profile build.
+
+    Returns ``(telemetry, profile root)`` so the counters can pin both
+    the flight recorder (every quantum produced a provenance record,
+    none dropped) and the profiler's deterministic operation totals.
+    """
+    from repro.telemetry import Telemetry
+    from repro.telemetry.profiler import profile_telemetry
+
+    telemetry = Telemetry()
+    _decision_loop(seed, telemetry)
+    return telemetry, profile_telemetry(telemetry)
+
+
+def _run_profiler_overhead(repeats: int, seed: int) -> BenchCaseResult:
+    """Flight-recorder + profiler cost on top of ``telemetry.overhead``.
+
+    The counters are the observability gate: ``provenance_records``
+    must equal the quantum count (the recorder never misses a
+    decision) and ``provenance_dropped_records`` has baseline 0, so a
+    recorder bound regression trips the CI counter comparison.  The
+    ``profile_ops_total`` / ``profile_nodes`` pair pins the profiler's
+    deterministic aggregation itself.
+    """
+    from repro.telemetry.profiler import iter_nodes, phase_summary
+
+    walls = [
+        _timed_ms(lambda: _profiled_decision_loop(seed))
+        for _ in range(repeats)
+    ]
+    session, root = _profiled_decision_loop(seed)
+    counters = session.metrics.as_dict()["counters"]
+    ops_total = sum(
+        sum(entry["ops"].values()) for entry in phase_summary(root)
+    )
+    return BenchCaseResult(
+        name="profiler.overhead",
+        description=(
+            f"{QUANTUM_SLICES} decision quanta with provenance "
+            "recording plus the profile build"
+        ),
+        wall_ms=tuple(walls),
+        counters={
+            "provenance_records": int(
+                counters.get("provenance.records", 0)
+            ),
+            "provenance_dropped_records": int(
+                counters.get("provenance.dropped", 0)
+            ),
+            "profile_ops_total": int(ops_total),
+            "profile_nodes": sum(1 for _ in iter_nodes(root)),
+        },
+    )
+
+
 # -- fleet benchmarks ------------------------------------------------------
 
 #: Slices per cluster-study arm in the fleet cases; enough work per
@@ -441,6 +497,11 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "telemetry.stream_overhead",
         "decision quanta streaming live events into a bounded queue",
         _run_stream_overhead,
+    ),
+    BenchCase(
+        "profiler.overhead",
+        "decision quanta with provenance recording plus the profile build",
+        _run_profiler_overhead,
     ),
     BenchCase(
         "fleet.pool",

@@ -35,6 +35,15 @@ Commands:
   fleet health (``--follow`` re-reads the log like ``top(1)``)
 * ``dashboard``             — render a JSONL telemetry log into one
   self-contained HTML dashboard (inline SVG/CSS, no external assets)
+* ``explain``               — render a run's per-quantum decision
+  provenance (candidate sets, rejection reasons, budget meters, ladder
+  rungs) as a human-readable "why" report (docs/observability.md)
+* ``replay``                — re-execute one quantum from a crash-safe
+  snapshot and byte-diff its provenance against the recorded log
+  (the flight recorder's determinism cross-check)
+* ``profile``               — deterministic virtual-cost profile of a
+  run or JSONL log: top-N cost table, per-phase attribution, folded-
+  stack (flamegraph.pl) and Chrome-trace export
 * ``audit``                 — run one mix with the prediction-accuracy
   auditor attached: per-metric error percentiles against the oracle,
   EWMA drift flags, QoS-violation attribution (docs/observability.md)
@@ -367,6 +376,180 @@ def _write_jsonl_records(path: str, records: Sequence[dict]) -> None:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     print(f"wrote {path} ({len(records)} lines)")
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl, render_explain
+    from repro.telemetry.provenance import provenance_records_from_jsonl
+
+    try:
+        records = read_jsonl(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    provenance = provenance_records_from_jsonl(records)
+    if not provenance:
+        print(f"error: {args.log} carries no provenance records "
+              f"(written by runs with telemetry attached)",
+              file=sys.stderr)
+        return 1
+    if args.quantum is not None:
+        provenance = [
+            r for r in provenance if r.get("quantum") == args.quantum
+        ]
+        if not provenance:
+            print(f"error: no provenance record for quantum "
+                  f"{args.quantum}", file=sys.stderr)
+            return 1
+    print("\n\n".join(render_explain(record) for record in provenance))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.replay import (
+        ReplayMismatch, diff_provenance, replay_quantum,
+    )
+    from repro.telemetry import read_jsonl
+    from repro.telemetry.provenance import provenance_records_from_jsonl
+
+    mixes = paper_mixes()
+    if not 0 <= args.mix < len(mixes):
+        print(f"error: mix index must be in [0, {len(mixes)})",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(args.state) as handle:
+            resume_state = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.state}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        records = read_jsonl(args.jsonl)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.jsonl}: {exc}", file=sys.stderr)
+        return 2
+    recorded = next(
+        (r for r in provenance_records_from_jsonl(records)
+         if r.get("quantum") == args.quantum),
+        None,
+    )
+    if recorded is None:
+        print(f"error: {args.jsonl} has no provenance record for "
+              f"quantum {args.quantum}", file=sys.stderr)
+        return 1
+    mix = mixes[args.mix]
+    reference = reference_power_for_mix(mix, seed=args.seed)
+    machine = build_machine_for_mix(mix, seed=args.seed)
+    from repro.core.controller import ControllerConfig
+
+    policy = CuttleSysPolicy.for_machine(
+        machine, seed=args.seed,
+        config=ControllerConfig(
+            seed=args.seed, decision_budget=args.decision_budget
+        ),
+    )
+    faults = None
+    if args.faults:
+        from repro.faults import FaultInjector, FaultSpecError, parse_fault_spec
+
+        try:
+            specs = parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+        faults = FaultInjector(specs, seed=args.seed)
+    try:
+        reproduced = replay_quantum(
+            machine, policy, LoadTrace.constant(args.load), resume_state,
+            args.quantum, power_cap_fraction=args.cap,
+            max_power_w=reference, faults=faults,
+        )
+    except ReplayMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    differences = diff_provenance(recorded, reproduced)
+    if differences:
+        print(f"replay MISMATCH at quantum {args.quantum}:")
+        print("\n".join(differences))
+        return 1
+    print(f"replay OK: quantum {args.quantum} reproduced "
+          f"byte-identically from {args.state}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry.profiler import (
+        render_phase_table,
+        render_profile_table,
+        write_folded,
+        write_profile_chrome_trace,
+    )
+
+    if args.log:
+        from repro.telemetry import read_jsonl
+        from repro.telemetry.profiler import build_profile
+
+        try:
+            records = read_jsonl(args.log)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+            return 2
+        root = build_profile(records)
+        source = args.log
+    else:
+        # No log: profile a fixed-seed in-process run (the CI smoke
+        # path).  Identical flags → identical operation counters.
+        from repro.telemetry import Telemetry
+        from repro.telemetry.profiler import profile_telemetry
+
+        mixes = paper_mixes()
+        if not 0 <= args.mix < len(mixes):
+            print(f"error: mix index must be in [0, {len(mixes)})",
+                  file=sys.stderr)
+            return 2
+        mix = mixes[args.mix]
+        reference = reference_power_for_mix(mix, seed=args.seed)
+        machine = build_machine_for_mix(mix, seed=args.seed)
+        policy = CuttleSysPolicy.for_machine(machine, seed=args.seed)
+        telemetry = Telemetry()
+        run_policy(
+            machine, policy, LoadTrace.constant(args.load),
+            power_cap_fraction=args.cap, n_slices=args.slices,
+            max_power_w=reference, telemetry=telemetry,
+        )
+        root = profile_telemetry(telemetry)
+        source = (f"mix {args.mix}, {args.slices} quanta, "
+                  f"seed {args.seed}")
+    if not root.children:
+        print("error: no spans to profile (was the log written with "
+              "telemetry attached?)", file=sys.stderr)
+        return 1
+    try:
+        if args.folded:
+            n = write_folded(root, args.folded, weight=args.weight)
+            print(f"wrote {args.folded} ({n} folded frames; feed to "
+                  f"flamegraph.pl)", file=sys.stderr)
+        if args.chrome:
+            n = write_profile_chrome_trace(root, args.chrome)
+            print(f"wrote {args.chrome} ({n} trace events)",
+                  file=sys.stderr)
+    except OSError as exc:
+        print(f"error: cannot write profile output: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.ops_only:
+        # Deterministic surface only: byte-identical across runs,
+        # hosts and --jobs levels (the CI diff gates this).
+        print(render_profile_table(root, top=args.top, ops_only=True))
+        return 0
+    print(f"profile of {source}")
+    print()
+    print(render_profile_table(root, top=args.top))
+    print()
+    print(render_phase_table(root))
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -807,8 +990,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 print(f"stats:      {json.dumps(stats, sort_keys=True)}")
             units = fingerprint.get("units", [])
             print(f"completed:  {len(completed)}/{len(units)} unit(s)")
+            # Checkpoints that predate `executed_ids` cannot tell a
+            # freshly executed unit from a restored one; fall back to
+            # the plain marker for those.
+            executed_ids = (
+                set(stats["executed_ids"])
+                if stats and "executed_ids" in stats else None
+            )
             for unit_id in units:
-                marker = "done" if unit_id in completed else "todo"
+                if unit_id not in completed:
+                    marker = "todo"
+                elif executed_ids is not None and unit_id not in executed_ids:
+                    marker = "done (checkpoint)"
+                else:
+                    marker = "done"
                 print(f"  [{marker}] {unit_id}")
             return 0
         if args.fleet_command == "cluster":
@@ -1092,6 +1287,75 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument("--title", default="repro run dashboard",
                            help="dashboard page title")
 
+    explain = sub.add_parser(
+        "explain",
+        help="render a run's per-quantum decision provenance as a "
+        "human-readable 'why' report (docs/observability.md)",
+    )
+    explain.add_argument("log", help="JSONL log written by `run --jsonl` "
+                         "or `fleet ... --jsonl`")
+    explain.add_argument("--quantum", type=int, default=None, metavar="N",
+                         help="restrict to one quantum "
+                         "(default: every recorded quantum)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute one quantum from a crash-safe snapshot and "
+        "byte-diff its provenance against the recorded log",
+    )
+    replay.add_argument("--state", required=True, metavar="PATH",
+                        help="resume state written by "
+                        "`run --stop-after K --save-state PATH`")
+    replay.add_argument("--jsonl", required=True, metavar="PATH",
+                        help="JSONL log of the full (uninterrupted) run")
+    replay.add_argument("--quantum", type=int, required=True, metavar="N",
+                        help="quantum to reproduce (>= the snapshot's "
+                        "pause point)")
+    replay.add_argument("--mix", type=int, default=0,
+                        help="mix index of the original run (default 0)")
+    replay.add_argument("--cap", type=float, default=0.7,
+                        help="power cap fraction of the original run")
+    replay.add_argument("--load", type=float, default=0.8,
+                        help="LC load fraction of the original run")
+    replay.add_argument("--decision-budget", type=int, default=None,
+                        metavar="OPS",
+                        help="decision budget of the original run")
+    replay.add_argument("--faults", default=None, metavar="SPEC",
+                        help="fault spec of the original run")
+
+    profile = sub.add_parser(
+        "profile",
+        help="deterministic virtual-cost profile: top-N cost table, "
+        "phase attribution, flame-graph export",
+    )
+    profile.add_argument("log", nargs="?", default=None,
+                         help="JSONL log to profile (default: profile a "
+                         "fixed-seed in-process run)")
+    profile.add_argument("--mix", type=int, default=0,
+                         help="mix index for the in-process run")
+    profile.add_argument("--cap", type=float, default=0.7,
+                         help="power cap fraction for the in-process run")
+    profile.add_argument("--load", type=float, default=0.8,
+                         help="LC load fraction for the in-process run")
+    profile.add_argument("--slices", type=int, default=3,
+                         help="quanta for the in-process run (default 3)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="rows in the top-costs table (default 15)")
+    profile.add_argument("--ops-only", action="store_true",
+                         help="print only the deterministic operation-"
+                         "counter table (byte-identical across runs "
+                         "and --jobs levels; what CI diffs)")
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="write flamegraph.pl-compatible folded "
+                         "stacks")
+    profile.add_argument("--weight", default="exclusive_us",
+                         choices=["exclusive_us", "ops", "count"],
+                         help="folded-stack weight (default: "
+                         "exclusive_us; 'ops' is deterministic)")
+    profile.add_argument("--chrome", default=None, metavar="PATH",
+                         help="write the merged call tree as a Chrome "
+                         "trace_event JSON")
+
     audit = sub.add_parser(
         "audit",
         help="run one mix with the prediction-accuracy auditor attached",
@@ -1173,6 +1437,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "telemetry-report": _cmd_telemetry_report,
         "top": _cmd_top,
         "dashboard": _cmd_dashboard,
+        "explain": _cmd_explain,
+        "replay": _cmd_replay,
+        "profile": _cmd_profile,
         "audit": _cmd_audit,
         "bench": _cmd_bench,
         "lint": _cmd_lint,

@@ -39,6 +39,11 @@ from repro.core.deadline import (
 )
 from repro.core.ga import GAParams, GeneticSearch
 from repro.logs import get_logger
+from repro.telemetry.provenance import (
+    ProvenanceRecorder,
+    candidate_provenance,
+    classify_candidates,
+)
 from repro.telemetry.tracer import Tracer, tracer_of
 from repro.core.matrices import (
     ObservedMatrix,
@@ -80,6 +85,17 @@ log = get_logger("core.controller")
 def nearest_load_bucket(load: float) -> float:
     """Snap a fractional load onto :data:`LOAD_GRID`."""
     return min(LOAD_GRID, key=lambda b: abs(b - load))
+
+
+def _diagnostics_state(diag: Any) -> Optional[Dict[str, Any]]:
+    """JSONable view of one reconstruction's SGD diagnostics."""
+    if diag is None:
+        return None
+    return {
+        "iterations": int(diag.iterations),
+        "rmse": float(diag.observed_rmse),
+        "converged": bool(diag.converged),
+    }
 
 
 @dataclass(frozen=True)
@@ -397,6 +413,11 @@ class ResourceController:
         #: the accuracy auditor attributes that quantum's QoS
         #: violations to the deadline_degraded cause.
         self.deadline_degraded_quantum = False
+        #: Degradation rungs taken by the in-flight decide() call, in
+        #: order — the provenance record's ``rungs`` section.  Reset at
+        #: every decision boundary (and in restore(): runs resume at a
+        #: quantum boundary, so no decision is in flight).
+        self._rungs_this_quantum: List[str] = []
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route spans/metrics into a :class:`repro.telemetry.Telemetry`.
@@ -424,6 +445,66 @@ class ResourceController:
         """Increment a session counter, if a session is attached."""
         if self.telemetry is not None:
             self.telemetry.metrics.counter(name).inc(n)
+
+    # ------------------------------------------------------------------
+    # Decision provenance (repro.telemetry.provenance).
+    # ------------------------------------------------------------------
+
+    def _provenance_recorder(self) -> Optional[ProvenanceRecorder]:
+        """The attached session's flight recorder, if recording."""
+        if self.telemetry is None:
+            return None
+        if not getattr(self.telemetry, "enabled", True):
+            return None
+        return getattr(self.telemetry, "provenance", None)
+
+    def _budget_meter(
+        self,
+        full_cost: Optional[int] = None,
+        reduced_cost: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """The deadline meter's readings at this point in the decision."""
+        meter: Dict[str, Any] = {
+            "limit": self.budget.limit,
+            "spent": int(self.budget.spent),
+            "remaining": self.budget.remaining(),
+        }
+        if full_cost is not None:
+            meter["full_search_cost"] = int(full_cost)
+        if reduced_cost is not None:
+            meter["reduced_search_cost"] = int(reduced_cost)
+        return meter
+
+    def _emit_provenance(self, record: Dict[str, Any]) -> None:
+        """Stamp and store one quantum's provenance record.
+
+        The quantum index comes from the harness (which marks each
+        boundary on the recorder) and falls back to the budget meter's
+        lifetime quantum counter — snapshot state, so standalone
+        ``decide()`` loops and resumed runs index identically.
+        """
+        recorder = self._provenance_recorder()
+        if recorder is None:
+            return
+        quantum = recorder.quantum
+        if quantum is None:
+            quantum = self.budget.quanta - 1
+        full: Dict[str, Any] = {
+            "type": "provenance",
+            "quantum": int(quantum),
+            "rungs": list(self._rungs_this_quantum),
+            "safety": {
+                "safe_mode": bool(self._safe_mode_remaining > 0),
+                "quarantined_jobs": int(
+                    np.count_nonzero(self._quarantine > 0)
+                ),
+            },
+            **record,
+        }
+        if recorder.record(full):
+            self._count("provenance.records")
+        else:
+            self._count("provenance.dropped")
 
     # ------------------------------------------------------------------
     # Matrix bookkeeping.
@@ -760,22 +841,36 @@ class ResourceController:
             )
         self.deadline_degraded_quantum = False
         self.budget.begin_quantum()
+        self._rungs_this_quantum = []
+        recorder = self._provenance_recorder()
         self._age_observations()
 
         if self.config.hardened:
             self._tick_quarantine()
             if self._update_safe_mode():
-                return self._safe_mode_assignment()
+                assignment = self._safe_mode_assignment()
+                self._emit_provenance({
+                    "mode": "safe_mode",
+                    "budget": self._budget_meter(),
+                })
+                return assignment
 
         with self.tracer.span("sgd", category="controller") as sgd_span:
             bips_hat = self._reconstructor.reconstruct(self._bips_matrix)
+            bips_diag = _diagnostics_state(
+                self._reconstructor.last_diagnostics
+            )
             power_hat = self._reconstructor.reconstruct(self._power_matrix)
+            power_diag = _diagnostics_state(
+                self._reconstructor.last_diagnostics
+            )
 
         with self.tracer.span("lc_scan", category="controller") as lc_span:
             loads = [load, *extra_loads]
             selections = []
             predicted_p99 = []
             lc_snapshots: List[LCRegimeSnapshot] = []
+            lc_entries: List[Dict[str, Any]] = []
             # The paper relocates at most one core per timeslice; with
             # several services the most recently violating one wins it.
             reclaim_available = True
@@ -812,6 +907,13 @@ class ResourceController:
                     latency_row=latency_row,
                     chosen_index=joint.index if cores > 0 else None,
                 ))
+                lc_entries.append({
+                    "service": idx,
+                    "load": float(loads[idx]),
+                    "cores": int(cores),
+                    "config": int(joint.index) if cores > 0 else None,
+                    "reclaimed": bool(reclaimed),
+                })
             lc_joint, lc_cores, lc_power = selections[0]
         timings = StepTimings(sgd_s=sgd_span.duration_s + lc_span.duration_s)
 
@@ -827,28 +929,54 @@ class ResourceController:
 
         # Degradation ladder (docs/robustness.md): the reconstructions
         # above already charged the budget; price the search before
-        # running it and step down a rung when it does not fit.
+        # running it and step down a rung when it does not fit.  The
+        # prices quoted here land in the provenance record's budget
+        # section so `repro explain` can show why a rung was taken.
         searcher = self._searcher
-        if (
-            self.budget.limited
-            and self._reduced_searcher is not None
-            and not self.budget.can_afford(
-                dds_search_cost(self.config.dds, self._last_x is not None)
+        search_label = self.config.explorer
+        full_cost: Optional[int] = None
+        reduced_cost: Optional[int] = None
+        if self.budget.limited and self._reduced_searcher is not None:
+            full_cost = dds_search_cost(
+                self.config.dds, self._last_x is not None
             )
-        ):
-            reduced_cost = dds_search_cost(
-                self._reduced_searcher.params, self._last_x is not None
-            )
-            if self.budget.can_afford(reduced_cost):
-                searcher = self._reduced_searcher
-                self._degradation_rung("reduced_dds")
-            elif (
-                self.last_good_assignment is not None
-                or self._last_assignment is not None
-            ):
-                return self._deadline_last_good_assignment()
-            else:
-                return self._deadline_fair_share_assignment()
+            if not self.budget.can_afford(full_cost):
+                reduced_cost = dds_search_cost(
+                    self._reduced_searcher.params, self._last_x is not None
+                )
+                if self.budget.can_afford(reduced_cost):
+                    searcher = self._reduced_searcher
+                    search_label = "reduced_dds"
+                    self._degradation_rung("reduced_dds")
+                elif (
+                    self.last_good_assignment is not None
+                    or self._last_assignment is not None
+                ):
+                    assignment = self._deadline_last_good_assignment()
+                    self._emit_provenance({
+                        "mode": "last_good",
+                        "budget": self._budget_meter(
+                            full_cost, reduced_cost
+                        ),
+                        "reconstruction": {
+                            "bips": bips_diag, "power": power_diag,
+                        },
+                        "lc": lc_entries,
+                    })
+                    return assignment
+                else:
+                    assignment = self._deadline_fair_share_assignment()
+                    self._emit_provenance({
+                        "mode": "fair_share",
+                        "budget": self._budget_meter(
+                            full_cost, reduced_cost
+                        ),
+                        "reconstruction": {
+                            "bips": bips_diag, "power": power_diag,
+                        },
+                        "lc": lc_entries,
+                    })
+                    return assignment
 
         total_lc_cores = sum(cores for _, cores, _ in selections)
         batch_cores = self.machine.params.n_cores - total_lc_cores
@@ -874,12 +1002,17 @@ class ResourceController:
         with self.tracer.span(
             "search", category="controller", explorer=self.config.explorer
         ) as search_span:
+            # record_explored only stores the candidate trace for the
+            # provenance summary; it changes neither the RNG stream nor
+            # the evaluation count, so recorded and bare runs decide
+            # identically.
             result = searcher.search(
                 objective,
                 n_dims=self.n_batch,
                 n_confs=N_JOINT_CONFIGS,
                 rng=self._rng,
                 initial=self._last_x,
+                record_explored=recorder is not None,
             )
         timings.search_s = search_span.duration_s
         # Wall-clock phase timings are diagnostics outside the
@@ -936,6 +1069,41 @@ class ResourceController:
         )
         self.lc_cores_by_service = [cores for _, cores, _ in selections]
         self._last_assignment = assignment
+        if recorder is not None:
+            chosen_power, chosen_ways, _, _ = classify_candidates(
+                objective, x[None, :]
+            )
+            self._emit_provenance({
+                "mode": (
+                    "reduced_dds" if search_label == "reduced_dds"
+                    else "normal"
+                ),
+                "budget": self._budget_meter(full_cost, reduced_cost),
+                "reconstruction": {"bips": bips_diag, "power": power_diag},
+                "lc": lc_entries,
+                "power": {
+                    "max_power_w": float(max_power),
+                    "target_power_w": float(target_power),
+                    "headroom_fraction": float(self.config.power_headroom),
+                    "reserved_power_w": float(reserved_power),
+                },
+                "search": {
+                    "searcher": search_label,
+                    "evaluations": int(result.evaluations),
+                    **candidate_provenance(
+                        objective, result.explored, recorder.top_k
+                    ),
+                },
+                "power_fallback": {"cores_disabled": int(gated)},
+                # The chosen point is the search's winner *before* the
+                # power fallback and quarantine pinning, whose effects
+                # are recorded in their own sections.
+                "chosen": {
+                    "objective": float(result.best_objective),
+                    "power_w": float(chosen_power[0]),
+                    "ways": float(chosen_ways[0]),
+                },
+            })
         return assignment
 
     # ------------------------------------------------------------------
@@ -1043,6 +1211,7 @@ class ResourceController:
     def _degradation_rung(self, rung: str) -> None:
         """Record one degradation-ladder step taken this quantum."""
         self.deadline_degraded_quantum = True
+        self._rungs_this_quantum.append(rung)
         self._count("controller.degradation.rungs")
         self._count(f"controller.degradation.{rung}")
         log.warning(
@@ -1553,6 +1722,8 @@ class ResourceController:
         )
         # A completed quantum's prediction snapshots are never read
         # after the next decide() begins; a resumed run starts at a
-        # quantum boundary, so they restart empty.
+        # quantum boundary, so they restart empty — as does the
+        # per-decision provenance rung trail (no decision in flight).
         self.last_prediction = None
         self.last_reconstruction = None
+        self._rungs_this_quantum = []

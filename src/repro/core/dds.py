@@ -111,7 +111,7 @@ class DDSSearch:
             )
             span.set(evaluations=result.evaluations)
             if self.budget is not None:
-                self.budget.charge(result.evaluations)
+                self.budget.charge(result.evaluations, phase="dds.search")
             return result
 
     def _search(

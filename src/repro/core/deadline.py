@@ -18,7 +18,7 @@ auditor as the ``deadline_degraded`` QoS-violation cause.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.dds import DDSParams
@@ -46,6 +46,10 @@ class DecisionBudget:
         self.total_spent = 0
         #: Quanta started (``begin_quantum`` calls).
         self.quanta = 0
+        #: Lifetime operations per phase label (``charge(..., phase=)``).
+        #: Purely additive attribution for the virtual-cost profiler;
+        #: the ``spent``/``total_spent`` arithmetic is unchanged.
+        self.spent_by_phase: Dict[str, int] = {}
 
     @property
     def limited(self) -> bool:
@@ -57,12 +61,21 @@ class DecisionBudget:
         self.spent = 0
         self.quanta += 1
 
-    def charge(self, units: int) -> None:
-        """Record ``units`` operations against the current quantum."""
+    def charge(self, units: int, phase: Optional[str] = None) -> None:
+        """Record ``units`` operations against the current quantum.
+
+        ``phase`` attributes the charge to a named hot-path phase
+        (``sgd.reconstruct``, ``dds.search``, ...) without altering the
+        deadline arithmetic itself.
+        """
         if units < 0:
             raise ValueError("cannot charge a negative operation count")
         self.spent += units
         self.total_spent += units
+        if phase is not None:
+            self.spent_by_phase[phase] = (
+                self.spent_by_phase.get(phase, 0) + units
+            )
 
     def can_afford(self, units: int) -> bool:
         """Whether ``units`` more operations fit in this quantum."""
@@ -76,19 +89,31 @@ class DecisionBudget:
             return None
         return max(0, self.limit - self.spent)
 
-    def state(self) -> Dict[str, int]:
+    def state(self) -> Dict[str, Any]:
         """JSONable meter state for controller snapshots."""
         return {
             "spent": self.spent,
             "total_spent": self.total_spent,
             "quanta": self.quanta,
+            "by_phase": {
+                phase: self.spent_by_phase[phase]
+                for phase in sorted(self.spent_by_phase)
+            },
         }
 
-    def restore(self, state: Dict[str, int]) -> None:
-        """Restore the meter from :meth:`state` (limit comes from config)."""
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore the meter from :meth:`state` (limit comes from config).
+
+        ``by_phase`` is tolerated as absent so pre-phase snapshots stay
+        loadable.
+        """
         self.spent = int(state["spent"])
         self.total_spent = int(state["total_spent"])
         self.quanta = int(state["quanta"])
+        self.spent_by_phase = {
+            str(phase): int(units)
+            for phase, units in dict(state.get("by_phase", {})).items()
+        }
 
 
 def dds_search_cost(params: "DDSParams", seeded: bool) -> int:

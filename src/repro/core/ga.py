@@ -137,7 +137,7 @@ class GeneticSearch:
         result.best_x = population[best]
         result.best_objective = float(fitness[best])
         if self.budget is not None:
-            self.budget.charge(result.evaluations)
+            self.budget.charge(result.evaluations, phase="ga.search")
         return result
 
     def _tournament(

@@ -117,7 +117,10 @@ class PQReconstructor:
             if self.last_diagnostics is not None:
                 span.set(iterations=self.last_diagnostics.iterations)
                 if self.budget is not None:
-                    self.budget.charge(self.last_diagnostics.iterations)
+                    self.budget.charge(
+                        self.last_diagnostics.iterations,
+                        phase="sgd.reconstruct",
+                    )
             return result
 
     def _reconstruct(self, matrix: ObservedMatrix) -> np.ndarray:

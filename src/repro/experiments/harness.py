@@ -515,6 +515,13 @@ def run_policy(
         )
     for i in range(start, n_slices):
         with tracer.span("quantum", category="harness", index=i):
+            if session_on:
+                recorder = getattr(telemetry, "provenance", None)
+                if recorder is not None:
+                    # The flight recorder indexes records by harness
+                    # quantum, which survives pause/resume (the loop
+                    # restarts at the saved ``next_slice``).
+                    recorder.begin_quantum(i)
             if faults is not None:
                 faults.begin_quantum(i)
                 for slot in faults.crash_events(

@@ -227,6 +227,10 @@ class FleetRun:
             return {
                 "jobs": self.params.jobs,
                 "executed": progress["done_this_run"],
+                # Units this run actually executed (vs restored from
+                # the checkpoint); `repro fleet status` uses the set to
+                # label each completed unit's origin.
+                "executed_ids": sorted(executed),
                 "resumed": resumed,
                 "retries": pool.retries,
                 "serial_fallbacks": pool.serial_fallbacks,
@@ -264,7 +268,11 @@ class FleetRun:
         )
         if todo:
             pool.map(todo, on_result, on_event)
-        if self._store is not None and progress["since_save"]:
+        # Also refresh the stats when units were restored with nothing
+        # left to run: `repro fleet status` labels each unit's origin
+        # from the *latest* run's `executed_ids`, which would otherwise
+        # still describe the run that executed them.
+        if self._store is not None and (progress["since_save"] or resumed):
             self._store.save(completed, stats=run_stats())
 
         by_id: Dict[str, UnitResult] = {}

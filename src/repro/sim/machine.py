@@ -574,11 +574,17 @@ class Machine:
         n = len(self.batch_profiles)
         bips = np.empty((n, N_JOINT_CONFIGS))
         power = np.empty((n, N_JOINT_CONFIGS))
-        for idx in range(N_JOINT_CONFIGS):
-            joint = JointConfig.from_index(idx)
-            for j in range(n):
-                bips[j, idx] = self.true_batch_bips(j, joint)
-                power[j, idx] = self.true_batch_power(j, joint.core)
+        # Oracle table fills are the auditor's dominant cost; the span
+        # feeds the virtual-cost profiler (evaluations = model calls).
+        with self.trace.span(
+            "mgk.latency", category="oracle", kind="batch_tables",
+            evaluations=n * N_JOINT_CONFIGS,
+        ):
+            for idx in range(N_JOINT_CONFIGS):
+                joint = JointConfig.from_index(idx)
+                for j in range(n):
+                    bips[j, idx] = self.true_batch_bips(j, joint)
+                    power[j, idx] = self.true_batch_power(j, joint.core)
         return bips, power
 
     def oracle_lc_latency_row(
@@ -592,10 +598,15 @@ class Machine:
         """
         service = self.lc_services[service_idx]
         row = np.empty(N_JOINT_CONFIGS)
-        for idx in range(N_JOINT_CONFIGS):
-            row[idx] = self.true_lc_p99(
-                JointConfig.from_index(idx), load, n_cores, service=service
-            )
+        with self.trace.span(
+            "mgk.latency", category="oracle", kind="lc_row",
+            evaluations=N_JOINT_CONFIGS,
+        ):
+            for idx in range(N_JOINT_CONFIGS):
+                row[idx] = self.true_lc_p99(
+                    JointConfig.from_index(idx), load, n_cores,
+                    service=service,
+                )
         return row
 
     # ------------------------------------------------------------------

@@ -76,6 +76,20 @@ from repro.telemetry.metrics import (
     NullMetricsRegistry,
     signed_error_percent,
 )
+from repro.telemetry.profiler import (
+    ProfileNode,
+    build_profile,
+    folded_stacks,
+    profile_telemetry,
+    render_phase_table,
+    render_profile_table,
+)
+from repro.telemetry.provenance import (
+    ProvenanceRecorder,
+    provenance_key,
+    provenance_records_from_jsonl,
+    render_explain,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     Instant,
@@ -107,6 +121,12 @@ class Telemetry:
         #: Optional :class:`~repro.telemetry.accuracy.AccuracyAuditor`;
         #: the harness audits each quantum when one is attached.
         self.auditor: Optional[AccuracyAuditor] = None
+        #: Decision-provenance flight recorder
+        #: (:mod:`repro.telemetry.provenance`); the controller emits one
+        #: bounded "why" record per quantum when a session is attached.
+        self.provenance: Optional[ProvenanceRecorder] = (
+            ProvenanceRecorder() if enabled else None
+        )
 
     def enable_accuracy_audit(
         self, config: Optional[AuditConfig] = None
@@ -166,24 +186,34 @@ __all__ = [
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "ProfileNode",
+    "ProvenanceRecorder",
     "RollingWindow",
     "Span",
     "Telemetry",
     "Tracer",
+    "build_profile",
     "chrome_trace_events",
     "current_emitter",
     "decision_records_from_jsonl",
     "decisions_to_csv",
+    "folded_stacks",
     "install_emitter",
     "median_error_pct",
     "merge_jsonl",
     "offer",
+    "profile_telemetry",
+    "provenance_key",
+    "provenance_records_from_jsonl",
     "read_jsonl",
     "render_accuracy_report",
     "render_dashboard",
+    "render_explain",
     "render_jsonl_report",
     "render_live_status",
     "render_metrics_report",
+    "render_phase_table",
+    "render_profile_table",
     "render_prometheus",
     "signed_error_percent",
     "tracer_of",

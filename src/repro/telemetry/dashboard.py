@@ -329,6 +329,7 @@ def render_dashboard(records: Iterable[Dict],
 
     qos_violations = int(counters.get("harness.qos_violations", 0))
     power_violations = int(counters.get("harness.power_violations", 0))
+    degradations = int(counters.get("controller.degradation.rungs", 0))
     retries = int(counters.get("fleet.retries", 0))
     fallbacks = int(counters.get("fleet.serial_fallbacks", 0))
     dropped = int(counters.get("live.dropped_events", 0))
@@ -339,6 +340,8 @@ def render_dashboard(records: Iterable[Dict],
               "alert" if qos_violations else ""),
         _tile("power violations", power_violations,
               "alert" if power_violations else ""),
+        _tile("degraded decisions", degradations,
+              "alert" if degradations else ""),
         _tile("drift events", len(drift), "alert" if drift else ""),
         _tile("fleet retries", retries, "alert" if retries else ""),
         _tile("serial fallbacks", fallbacks),

@@ -59,7 +59,7 @@ def write_jsonl(telemetry, path_or_file) -> int:
     """Write the session as JSON Lines; returns the line count.
 
     Line types (``"type"`` field): ``span``, ``instant``, ``counter``,
-    ``gauge``, ``histogram``, ``decision``.
+    ``gauge``, ``histogram``, ``decision``, ``provenance``.
     """
     handle, owned = _open(path_or_file)
     lines = 0
@@ -118,6 +118,14 @@ def write_jsonl(telemetry, path_or_file) -> int:
                 "measured_power_w": _jsonable(record.measured_power_w),
             }) + "\n")
             lines += 1
+        recorder = getattr(telemetry, "provenance", None)
+        if recorder is not None:
+            # Provenance records are built JSON-ready by the controller
+            # (deterministic values only); sort_keys makes the archival
+            # bytes canonical so replay diffs compare file lines.
+            for record in recorder.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                lines += 1
     finally:
         if owned:
             handle.close()
@@ -152,7 +160,9 @@ def merge_jsonl(per_unit, path_or_file=None) -> List[Dict]:
       they are tagged ``"unit"`` and sorted by ``(name, unit)``;
     * ``decision`` lines are tagged ``"unit"`` and sorted by
       ``(quantum, unit)``, so per-quantum analysis reads them in
-      simulation order.
+      simulation order;
+    * ``provenance`` lines follow the decision convention: tagged
+      ``"unit"``, sorted by ``(quantum, unit)``.
 
     Duplicate unit ids raise ``ValueError``.  With ``path_or_file``
     set, the merged records are also written as JSONL.  Returns the
@@ -174,6 +184,7 @@ def merge_jsonl(per_unit, path_or_file=None) -> List[Dict]:
     gauges: List[Dict] = []
     histograms: List[Dict] = []
     decisions: List[Dict] = []
+    provenance: List[Dict] = []
     for unit_id, records in resolved:
         for rec in records:
             kind = rec.get("type")
@@ -189,9 +200,12 @@ def merge_jsonl(per_unit, path_or_file=None) -> List[Dict]:
                 histograms.append({**rec, "unit": unit_id})
             elif kind == "decision":
                 decisions.append({**rec, "unit": unit_id})
+            elif kind == "provenance":
+                provenance.append({**rec, "unit": unit_id})
     gauges.sort(key=lambda r: (r["name"], r["unit"]))
     histograms.sort(key=lambda r: (r["name"], r["unit"]))
     decisions.sort(key=lambda r: (r["quantum"], r["unit"]))
+    provenance.sort(key=lambda r: (r["quantum"], r["unit"]))
     merged = (
         traces
         + [
@@ -201,6 +215,7 @@ def merge_jsonl(per_unit, path_or_file=None) -> List[Dict]:
         + gauges
         + histograms
         + decisions
+        + provenance
     )
     if path_or_file is not None:
         handle, owned = _open(path_or_file)
@@ -574,6 +589,7 @@ def render_jsonl_report(records: Iterable[Dict]) -> str:
     histograms: List[Dict] = []
     decisions = 0
     instants = 0
+    provenance = 0
     for rec in records:
         kind = rec.get("type")
         if kind == "span":
@@ -588,6 +604,8 @@ def render_jsonl_report(records: Iterable[Dict]) -> str:
             decisions += 1
         elif kind == "instant":
             instants += 1
+        elif kind == "provenance":
+            provenance += 1
     lines = ["telemetry report", "=" * 16]
     if spans:
         lines.append("")
@@ -623,5 +641,8 @@ def render_jsonl_report(records: Iterable[Dict]) -> str:
                 f"{num('mean')} {num('p50')} {num('p95')} {num('p99')}"
             )
     lines.append("")
-    lines.append(f"decision records: {decisions}, instants: {instants}")
+    summary = f"decision records: {decisions}, instants: {instants}"
+    if provenance:
+        summary += f", provenance: {provenance}"
+    lines.append(summary)
     return "\n".join(lines)

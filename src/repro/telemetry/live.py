@@ -268,6 +268,7 @@ class LiveAggregator:
         self._gauges: List[Tuple[Tuple[Any, ...], int, Dict]] = []
         self._histograms: List[Tuple[Tuple[Any, ...], int, Dict]] = []
         self._decisions: List[Tuple[Tuple[Any, ...], int, Dict]] = []
+        self._provenance: List[Tuple[Tuple[Any, ...], int, Dict]] = []
         self._seq = 0
         # -- rolling operator state -----------------------------------
         self.window_size = window
@@ -399,6 +400,11 @@ class LiveAggregator:
                     self._decisions, (rec["quantum"], unit_id),
                     {**rec, "unit": unit_id},
                 )
+            elif kind == "provenance":
+                self._insort(
+                    self._provenance, (rec["quantum"], unit_id),
+                    {**rec, "unit": unit_id},
+                )
 
     def _insort(self, target: List[Tuple[Tuple[Any, ...], int, Dict]],
                 key: Tuple[Any, ...], rec: Dict) -> None:
@@ -427,6 +433,7 @@ class LiveAggregator:
         merged.extend(rec for _key, _seq, rec in self._gauges)
         merged.extend(rec for _key, _seq, rec in self._histograms)
         merged.extend(rec for _key, _seq, rec in self._decisions)
+        merged.extend(rec for _key, _seq, rec in self._provenance)
         return merged
 
     # -- replay (post-hoc logs) ----------------------------------------

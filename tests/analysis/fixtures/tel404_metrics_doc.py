@@ -1,0 +1,30 @@
+# Fixture for TEL404: every live-tree metric needs a reference row.
+# lint-module: repro.telemetry.fixture
+
+
+class Instrumented:
+    def __init__(self, metrics) -> None:
+        self.metrics = metrics
+
+    def good_documented_names(self) -> None:
+        # These names have MetricDoc rows in METRICS_REFERENCE.
+        self.metrics.counter("harness.job_churn").inc()
+        self.metrics.gauge("harness.power_w").set(99.5)
+        self.metrics.histogram("slice.lc_p99_ms").observe(2.5)
+
+    def good_dynamic_name(self, kind: str) -> None:
+        # f-string names cannot be checked statically; the docs carry
+        # an explicit {placeholder} family row instead.
+        self.metrics.counter(f"faults.injected.{kind}").inc()
+
+    def good_unrelated_receiver(self, pool) -> None:
+        pool.counter("not.a.metric").inc()
+
+    def bad_undocumented(self) -> None:
+        self.metrics.counter("nobody.home").inc()  # expect: TEL404
+
+    def bad_undocumented_gauge(self, registry) -> None:
+        registry.gauge("mystery.depth").set(1.0)  # expect: TEL404
+
+    def off_convention_is_tel402s_finding(self) -> None:
+        self.metrics.counter("flatname").inc()  # expect: TEL402

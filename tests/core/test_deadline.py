@@ -95,6 +95,35 @@ class TestDecisionBudget:
         assert clone.total_spent == 42
         assert clone.quanta == 1
 
+    def test_phase_attribution_is_additive_only(self):
+        budget = DecisionBudget(100)
+        budget.begin_quantum()
+        budget.charge(30, phase="sgd.reconstruct")
+        budget.charge(20, phase="dds.search")
+        budget.charge(5)  # unattributed charges meter all the same
+        assert budget.spent == 55 and budget.total_spent == 55
+        assert budget.spent_by_phase == {
+            "sgd.reconstruct": 30, "dds.search": 20,
+        }
+        budget.begin_quantum()
+        budget.charge(10, phase="sgd.reconstruct")
+        # Phase tallies are lifetime totals, not per-quantum.
+        assert budget.spent_by_phase["sgd.reconstruct"] == 40
+
+    def test_phase_attribution_round_trips_through_state(self):
+        budget = DecisionBudget(100)
+        budget.begin_quantum()
+        budget.charge(7, phase="mgk.latency")
+        state = budget.state()
+        assert state["by_phase"] == {"mgk.latency": 7}
+        clone = DecisionBudget(100)
+        clone.restore(state)
+        assert clone.spent_by_phase == {"mgk.latency": 7}
+        # Pre-phase snapshots (no by_phase key) stay loadable.
+        legacy = DecisionBudget(100)
+        legacy.restore({"spent": 1, "total_spent": 1, "quanta": 1})
+        assert legacy.spent_by_phase == {}
+
 
 class TestSearchCost:
     def test_exact_default_cost(self):

@@ -82,3 +82,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fleet.pool" in out
         assert "fleet.serial" in out
+
+    def test_fleet_status_marks_checkpoint_restored_units(
+        self, tmp_path, capsys
+    ):
+        ck = tmp_path / "ck.json"
+        base = ["--seed", "7", "fleet", "cluster", "--slices", "2",
+                "--checkpoint", str(ck)]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(["fleet", "status", str(ck)]) == 0
+        first = capsys.readouterr().out
+        # Fresh run: every completed unit was actually executed.
+        assert first.count("[done]") == 2
+        assert "[done (checkpoint)]" not in first
+        # Resume over a finished checkpoint executes nothing; status
+        # must say where each result came from.
+        assert main(base + ["--resume"]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "status", str(ck)]) == 0
+        second = capsys.readouterr().out
+        assert second.count("[done (checkpoint)]") == 2
+        assert "[todo]" not in second

@@ -180,7 +180,8 @@ class TestIncrementalMergeEndToEnd:
         ).execute()
         payload = inspect_checkpoint(path)
         assert payload["stats"] == {
-            "jobs": 1, "executed": 2, "resumed": 0,
+            "jobs": 1, "executed": 2,
+            "executed_ids": ["unit-0", "unit-1"], "resumed": 0,
             "retries": 0, "serial_fallbacks": 0,
         }
         # Additive only: schema and load behaviour are untouched.

@@ -5,6 +5,7 @@ telemetry; ``merge_jsonl`` must yield an order that depends on record
 content only — never on which worker finished first.
 """
 
+import io
 import json
 
 import pytest
@@ -13,6 +14,7 @@ from repro.telemetry import (
     decision_records_from_jsonl,
     merge_jsonl,
     read_jsonl,
+    write_jsonl,
 )
 
 
@@ -112,3 +114,75 @@ class TestRoundTrip:
         assert records[1].predicted_power_w == 80.0
         # JSON nulls come back as NaN, per the exporter contract.
         assert records[0].predicted_bips[1] != records[0].predicted_bips[1]
+
+
+class TestFleetMergedTrace:
+    """Real sessions sharded, merged, and fed to the trace consumers."""
+
+    @pytest.fixture(scope="class")
+    def merged(self):
+        from repro.core.runtime import CuttleSysPolicy
+        from repro.experiments.harness import (
+            build_machine_for_mix,
+            run_policy,
+        )
+        from repro.telemetry import Telemetry
+        from repro.workloads.loadgen import LoadTrace
+        from repro.workloads.mixes import paper_mixes
+
+        shards = []
+        for unit_id, seed in (("mix0/s7", 7), ("mix0/s11", 11)):
+            machine = build_machine_for_mix(paper_mixes()[0], seed=seed)
+            policy = CuttleSysPolicy.for_machine(machine, seed=seed)
+            telemetry = Telemetry()
+            run_policy(
+                machine, policy, LoadTrace.constant(0.8),
+                power_cap_fraction=0.7, n_slices=2, telemetry=telemetry,
+            )
+            buffer = io.StringIO()
+            write_jsonl(telemetry, buffer)
+            buffer.seek(0)
+            shards.append((unit_id, read_jsonl(buffer)))
+        return merge_jsonl(shards)
+
+    def test_spans_unit_labelled_and_time_sorted_per_unit(self, merged):
+        spans = [r for r in merged if r["type"] == "span"]
+        assert spans, "real sessions must produce spans"
+        assert {s["unit"] for s in spans} == {"mix0/s11", "mix0/s7"}
+        # Traces group per sorted unit id; within one unit the spans
+        # keep their recorded (monotonic) clock.
+        units = [s["unit"] for s in spans]
+        assert units == sorted(units)
+        for unit in set(units):
+            starts = [
+                s["start_us"] for s in spans if s["unit"] == unit
+            ]
+            # Spans are recorded in completion order; their start
+            # stamps are still bounded by the session clock.
+            assert min(starts) >= 0.0
+            assert max(
+                s["start_us"] + s["dur_us"] for s in spans
+                if s["unit"] == unit
+            ) >= max(starts)
+
+    def test_decisions_round_trip_through_records(self, merged):
+        records = decision_records_from_jsonl(merged)
+        assert [r.quantum for r in records] == [0, 0, 1, 1]
+        assert all(r.measured_power_w > 0 for r in records)
+
+    def test_merged_log_profiles_into_one_chrome_trace(self, merged):
+        from repro.telemetry.profiler import (
+            build_profile,
+            chrome_trace_from_profile,
+        )
+
+        events = chrome_trace_from_profile(build_profile(merged))
+        assert events[0]["ph"] == "M"
+        timed = events[1:]
+        names = {e["name"] for e in timed}
+        # One merged tree for both units: a single quantum root.
+        assert sum(1 for e in timed if e["name"] == "quantum") == 1
+        assert "dds.search" in names
+        ts = [e["ts"] for e in timed]
+        assert ts == sorted(ts)
+        assert all(e["dur"] >= 0 for e in timed)

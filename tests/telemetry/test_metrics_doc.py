@@ -1,0 +1,59 @@
+"""Tests for the generated metrics reference.
+
+The registry in ``repro.telemetry.metrics_doc`` is the single source
+of truth for metric documentation: the committed table in
+``docs/observability.md`` must match its rendered output byte for
+byte, and the TEL404 lint rule keeps the live tree from registering
+names the registry does not know.
+"""
+
+from pathlib import Path
+
+from repro.telemetry.metrics_doc import (
+    METRICS_REFERENCE,
+    documented_names,
+    render_metrics_reference,
+)
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+BEGIN = "<!-- metrics-reference:begin (generated; do not edit by hand) -->"
+END = "<!-- metrics-reference:end -->"
+
+
+class TestRegistry:
+    def test_names_unique(self):
+        names = [doc.name for doc in METRICS_REFERENCE]
+        assert len(names) == len(set(names))
+
+    def test_kinds_valid(self):
+        assert {doc.kind for doc in METRICS_REFERENCE} <= {
+            "counter", "gauge", "histogram",
+        }
+
+    def test_rows_complete(self):
+        for doc in METRICS_REFERENCE:
+            assert doc.name and doc.unit and doc.description
+            assert doc.module.startswith("repro.")
+            # Tables mangle unescaped pipes.
+            assert "|" not in doc.description
+
+    def test_documented_names_covers_registry(self):
+        assert documented_names() == frozenset(
+            doc.name for doc in METRICS_REFERENCE
+        )
+
+    def test_render_sorted_by_name(self):
+        lines = render_metrics_reference().splitlines()[2:]
+        assert lines == sorted(lines)
+
+
+class TestDocsSync:
+    def test_committed_table_matches_rendered(self):
+        text = DOC.read_text()
+        start = text.index(BEGIN) + len(BEGIN)
+        end = text.index(END)
+        committed = text[start:end].strip("\n")
+        assert committed == render_metrics_reference().rstrip("\n"), (
+            "docs/observability.md metrics reference is stale; "
+            "regenerate it from render_metrics_reference()"
+        )

@@ -369,3 +369,137 @@ class TestBenchParser:
         ])
         assert args.input == "BENCH.json"
         assert args.counters_only
+
+
+class TestExplainCommand:
+    @pytest.fixture()
+    def log(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["--seed", "7", "run", "--slices", "2",
+                     "--decision-budget", "2000", "--jsonl", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["explain", "run.jsonl"])
+        assert args.log == "run.jsonl"
+        assert args.quantum is None
+
+    def test_explain_single_quantum(self, capsys, log):
+        assert main(["explain", log, "--quantum", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "decision provenance — quantum 1" in out
+        assert "quantum 0" not in out
+        assert "mode: reduced_dds" in out
+        assert "ladder pricing" in out
+
+    def test_explain_all_quanta(self, capsys, log):
+        assert main(["explain", log]) == 0
+        out = capsys.readouterr().out
+        assert "quantum 0" in out and "quantum 1" in out
+
+    def test_missing_quantum_exits_1(self, capsys, log):
+        assert main(["explain", log, "--quantum", "99"]) == 1
+        assert "no provenance record" in capsys.readouterr().err
+
+    def test_log_without_provenance_exits_1(self, capsys, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        bare.write_text('{"type": "counter", "name": "x.y", "value": 1}\n')
+        assert main(["explain", str(bare)]) == 1
+        assert "no provenance records" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["explain", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestReplayCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([
+            "replay", "--state", "s.json", "--jsonl", "run.jsonl",
+            "--quantum", "3",
+        ])
+        assert args.mix == 0
+        assert args.cap == 0.7
+        assert args.load == 0.8
+        assert args.decision_budget is None
+        assert args.faults is None
+
+    def test_replay_reproduces_recorded_quantum(self, capsys, tmp_path):
+        log = str(tmp_path / "run.jsonl")
+        state = str(tmp_path / "state.json")
+        assert main(["--seed", "7", "run", "--slices", "5",
+                     "--decision-budget", "2000", "--jsonl", log]) == 0
+        assert main(["--seed", "7", "run", "--slices", "5",
+                     "--decision-budget", "2000", "--stop-after", "2",
+                     "--save-state", state]) == 0
+        capsys.readouterr()
+        assert main(["--seed", "7", "replay", "--state", state,
+                     "--jsonl", log, "--quantum", "3",
+                     "--decision-budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "replay OK: quantum 3 reproduced byte-identically" in out
+        # A quantum the snapshot already passed is rejected, not
+        # silently replayed wrong.
+        assert main(["--seed", "7", "replay", "--state", state,
+                     "--jsonl", log, "--quantum", "1",
+                     "--decision-budget", "2000"]) == 1
+        assert "precedes" in capsys.readouterr().err
+
+    def test_missing_state_exits_2(self, capsys, tmp_path):
+        log = tmp_path / "run.jsonl"
+        log.write_text("")
+        code = main(["replay", "--state", str(tmp_path / "absent.json"),
+                     "--jsonl", str(log), "--quantum", "1"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.log is None
+        assert args.slices == 3
+        assert args.top == 15
+        assert args.weight == "exclusive_us"
+        assert not args.ops_only
+        assert args.folded is None and args.chrome is None
+
+    def test_in_process_profile(self, capsys):
+        assert main(["--seed", "7", "profile", "--slices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "profile of mix 0, 2 quanta, seed 7" in out
+        assert "phase costs" in out
+        assert "dds.search" in out
+
+    def test_profile_from_log_ops_only(self, capsys, tmp_path):
+        log = str(tmp_path / "run.jsonl")
+        assert main(["--seed", "7", "run", "--slices", "2",
+                     "--jsonl", log]) == 0
+        capsys.readouterr()
+        assert main(["profile", log, "--ops-only"]) == 0
+        out = capsys.readouterr().out
+        assert "evaluations=" in out
+        # The deterministic surface carries no host timings.
+        assert "µs" not in out
+
+    def test_export_files(self, capsys, tmp_path):
+        folded = tmp_path / "profile.folded"
+        chrome = tmp_path / "trace.json"
+        assert main(["--seed", "7", "profile", "--slices", "2",
+                     "--folded", str(folded),
+                     "--chrome", str(chrome)]) == 0
+        err = capsys.readouterr().err
+        assert "flamegraph.pl" in err
+        assert folded.read_text().strip()
+        assert chrome.read_text().startswith("{")
+
+    def test_log_without_spans_exits_1(self, capsys, tmp_path):
+        bare = tmp_path / "bare.jsonl"
+        bare.write_text('{"type": "counter", "name": "x.y", "value": 1}\n')
+        assert main(["profile", str(bare)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["profile", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
