@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden decision stream for the daemon.
+
+Runs the canonical scripted session from
+``tests/server/test_daemon.py`` (PART_ONE + PART_TWO) against an
+in-process :class:`QuantumDriver` — no sockets, but the identical
+deterministic path the daemon executes — and rewrites
+``tests/server/golden/decision_stream.jsonl``.
+
+Run from the repository root after any intentional change to the
+decision-record schema or the scripted session::
+
+    PYTHONPATH=src python scripts/regen_server_golden.py
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tests" / "server"))
+
+from repro.server.driver import QuantumDriver, ServerConfig  # noqa: E402
+from repro.server.session import CommandExecutor  # noqa: E402
+
+from test_daemon import MIX, PART_ONE, PART_TWO, SEED  # noqa: E402
+
+
+def main() -> int:
+    golden = REPO_ROOT / "tests" / "server" / "golden"
+    golden.mkdir(parents=True, exist_ok=True)
+    decisions = golden / "decision_stream.jsonl"
+    driver = QuantumDriver(ServerConfig(
+        mix=MIX, seed=SEED, max_quanta=50,
+        decisions_path=str(decisions),
+    ))
+    executor = CommandExecutor(driver)
+    for command in [*PART_ONE, *PART_TWO]:
+        response = executor.execute(dict(command))
+        if not response.get("ok"):
+            raise SystemExit(f"scripted command failed: {response}")
+    print(f"wrote {driver.decision_count} decision line(s) to {decisions}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

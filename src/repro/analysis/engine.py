@@ -179,6 +179,7 @@ def all_rules() -> Tuple[Rule, ...]:
         rules_fleet,
         rules_rng,
         rules_robustness,
+        rules_server,
         rules_snapshot,
         rules_telemetry,
         rules_units,

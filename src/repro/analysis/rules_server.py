@@ -1,0 +1,124 @@
+"""Server event-loop hygiene rules.
+
+The scheduler daemon (:mod:`repro.server`) multiplexes every client on
+one asyncio event loop; a single blocking call inside an ``async def``
+stalls all of them — submissions queue behind a sleeping coroutine,
+subscription streams freeze, and the real-time pacer drifts.  SRV801
+polices the lexical bodies of ``async def`` functions under
+``repro.server`` for the blocking primitives that have non-blocking
+counterparts: wall-clock sleeps, raw-socket I/O, and synchronous file
+I/O.  Synchronous helpers are the sanctioned escape hatch — a plain
+``def`` doing bounded file I/O is fine, and the rule only looks inside
+coroutine bodies, so routing blocking work through one (or through
+``loop.run_in_executor`` for unbounded work) is the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    Violation,
+    dotted_name,
+    register,
+)
+
+#: Socket methods/functions that block the calling thread.
+_BLOCKING_SOCKET_ATTRS = frozenset({
+    "recv", "recv_into", "recvfrom", "sendall", "accept", "connect",
+    "makefile", "create_connection",
+})
+
+#: ``pathlib.Path`` convenience I/O — synchronous under the hood.
+_PATH_IO_ATTRS = frozenset({
+    "write_text", "write_bytes", "read_text", "read_bytes",
+})
+
+
+def _awaited_calls(fn: ast.AsyncFunctionDef) -> Set[int]:
+    """ids of Call nodes that are directly awaited."""
+    return {
+        id(node.value)
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Await)
+        and isinstance(node.value, ast.Call)
+    }
+
+
+@register
+class ServerBlockingIORule(Rule):
+    id = "SRV801"
+    scope = "file"
+    title = "blocking I/O inside an async def under repro.server"
+    rationale = (
+        "Every daemon client shares one event loop; a blocking call "
+        "inside a coroutine stalls all connections at once — "
+        "time.sleep() freezes the pacer and every subscriber, raw "
+        "socket recv()/sendall() bypasses the stream layer and blocks "
+        "the loop thread, and synchronous open()/Path I/O pauses "
+        "serving for the duration of the disk write. Use asyncio.sleep "
+        "and the StreamReader/StreamWriter API, or move the blocking "
+        "work into a plain sync helper (bounded) or "
+        "loop.run_in_executor (unbounded)."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_in("repro.server"):
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            awaited = _awaited_calls(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if id(node) in awaited:
+                    # Awaited calls yield to the loop (asyncio.sleep,
+                    # loop.sock_recv, ...): exactly the fix we want.
+                    continue
+                yield from self._check_call(ctx, fn, node)
+
+    def _check_call(
+        self, ctx: LintContext, fn: ast.AsyncFunctionDef, node: ast.Call
+    ) -> Iterator[Violation]:
+        target = dotted_name(node.func)
+        # -- wall-clock sleeps --------------------------------------
+        if target in ("time.sleep", "sleep"):
+            yield ctx.violation(
+                self, node,
+                f"{target}() blocks the event loop inside async "
+                f"{fn.name}(); await asyncio.sleep() instead",
+            )
+            return
+        # -- synchronous file opens ---------------------------------
+        if target in ("open", "io.open", "builtins.open"):
+            yield ctx.violation(
+                self, node,
+                f"synchronous open() inside async {fn.name}() stalls "
+                "every connection while the disk call runs; move the "
+                "I/O into a sync helper or run_in_executor",
+            )
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        # -- raw socket I/O -----------------------------------------
+        if attr in _BLOCKING_SOCKET_ATTRS:
+            yield ctx.violation(
+                self, node,
+                f".{attr}() is blocking socket I/O inside async "
+                f"{fn.name}(); use the asyncio stream API "
+                "(StreamReader/StreamWriter) instead",
+            )
+            return
+        # -- pathlib convenience I/O --------------------------------
+        if attr in _PATH_IO_ATTRS:
+            yield ctx.violation(
+                self, node,
+                f".{attr}() is synchronous file I/O inside async "
+                f"{fn.name}(); move it into a sync helper or "
+                "run_in_executor",
+            )

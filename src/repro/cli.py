@@ -49,6 +49,14 @@ Commands:
   EWMA drift flags, QoS-violation attribution (docs/observability.md)
 * ``bench``                 — deterministic hot-path benchmarks; writes
   BENCH.json, and ``--compare BASELINE.json`` is the regression gate
+* ``serve``                 — run the scheduler daemon: an asyncio
+  control plane accepting live job submissions over NDJSON/TCP (plus a
+  read-only HTTP status surface) and ticking the decision-quantum loop
+  on a virtual-time clock (docs/server.md)
+* ``submit``                — submit one job to a running daemon and
+  print its admission record (exit 1 when rejected on the spot)
+* ``status``                — query a running daemon's status: quantum
+  position, admission accept/reject counters, queue depth, job table
 * ``lint``                  — project-specific static analysis
   (determinism / RNG-stream / unit-invariant / telemetry rules; see
   docs/static-analysis.md)
@@ -967,6 +975,124 @@ def _fleet_flags_error(args: argparse.Namespace) -> int:
     return 0
 
 
+def _server_port(args: argparse.Namespace) -> Optional[int]:
+    """The daemon port from ``--port`` or ``--port-file``; None = error."""
+    if args.port is not None:
+        return args.port
+    if args.port_file is not None:
+        try:
+            return int(open(args.port_file, encoding="utf-8").read().strip())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read port file: {exc}", file=sys.stderr)
+            return None
+    print("error: need --port or --port-file", file=sys.stderr)
+    return None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.admission import AdmissionLimits
+    from repro.server.daemon import run_daemon
+    from repro.server.driver import ServerConfig
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port if args.port is not None else 0,
+            port_file=args.port_file,
+            mix=args.mix,
+            seed=args.seed,
+            power_cap_fraction=args.power_cap,
+            max_quanta=args.max_quanta,
+            real_time=args.real_time,
+            quantum_s=args.quantum_s,
+            state_path=args.state,
+            decisions_path=args.decisions,
+            snapshot_every=args.snapshot_every,
+            resume=args.resume,
+            whatif_jobs=args.whatif_jobs,
+            limits=AdmissionLimits(
+                max_jobs_per_tenant=args.max_jobs_per_tenant,
+                max_wait_quanta=args.max_wait_quanta,
+            ),
+        )
+        run_daemon(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.script import ScriptedClient
+
+    port = _server_port(args)
+    if port is None:
+        return 2
+    request = {"op": "submit", "kind": args.kind, "name": args.name,
+               "tenant": args.tenant, "priority": args.priority}
+    if args.qos_ms is not None:
+        request["qos_ms"] = args.qos_ms
+    if args.rps is not None:
+        request["rps"] = args.rps
+    try:
+        with ScriptedClient(args.host, port, args.timeout) as client:
+            response = client.request(request)
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    if not response.get("ok"):
+        return 1
+    return 1 if response["job"]["state"] == "rejected" else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server.script import ScriptedClient
+
+    port = _server_port(args)
+    if port is None:
+        return 2
+    try:
+        with ScriptedClient(args.host, port, args.timeout) as client:
+            status = client.request({"op": "status"})
+            jobs = client.request({"op": "jobs"})
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            {"status": status, "jobs": jobs.get("jobs", [])},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    driver = status.get("driver", {})
+    admission = status.get("admission", {})
+    print(f"quantum:    {driver.get('quantum')}"
+          f" / {driver.get('max_quanta')}")
+    print(f"mix/policy: {driver.get('mix')} / {driver.get('policy')}")
+    print(f"budget:     {driver.get('power_budget_w'):.1f} W")
+    print(f"violations: qos={driver.get('qos_violations')} "
+          f"power={driver.get('power_violations')} "
+          f"degraded={driver.get('degraded_quanta')}")
+    print(f"admission:  submitted={admission.get('submitted')} "
+          f"admitted={admission.get('admitted')} "
+          f"rejected={admission.get('rejected')} "
+          f"cancelled={admission.get('cancelled')} "
+          f"timed_out={admission.get('timed_out')}")
+    print(f"queue:      {admission.get('queued')} waiting, "
+          f"{admission.get('running')} running, "
+          f"max wait {admission.get('max_wait_quanta_seen')} quanta")
+    for job in jobs.get("jobs", []):
+        print(f"  [{job['state']:9s}] {job['job_id']} "
+              f"{job['kind']}:{job['name']} "
+              f"tenant={job['tenant']} priority={job['priority']}")
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import CheckpointError, FleetError, inspect_checkpoint
 
@@ -1397,6 +1523,70 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare only operation counters "
                        "(machine-independent; what CI uses)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the scheduler daemon (docs/server.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default: ephemeral; see --port-file)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening")
+    serve.add_argument("--mix", type=int, default=0,
+                       help="paper mix index (default: 0)")
+    serve.add_argument("--power-cap", type=float, default=0.7,
+                       help="power budget as a fraction of the reference "
+                       "(default: 0.7)")
+    serve.add_argument("--max-quanta", type=int, default=100000,
+                       help="hard ceiling on quanta served")
+    serve.add_argument("--real-time", action="store_true",
+                       help="tick every --quantum-s wall seconds instead "
+                       "of on client 'tick' requests (outside the "
+                       "determinism contract)")
+    serve.add_argument("--quantum-s", type=float, default=0.1,
+                       help="wall seconds per quantum under --real-time")
+    serve.add_argument("--state", default=None, metavar="PATH",
+                       help="crash-safe snapshot file (enables resume)")
+    serve.add_argument("--decisions", default=None, metavar="PATH",
+                       help="append the decision stream here as JSONL")
+    serve.add_argument("--snapshot-every", type=int, default=1,
+                       help="ticks between snapshots (default: 1)")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume from --state if it exists")
+    serve.add_argument("--whatif-jobs", type=int, default=2,
+                       help="keep-alive worker pool size for what-if "
+                       "probes (default: 2)")
+    serve.add_argument("--max-jobs-per-tenant", type=int, default=8)
+    serve.add_argument("--max-wait-quanta", type=int, default=16)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running daemon",
+    )
+    status = sub.add_parser(
+        "status",
+        help="query a running daemon's status and job table",
+    )
+    for client_parser in (submit, status):
+        client_parser.add_argument("--host", default="127.0.0.1")
+        client_parser.add_argument("--port", type=int, default=None)
+        client_parser.add_argument("--port-file", default=None,
+                                   metavar="PATH",
+                                   help="read the daemon port from here")
+        client_parser.add_argument("--timeout", type=float, default=30.0)
+    submit.add_argument("--kind", choices=("lc", "batch"), required=True)
+    submit.add_argument("--name", required=True,
+                        help="LC service or batch application name")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--qos-ms", type=float, default=None,
+                        help="target p99 latency (LC; default: the "
+                        "service's calibrated target)")
+    submit.add_argument("--rps", type=float, default=None,
+                        help="offered arrival rate (LC jobs)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw status/jobs JSON")
+
     lint = sub.add_parser(
         "lint",
         help="project-specific static analysis (docs/static-analysis.md)",
@@ -1444,6 +1634,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "fleet": _cmd_fleet,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }
     return handlers[args.command](args)
 

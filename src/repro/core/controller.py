@@ -23,7 +23,7 @@ end-of-slice measurements, like the real system.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -350,6 +350,12 @@ class ResourceController:
         self._quarantine_config: List[Optional[JointConfig]] = [
             None for _ in range(self.n_batch)
         ]
+        #: Which batch slots currently host a live job.  Slots vacated
+        #: by :meth:`remove_job` are gated off (their configurations
+        #: forced to ``None``) in every assignment until
+        #: :meth:`add_job` binds a newcomer; the machine keeps the
+        #: vacated profile around but never executes it.
+        self._job_active: List[bool] = [True] * self.n_batch
         #: Most recent assignment whose slice came back clean (finite
         #: measurements, QoS met).  The harness reuses it when a policy
         #: exception degrades a quantum.
@@ -557,6 +563,64 @@ class ResourceController:
         if self._last_x is not None:
             # Restart the newcomer's search from a safe narrow config.
             self._last_x[job] = 0
+
+    def remove_job(self, job: int) -> None:
+        """Vacate batch slot ``job`` between quanta (live cancellation).
+
+        The slot's learned state is forgotten and the slot is gated off
+        in every subsequent assignment: the search still proposes a
+        configuration for it, but :meth:`decide` forces it to ``None``
+        so the vacated core contributes neither throughput nor dynamic
+        power.  Idempotent: removing an already-vacant slot is a no-op.
+        """
+        if not 0 <= job < self.n_batch:
+            raise ValueError(f"batch job index out of range: {job}")
+        if not self._job_active[job]:
+            return
+        self.reset_job(job)
+        self._job_active[job] = False
+        self._count("controller.jobs_removed")
+        log.info("batch slot %d vacated; gating it off", job)
+
+    def add_job(self, job: int) -> None:
+        """Bind a newcomer to vacant batch slot ``job`` between quanta.
+
+        The caller replaces the slot's application on the machine
+        first (:meth:`Machine.replace_batch_job`); this method clears
+        the slot's learned state — the newcomer is profiled from
+        scratch next quantum, the §V arrival story — and lifts the
+        gate.  Raises if the slot is still occupied.
+        """
+        if not 0 <= job < self.n_batch:
+            raise ValueError(f"batch job index out of range: {job}")
+        if self._job_active[job]:
+            raise ValueError(f"batch slot {job} already hosts a job")
+        self._job_active[job] = True
+        self.reset_job(job)
+        self._count("controller.jobs_added")
+        log.info("batch slot %d bound to a new job", job)
+
+    def active_jobs(self) -> List[bool]:
+        """Per-slot occupancy (True = slot hosts a live job)."""
+        return list(self._job_active)
+
+    def _apply_job_mask(self, assignment: Assignment) -> Assignment:
+        """Force vacant slots' configurations off in ``assignment``.
+
+        Used by the decision paths that reuse cached assignments
+        (safe mode, last-known-good, fair share), which may predate a
+        :meth:`remove_job`.  Gating only ever removes load, so every
+        power/way feasibility argument still holds.
+        """
+        if all(self._job_active):
+            return assignment
+        return replace(
+            assignment,
+            batch_configs=tuple(
+                cfg if self._job_active[j] else None
+                for j, cfg in enumerate(assignment.batch_configs)
+            ),
+        )
 
     def _age_observations(self) -> None:
         """Advance observation ages and expire stale ones (phase drift)."""
@@ -848,7 +912,9 @@ class ResourceController:
         if self.config.hardened:
             self._tick_quarantine()
             if self._update_safe_mode():
-                assignment = self._safe_mode_assignment()
+                assignment = self._apply_job_mask(
+                    self._safe_mode_assignment()
+                )
                 self._emit_provenance({
                     "mode": "safe_mode",
                     "budget": self._budget_meter(),
@@ -952,7 +1018,9 @@ class ResourceController:
                     self.last_good_assignment is not None
                     or self._last_assignment is not None
                 ):
-                    assignment = self._deadline_last_good_assignment()
+                    assignment = self._apply_job_mask(
+                        self._deadline_last_good_assignment()
+                    )
                     self._emit_provenance({
                         "mode": "last_good",
                         "budget": self._budget_meter(
@@ -965,7 +1033,9 @@ class ResourceController:
                     })
                     return assignment
                 else:
-                    assignment = self._deadline_fair_share_assignment()
+                    assignment = self._apply_job_mask(
+                        self._deadline_fair_share_assignment()
+                    )
                     self._emit_provenance({
                         "mode": "fair_share",
                         "budget": self._budget_meter(
@@ -1054,6 +1124,13 @@ class ResourceController:
                     configs[j] = JointConfig(
                         pinned.core, configs[j].cache_ways
                     )
+        if not all(self._job_active):
+            # Vacant slots never execute: gate them off no matter what
+            # the search proposed for them.
+            configs = [
+                cfg if self._job_active[j] else None
+                for j, cfg in enumerate(configs)
+            ]
         assignment = Assignment(
             lc_cores=lc_cores,
             lc_config=lc_joint if lc_cores > 0 else None,
@@ -1638,6 +1715,7 @@ class ResourceController:
                 cfg.index if cfg is not None else None
                 for cfg in self._quarantine_config
             ],
+            "job_active": [bool(v) for v in self._job_active],
             "bips_matrix": _matrix_state(self._bips_matrix),
             "power_matrix": _matrix_state(self._power_matrix),
             "latency_matrices": [
@@ -1701,6 +1779,12 @@ class ResourceController:
         self._quarantine_config = [
             JointConfig.from_index(int(i)) if i is not None else None
             for i in state["quarantine_config"]
+        ]
+        # Pre-occupancy snapshots (before live job add/remove existed)
+        # carry no mask: every slot was live by construction.
+        self._job_active = [
+            bool(v)
+            for v in state.get("job_active", [True] * self.n_batch)
         ]
         _restore_matrix(self._bips_matrix, state["bips_matrix"])
         _restore_matrix(self._power_matrix, state["power_matrix"])

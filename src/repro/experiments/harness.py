@@ -377,6 +377,367 @@ def _restore_harness_state(
     )
 
 
+class QuantumStepper:
+    """Resumable stepwise iterator over the decision-quantum loop.
+
+    One :meth:`step` call executes exactly one decision quantum —
+    churn, budget, decide, run_slice, observe, telemetry — against the
+    machine/policy pair the stepper was built with.  :func:`run_policy`
+    is a thin loop over this class; long-lived callers (the
+    ``repro.server`` daemon) instead hold a stepper and tick it one
+    quantum at a time, interleaving job submissions between steps.
+
+    ``snapshot``/``restore`` wrap the harness's crash-safe state
+    capture: a stepper restored from a snapshot continues the quantum
+    sequence byte-identically to one that was never paused.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy,
+        trace: LoadTrace,
+        power_cap_fraction: float = 0.7,
+        n_slices: int = 10,
+        power_cap_trace: Optional[Sequence[float]] = None,
+        max_power_w: Optional[float] = None,
+        churn_period: Optional[int] = None,
+        churn_pool: Optional[Sequence] = None,
+        churn_seed: int = 0,
+        extra_traces: Sequence[LoadTrace] = (),
+        telemetry=None,
+        faults=None,
+        on_policy_error: str = "degrade",
+    ) -> None:
+        if n_slices <= 0:
+            raise ValueError("n_slices must be positive")
+        if not 0 < power_cap_fraction <= 1.0:
+            raise ValueError("power_cap_fraction must be in (0, 1]")
+        if on_policy_error not in ("degrade", "raise"):
+            raise ValueError(
+                f"on_policy_error must be 'degrade' or 'raise', "
+                f"got {on_policy_error!r}"
+            )
+        if churn_period is not None:
+            if churn_period <= 0:
+                raise ValueError("churn_period must be positive")
+            if not churn_pool:
+                raise ValueError(
+                    "churn_period requires a non-empty churn_pool"
+                )
+        if faults is not None:
+            machine = faults.wrap(machine)
+            if telemetry is not None:
+                faults.attach_telemetry(telemetry)
+        self.machine = machine
+        self.policy = policy
+        self.trace = trace
+        self.power_cap_fraction = power_cap_fraction
+        self.n_slices = n_slices
+        self.power_cap_trace = power_cap_trace
+        self.churn_period = churn_period
+        self.churn_pool = churn_pool
+        self.extra_traces = tuple(extra_traces)
+        self.telemetry = telemetry
+        self.faults = faults
+        self.on_policy_error = on_policy_error
+        self.reference = (
+            max_power_w if max_power_w is not None
+            else machine.reference_max_power()
+        )
+        self.run = PolicyRun(
+            policy_name=policy.name,
+            power_budget_w=self.reference * power_cap_fraction,
+            qos_s=machine.lc_service.qos_latency_s,
+            qos_extra_s=tuple(
+                s.qos_latency_s for s in machine.lc_services[1:]
+            ),
+            overhead_fraction=policy.overhead_fraction,
+        )
+        self.tracer = tracer_of(telemetry)
+        # A disabled session (Telemetry(enabled=False)) still attaches —
+        # instrumented callees see the null tracer/registry — but the
+        # harness skips its own per-quantum accounting entirely, keeping
+        # the telemetry-off hot loop at near-zero overhead (guarded by
+        # the `telemetry.overhead_disabled` bench).
+        self.session_on = (
+            telemetry is not None and getattr(telemetry, "enabled", True)
+        )
+        self.auditor = (
+            getattr(telemetry, "auditor", None) if self.session_on
+            else None
+        )
+        if telemetry is not None:
+            machine.attach_telemetry(telemetry)
+            attach = getattr(policy, "attach_telemetry", None)
+            if attach is not None:
+                attach(telemetry)
+            log.info(
+                "running %s for %d slices (budget %.1f W, telemetry %s)",
+                policy.name, n_slices, self.run.power_budget_w,
+                "on" if self.session_on else "off",
+            )
+        self.churn_rng = np.random.default_rng(churn_seed)
+        self.load_estimate = trace.load_at(0.0)
+        self.extra_estimates = tuple(
+            t.load_at(0.0) for t in self.extra_traces
+        )
+        self.next_slice = 0
+
+    @property
+    def done(self) -> bool:
+        """True once every quantum has executed."""
+        return self.next_slice >= self.n_slices
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSONable state resuming the loop at ``next_slice``.
+
+        Covers ``next_slice``, ``load_estimate`` and
+        ``extra_estimates`` alongside the machine/policy/fault-injector
+        snapshots and the accumulated ``run`` measurements.
+        """
+        return _capture_harness_state(
+            self.machine, self.policy, self.run, self.next_slice,
+            self.load_estimate, self.extra_estimates, self.churn_rng,
+            self.faults,
+        )
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`snapshot` (same construction arguments)."""
+        (
+            self.next_slice,
+            self.load_estimate,
+            self.extra_estimates,
+        ) = _restore_harness_state(
+            state, self.machine, self.policy, self.run, self.churn_rng,
+            self.faults,
+        )
+
+    def step(self) -> SliceMeasurement:
+        """Execute exactly one decision quantum; returns its measurement."""
+        if self.done:
+            raise RuntimeError(
+                f"all {self.n_slices} quanta already executed"
+            )
+        machine = self.machine
+        policy = self.policy
+        telemetry = self.telemetry
+        tracer = self.tracer
+        session_on = self.session_on
+        auditor = self.auditor
+        faults = self.faults
+        run = self.run
+        i = self.next_slice
+        with tracer.span("quantum", category="harness", index=i):
+            if session_on:
+                recorder = getattr(telemetry, "provenance", None)
+                if recorder is not None:
+                    # The flight recorder indexes records by harness
+                    # quantum, which survives pause/resume (the loop
+                    # restarts at the saved ``next_slice``).
+                    recorder.begin_quantum(i)
+            if faults is not None:
+                faults.begin_quantum(i)
+                for slot in faults.crash_events(
+                    len(machine.batch_profiles)
+                ):
+                    # Crash/respawn: same application, fresh process —
+                    # phase state resets and the policy re-profiles it.
+                    respawn = machine.batch_profiles[slot]
+                    machine.replace_batch_job(slot, respawn)
+                    notify = getattr(policy, "on_job_replaced", None)
+                    if notify is not None:
+                        notify(slot)
+                    run.churn_events.append((i, slot, respawn.name))
+                    if session_on:
+                        telemetry.counter("harness.job_churn").inc()
+                        tracer.instant(
+                            "batch_crash", category="faults", slot=slot,
+                        )
+                    log.info(
+                        "slice %d: batch job %d crashed and respawned",
+                        i, slot,
+                    )
+            if (
+                self.churn_period is not None
+                and i > 0
+                and i % self.churn_period == 0
+            ):
+                slot = int(
+                    self.churn_rng.integers(len(machine.batch_profiles))
+                )
+                newcomer = self.churn_pool[
+                    int(self.churn_rng.integers(len(self.churn_pool)))
+                ]
+                machine.replace_batch_job(slot, newcomer)
+                notify = getattr(policy, "on_job_replaced", None)
+                if notify is not None:
+                    notify(slot)
+                run.churn_events.append((i, slot, newcomer.name))
+                if session_on:
+                    telemetry.counter("harness.job_churn").inc()
+                    tracer.instant(
+                        "job_churn", category="harness",
+                        slot=slot, app=newcomer.name,
+                    )
+                log.debug(
+                    "slice %d: batch slot %d replaced by %s",
+                    i, slot, newcomer.name,
+                )
+            fraction = (
+                self.power_cap_trace[i]
+                if self.power_cap_trace is not None
+                else self.power_cap_fraction
+            )
+            budget = self.reference * fraction
+            if faults is not None:
+                budget = faults.effective_budget(budget)
+            degraded = False
+            with tracer.span("decide", category="harness"):
+                try:
+                    if self.extra_traces:
+                        assignment = policy.decide(
+                            machine, self.load_estimate, budget,
+                            extra_loads=self.extra_estimates,
+                        )
+                    else:
+                        assignment = policy.decide(
+                            machine, self.load_estimate, budget
+                        )
+                except Exception as exc:
+                    if self.on_policy_error == "raise":
+                        # Callers (the fault study) recover completed
+                        # slices from the aborted run via this attribute.
+                        exc.partial_run = run
+                        raise
+                    degraded = True
+                    assignment = _degraded_assignment(policy, run, machine)
+                    run.degraded_quanta += 1
+                    if session_on:
+                        telemetry.counter("harness.degraded_quanta").inc()
+                        telemetry.counter(
+                            "faults.recovered.degraded_quantum"
+                        ).inc()
+                        tracer.instant(
+                            "degraded_quantum", category="faults",
+                            error=type(exc).__name__,
+                        )
+                    log.warning(
+                        "slice %d: policy %s raised %s: %s; serving "
+                        "last-known-good assignment",
+                        i, policy.name, type(exc).__name__, exc,
+                    )
+            if auditor is not None and not degraded:
+                # Before run_slice: batch phases advance there, and the
+                # audit must score the oracle the decision faced.
+                auditor.audit_decision(policy, machine, i)
+            actual_load = self.trace.load_at(machine.time_s)
+            if faults is not None:
+                actual_load = faults.effective_load(actual_load)
+            actual_extras = tuple(
+                t.load_at(machine.time_s) for t in self.extra_traces
+            )
+            measurement = machine.run_slice(
+                assignment, actual_load, extra_loads=actual_extras
+            )
+            with tracer.span("observe", category="harness"):
+                try:
+                    policy.observe(measurement)
+                except Exception as exc:
+                    if self.on_policy_error == "raise":
+                        exc.partial_run = run
+                        raise
+                    if not degraded:
+                        degraded = True
+                        run.degraded_quanta += 1
+                        if session_on:
+                            telemetry.counter(
+                                "harness.degraded_quanta"
+                            ).inc()
+                            telemetry.counter(
+                                "faults.recovered.degraded_quantum"
+                            ).inc()
+                    log.warning(
+                        "slice %d: policy %s observe raised %s: %s; "
+                        "measurement dropped",
+                        i, policy.name, type(exc).__name__, exc,
+                    )
+            run.measurements.append(measurement)
+            run.loads.append(actual_load)
+            run.budgets.append(budget)
+            if session_on:
+                # A degraded quantum has no fresh prediction; record a
+                # measured-only entry rather than pairing the slice
+                # with a stale one.
+                _record_decision(
+                    telemetry, i, None if degraded else policy, measurement
+                )
+                metrics = telemetry.metrics
+                metrics.counter("harness.reconfigurations").inc(
+                    measurement.reconfigurations
+                )
+                qos_violated = (
+                    measurement.lc_p99 > run.qos_s
+                    and assignment.lc_cores > 0
+                ) or any(
+                    p99 > qos
+                    for p99, qos in zip(
+                        measurement.extra_lc_p99, run.qos_extra_s
+                    )
+                )
+                if qos_violated:
+                    metrics.counter("harness.qos_violations").inc()
+                    log.info(
+                        "slice %d: QoS violated (p99 %.2f ms, target "
+                        "%.2f ms)", i, measurement.lc_p99 * 1e3,
+                        run.qos_s * 1e3,
+                    )
+                power_violated = (
+                    measurement.total_power
+                    > budget * (1.0 + POWER_TOLERANCE)
+                )
+                if power_violated:
+                    metrics.counter("harness.power_violations").inc()
+                live = current_emitter()
+                if live is not None:
+                    # Streaming fleet run: push this quantum's outcome
+                    # through the bounded event bus (lossy, non-
+                    # blocking — see repro.telemetry.live).
+                    prediction = (
+                        None if degraded
+                        else getattr(policy, "last_prediction", None)
+                    )
+                    live.emit(
+                        "quantum",
+                        index=i,
+                        lc_p99_ms=measurement.lc_p99 * 1e3,
+                        power_w=measurement.total_power,
+                        budget_w=budget,
+                        qos_violated=bool(qos_violated),
+                        power_violated=power_violated,
+                        predicted_power_w=getattr(
+                            prediction, "power_w", None
+                        ),
+                    )
+                metrics.gauge("harness.power_w").set(
+                    measurement.total_power
+                )
+                metrics.gauge("harness.lc_load").set(actual_load)
+                metrics.histogram("slice.lc_p99_ms").observe(
+                    measurement.lc_p99 * 1e3
+                )
+                if auditor is not None:
+                    auditor.audit_measurement(
+                        machine, measurement, i, run.qos_s,
+                        run.qos_extra_s,
+                        policy=None if degraded else policy,
+                    )
+            self.load_estimate = actual_load
+            self.extra_estimates = actual_extras
+        self.next_slice = i + 1
+        return measurement
+
+
 def run_policy(
     machine: Machine,
     policy,
@@ -442,8 +803,6 @@ def run_policy(
     Both require a policy exposing ``snapshot``/``restore``
     (:class:`repro.core.runtime.CuttleSysPolicy` does).
     """
-    if n_slices <= 0:
-        raise ValueError("n_slices must be positive")
     if stop_after is not None and stop_after <= 0:
         raise ValueError("stop_after must be positive")
     if stop_after is not None or resume_state is not None:
@@ -454,266 +813,37 @@ def run_policy(
                 f"policy {policy.name!r} does not support "
                 f"snapshot/restore; stop_after/resume_state need both"
             )
-    if not 0 < power_cap_fraction <= 1.0:
-        raise ValueError("power_cap_fraction must be in (0, 1]")
-    if on_policy_error not in ("degrade", "raise"):
-        raise ValueError(
-            f"on_policy_error must be 'degrade' or 'raise', "
-            f"got {on_policy_error!r}"
-        )
-    if churn_period is not None:
-        if churn_period <= 0:
-            raise ValueError("churn_period must be positive")
-        if not churn_pool:
-            raise ValueError("churn_period requires a non-empty churn_pool")
-    if faults is not None:
-        machine = faults.wrap(machine)
-        if telemetry is not None:
-            faults.attach_telemetry(telemetry)
-    reference = (
-        max_power_w if max_power_w is not None else machine.reference_max_power()
+    stepper = QuantumStepper(
+        machine, policy, trace,
+        power_cap_fraction=power_cap_fraction,
+        n_slices=n_slices,
+        power_cap_trace=power_cap_trace,
+        max_power_w=max_power_w,
+        churn_period=churn_period,
+        churn_pool=churn_pool,
+        churn_seed=churn_seed,
+        extra_traces=extra_traces,
+        telemetry=telemetry,
+        faults=faults,
+        on_policy_error=on_policy_error,
     )
-    run = PolicyRun(
-        policy_name=policy.name,
-        power_budget_w=reference * power_cap_fraction,
-        qos_s=machine.lc_service.qos_latency_s,
-        qos_extra_s=tuple(
-            s.qos_latency_s for s in machine.lc_services[1:]
-        ),
-        overhead_fraction=policy.overhead_fraction,
-    )
-
-    tracer = tracer_of(telemetry)
-    # A disabled session (Telemetry(enabled=False)) still attaches —
-    # instrumented callees see the null tracer/registry — but the
-    # harness skips its own per-quantum accounting entirely, keeping
-    # the telemetry-off hot loop at near-zero overhead (guarded by the
-    # `telemetry.overhead_disabled` bench).
-    session_on = telemetry is not None and getattr(telemetry, "enabled", True)
-    auditor = getattr(telemetry, "auditor", None) if session_on else None
-    if telemetry is not None:
-        machine.attach_telemetry(telemetry)
-        attach = getattr(policy, "attach_telemetry", None)
-        if attach is not None:
-            attach(telemetry)
-        log.info(
-            "running %s for %d slices (budget %.1f W, telemetry %s)",
-            policy.name, n_slices, run.power_budget_w,
-            "on" if session_on else "off",
-        )
-
-    churn_rng = np.random.default_rng(churn_seed)
-    load_estimate = trace.load_at(0.0)
-    extra_estimates = tuple(t.load_at(0.0) for t in extra_traces)
-    start = 0
     if resume_state is not None:
-        start, load_estimate, extra_estimates = _restore_harness_state(
-            resume_state, machine, policy, run, churn_rng, faults
-        )
+        stepper.restore(resume_state)
         log.info(
-            "resuming %s at quantum %d/%d", policy.name, start, n_slices
+            "resuming %s at quantum %d/%d",
+            policy.name, stepper.next_slice, n_slices,
         )
-    for i in range(start, n_slices):
-        with tracer.span("quantum", category="harness", index=i):
-            if session_on:
-                recorder = getattr(telemetry, "provenance", None)
-                if recorder is not None:
-                    # The flight recorder indexes records by harness
-                    # quantum, which survives pause/resume (the loop
-                    # restarts at the saved ``next_slice``).
-                    recorder.begin_quantum(i)
-            if faults is not None:
-                faults.begin_quantum(i)
-                for slot in faults.crash_events(
-                    len(machine.batch_profiles)
-                ):
-                    # Crash/respawn: same application, fresh process —
-                    # phase state resets and the policy re-profiles it.
-                    respawn = machine.batch_profiles[slot]
-                    machine.replace_batch_job(slot, respawn)
-                    notify = getattr(policy, "on_job_replaced", None)
-                    if notify is not None:
-                        notify(slot)
-                    run.churn_events.append((i, slot, respawn.name))
-                    if session_on:
-                        telemetry.counter("harness.job_churn").inc()
-                        tracer.instant(
-                            "batch_crash", category="faults", slot=slot,
-                        )
-                    log.info(
-                        "slice %d: batch job %d crashed and respawned",
-                        i, slot,
-                    )
-            if churn_period is not None and i > 0 and i % churn_period == 0:
-                slot = int(churn_rng.integers(len(machine.batch_profiles)))
-                newcomer = churn_pool[int(churn_rng.integers(len(churn_pool)))]
-                machine.replace_batch_job(slot, newcomer)
-                notify = getattr(policy, "on_job_replaced", None)
-                if notify is not None:
-                    notify(slot)
-                run.churn_events.append((i, slot, newcomer.name))
-                if session_on:
-                    telemetry.counter("harness.job_churn").inc()
-                    tracer.instant(
-                        "job_churn", category="harness",
-                        slot=slot, app=newcomer.name,
-                    )
-                log.debug(
-                    "slice %d: batch slot %d replaced by %s",
-                    i, slot, newcomer.name,
-                )
-            fraction = (
-                power_cap_trace[i] if power_cap_trace is not None
-                else power_cap_fraction
-            )
-            budget = reference * fraction
-            if faults is not None:
-                budget = faults.effective_budget(budget)
-            degraded = False
-            with tracer.span("decide", category="harness"):
-                try:
-                    if extra_traces:
-                        assignment = policy.decide(
-                            machine, load_estimate, budget,
-                            extra_loads=extra_estimates,
-                        )
-                    else:
-                        assignment = policy.decide(
-                            machine, load_estimate, budget
-                        )
-                except Exception as exc:
-                    if on_policy_error == "raise":
-                        # Callers (the fault study) recover completed
-                        # slices from the aborted run via this attribute.
-                        exc.partial_run = run
-                        raise
-                    degraded = True
-                    assignment = _degraded_assignment(policy, run, machine)
-                    run.degraded_quanta += 1
-                    if session_on:
-                        telemetry.counter("harness.degraded_quanta").inc()
-                        telemetry.counter(
-                            "faults.recovered.degraded_quantum"
-                        ).inc()
-                        tracer.instant(
-                            "degraded_quantum", category="faults",
-                            error=type(exc).__name__,
-                        )
-                    log.warning(
-                        "slice %d: policy %s raised %s: %s; serving "
-                        "last-known-good assignment",
-                        i, policy.name, type(exc).__name__, exc,
-                    )
-            if auditor is not None and not degraded:
-                # Before run_slice: batch phases advance there, and the
-                # audit must score the oracle the decision faced.
-                auditor.audit_decision(policy, machine, i)
-            actual_load = trace.load_at(machine.time_s)
-            if faults is not None:
-                actual_load = faults.effective_load(actual_load)
-            actual_extras = tuple(
-                t.load_at(machine.time_s) for t in extra_traces
-            )
-            measurement = machine.run_slice(
-                assignment, actual_load, extra_loads=actual_extras
-            )
-            with tracer.span("observe", category="harness"):
-                try:
-                    policy.observe(measurement)
-                except Exception as exc:
-                    if on_policy_error == "raise":
-                        exc.partial_run = run
-                        raise
-                    if not degraded:
-                        degraded = True
-                        run.degraded_quanta += 1
-                        if session_on:
-                            telemetry.counter("harness.degraded_quanta").inc()
-                            telemetry.counter(
-                                "faults.recovered.degraded_quantum"
-                            ).inc()
-                    log.warning(
-                        "slice %d: policy %s observe raised %s: %s; "
-                        "measurement dropped",
-                        i, policy.name, type(exc).__name__, exc,
-                    )
-            run.measurements.append(measurement)
-            run.loads.append(actual_load)
-            run.budgets.append(budget)
-            if session_on:
-                # A degraded quantum has no fresh prediction; record a
-                # measured-only entry rather than pairing the slice
-                # with a stale one.
-                _record_decision(
-                    telemetry, i, None if degraded else policy, measurement
-                )
-                metrics = telemetry.metrics
-                metrics.counter("harness.reconfigurations").inc(
-                    measurement.reconfigurations
-                )
-                qos_violated = (
-                    measurement.lc_p99 > run.qos_s
-                    and assignment.lc_cores > 0
-                ) or any(
-                    p99 > qos
-                    for p99, qos in zip(
-                        measurement.extra_lc_p99, run.qos_extra_s
-                    )
-                )
-                if qos_violated:
-                    metrics.counter("harness.qos_violations").inc()
-                    log.info(
-                        "slice %d: QoS violated (p99 %.2f ms, target "
-                        "%.2f ms)", i, measurement.lc_p99 * 1e3,
-                        run.qos_s * 1e3,
-                    )
-                power_violated = (
-                    measurement.total_power > budget * (1.0 + POWER_TOLERANCE)
-                )
-                if power_violated:
-                    metrics.counter("harness.power_violations").inc()
-                live = current_emitter()
-                if live is not None:
-                    # Streaming fleet run: push this quantum's outcome
-                    # through the bounded event bus (lossy, non-
-                    # blocking — see repro.telemetry.live).
-                    prediction = (
-                        None if degraded
-                        else getattr(policy, "last_prediction", None)
-                    )
-                    live.emit(
-                        "quantum",
-                        index=i,
-                        lc_p99_ms=measurement.lc_p99 * 1e3,
-                        power_w=measurement.total_power,
-                        budget_w=budget,
-                        qos_violated=bool(qos_violated),
-                        power_violated=power_violated,
-                        predicted_power_w=getattr(
-                            prediction, "power_w", None
-                        ),
-                    )
-                metrics.gauge("harness.power_w").set(measurement.total_power)
-                metrics.gauge("harness.lc_load").set(actual_load)
-                metrics.histogram("slice.lc_p99_ms").observe(
-                    measurement.lc_p99 * 1e3
-                )
-                if auditor is not None:
-                    auditor.audit_measurement(
-                        machine, measurement, i, run.qos_s,
-                        run.qos_extra_s,
-                        policy=None if degraded else policy,
-                    )
-            load_estimate = actual_load
-            extra_estimates = actual_extras
-        if stop_after is not None and i + 1 >= stop_after and i + 1 < n_slices:
-            run.resume_state = _capture_harness_state(
-                machine, policy, run, i + 1, load_estimate,
-                extra_estimates, churn_rng, faults,
-            )
+    while not stepper.done:
+        stepper.step()
+        if (
+            stop_after is not None
+            and stepper.next_slice >= stop_after
+            and not stepper.done
+        ):
+            stepper.run.resume_state = stepper.snapshot()
             log.info(
                 "pausing %s after quantum %d/%d (resume state captured)",
-                policy.name, i + 1, n_slices,
+                policy.name, stepper.next_slice, n_slices,
             )
             break
-    return run
+    return stepper.run

@@ -45,8 +45,15 @@ def _read_payload(path: Path) -> Dict[str, Any]:
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
     except ValueError as exc:
+        # Truncated, zero-byte, or otherwise non-JSON content.
         raise CheckpointError(
             f"corrupt checkpoint {path}: {exc}"
+        ) from exc
+    except OSError as exc:
+        # Directory, permission denied, vanished mid-read: all "this
+        # file is not a readable checkpoint", not a crash.
+        raise CheckpointError(
+            f"unreadable checkpoint {path}: {exc}"
         ) from exc
     if not isinstance(data, dict):
         raise CheckpointError(

@@ -47,6 +47,10 @@ __all__ = [
 _SHUTDOWN_GRACE_S = 2.0
 
 
+def _discard_event(event: Dict[str, Any]) -> None:
+    """Sink for stale live events drained between keep-alive maps."""
+
+
 class FleetError(RuntimeError):
     """Base class for fleet execution failures."""
 
@@ -91,6 +95,13 @@ class PoolParams:
     #: events (with a counter) rather than ever blocking a worker's
     #: decision loop — events are observability, not results.
     event_queue_cap: int = 1024
+    #: Keep worker processes alive across ``map`` calls.  A keep-alive
+    #: pool spawns its workers on first use and reuses them until
+    #: :meth:`FleetPool.close`, amortising process-spawn cost for
+    #: callers that run many small fleets (the server's what-if
+    #: evaluations).  The pool is still plain instance state — nothing
+    #: global — so the FLT501 no-global-state guarantee holds.
+    keep_alive: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -222,6 +233,86 @@ class FleetPool:
         self.retries = 0
         #: Times the pool degraded to serial execution.
         self.serial_fallbacks = 0
+        # Keep-alive state: workers persist across map() calls until
+        # close().  Always empty on one-shot pools.
+        self._ctx: Any = None
+        self._workers: List[_WorkerSlot] = []
+        self._result_q: Any = None
+        self._event_q: Any = None
+        self._closed = False
+
+    def __enter__(self) -> "FleetPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down persistent workers (idempotent; one-shot no-op)."""
+        if self._workers:
+            workers = self._workers
+            self._workers = []
+            self._shutdown(workers, self._result_q, self._event_q, None)
+            self._ctx = None
+            self._result_q = None
+            self._event_q = None
+        self._closed = True
+
+    def _spawn_persistent(self) -> None:
+        """Bring up the long-lived worker set (first keep-alive map)."""
+        ctx = mp.get_context(self.params.resolved_start_method())
+        result_q = ctx.Queue()
+        # Keep-alive workers always get an event queue: later map()
+        # calls may or may not stream, and workers are only wired once.
+        event_q = ctx.Queue(self.params.event_queue_cap)
+        workers: List[_WorkerSlot] = []
+        try:
+            for slot in range(self.params.jobs):
+                workers.append(_WorkerSlot(ctx, slot, result_q, event_q))
+        except BaseException:
+            for worker in workers:
+                worker.kill()
+            raise
+        self._ctx = ctx
+        self._result_q = result_q
+        self._event_q = event_q
+        self._workers = workers
+        log.info(
+            "keep-alive pool: spawned %d persistent worker(s)",
+            len(workers),
+        )
+
+    def _map_persistent(
+        self,
+        units: List[WorkUnit],
+        on_result: Optional[Callable[[UnitResult], None]],
+        on_event: Optional[Callable[[Dict[str, Any]], None]],
+    ) -> List[UnitResult]:
+        if not self._workers:
+            try:
+                self._spawn_persistent()
+            except (OSError, PermissionError, ValueError) as exc:
+                if not self.params.serial_fallback:
+                    raise
+                self.serial_fallbacks += 1
+                log.warning(
+                    "worker pool unavailable (%s: %s); degrading to "
+                    "serial execution", type(exc).__name__, exc,
+                )
+                if on_event is not None:
+                    on_event({"kind": "serial_fallback"})
+                return self._run_serial(units, on_result, on_event)
+        # Events left over from a map() that did not stream belong to
+        # finished units; discard them rather than leak them into this
+        # call's stream.
+        self._drain_events(self._event_q, _discard_event)
+        try:
+            return self._schedule(
+                units, self._workers, self._result_q, self._ctx,
+                on_result, self._event_q, on_event,
+            )
+        finally:
+            self._drain_events(self._event_q, on_event)
 
     # ------------------------------------------------------------------
 
@@ -249,6 +340,10 @@ class FleetPool:
             raise ValueError("unit ids must be unique within one fleet")
         if not units:
             return []
+        if self._closed:
+            raise ValueError("map() called on a closed pool")
+        if self.params.keep_alive and self.params.jobs > 1:
+            return self._map_persistent(units, on_result, on_event)
         jobs = min(self.params.jobs, len(units))
         if jobs <= 1:
             return self._run_serial(units, on_result, on_event)

@@ -151,6 +151,7 @@ class FleetRun:
         context: Optional[Mapping[str, Any]] = None,
         telemetry: Any = None,
         live: Optional[LiveAggregator] = None,
+        pool: Optional[FleetPool] = None,
     ) -> None:
         if not name:
             raise ValueError("fleet name must be non-empty")
@@ -172,6 +173,13 @@ class FleetRun:
         #: merged log exists incrementally instead of only after
         #: ``merge_unit_telemetry`` at end of run.
         self.live = live
+        #: Optional shared :class:`FleetPool` (typically keep-alive):
+        #: the run executes on the caller's pool instead of building a
+        #: one-shot pool, amortising worker-spawn cost across runs.
+        #: The pool's own ``PoolParams`` govern execution; this run's
+        #: ``jobs``/``max_retries``/``start_method`` knobs are ignored.
+        #: The caller keeps ownership — the run never closes it.
+        self.pool = pool
         self._store: Optional[CheckpointStore] = None
         if params.checkpoint is not None:
             self._store = CheckpointStore(
@@ -214,26 +222,38 @@ class FleetRun:
             self.name, len(self.units), resumed, len(todo),
             self.params.jobs,
         )
-        pool = FleetPool(PoolParams(
-            jobs=self.params.jobs,
-            max_retries=self.params.max_retries,
-            serial_fallback=self.params.serial_fallback,
-            start_method=self.params.start_method,
-        ))
+        if self.pool is not None:
+            pool = self.pool
+            jobs = pool.params.jobs
+        else:
+            pool = FleetPool(PoolParams(
+                jobs=self.params.jobs,
+                max_retries=self.params.max_retries,
+                serial_fallback=self.params.serial_fallback,
+                start_method=self.params.start_method,
+            ))
+            jobs = self.params.jobs
+        # A shared pool's tallies accumulate across runs; report this
+        # run's contribution only, so outcomes stay byte-identical
+        # whether the pool is private or shared.
+        base_retries = pool.retries
+        base_fallbacks = pool.serial_fallbacks
         executed: Dict[str, UnitResult] = {}
         progress = {"since_save": 0, "done_this_run": 0}
 
         def run_stats() -> Dict[str, Any]:
             return {
-                "jobs": self.params.jobs,
+                "jobs": jobs,
                 "executed": progress["done_this_run"],
                 # Units this run actually executed (vs restored from
                 # the checkpoint); `repro fleet status` uses the set to
                 # label each completed unit's origin.
                 "executed_ids": sorted(executed),
                 "resumed": resumed,
-                "retries": pool.retries,
-                "serial_fallbacks": pool.serial_fallbacks,
+                "retries": pool.retries - base_retries,
+                "serial_fallbacks": (
+                    pool.serial_fallbacks - base_fallbacks
+                ),
             }
 
         def on_result(result: UnitResult) -> None:
@@ -292,11 +312,11 @@ class FleetRun:
         outcome = FleetOutcome(
             name=self.name,
             results=merge_results(self.units, by_id),
-            jobs=self.params.jobs,
+            jobs=jobs,
             resumed_units=resumed,
             executed_units=len(executed),
-            retries=pool.retries,
-            serial_fallbacks=pool.serial_fallbacks,
+            retries=pool.retries - base_retries,
+            serial_fallbacks=pool.serial_fallbacks - base_fallbacks,
         )
         self._publish(outcome)
         log.info("%s", outcome.summary())

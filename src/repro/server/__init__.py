@@ -1,0 +1,37 @@
+"""Scheduler-as-a-service: an asyncio control plane over the quantum loop.
+
+The :mod:`repro.server` subsystem turns the batch reproduction into a
+long-lived daemon (docs/server.md).  A newline-delimited-JSON TCP
+protocol — with a minimal HTTP/1.1 status surface on the same port —
+accepts live job submissions and queries; behind it a
+:class:`~repro.server.admission.JobQueueManager` feeds admitted jobs
+into a :class:`~repro.server.driver.QuantumDriver`, which runs the
+existing :class:`~repro.experiments.harness.QuantumStepper` machinery
+one deadline-budgeted quantum per tick on a virtual-time clock,
+publishing every decision to connected ``subscribe`` streams through
+the live-telemetry path and persisting crash-safe snapshots so a
+killed daemon resumes byte-identically.
+"""
+
+from repro.server.admission import (
+    AdmissionLimits,
+    Job,
+    JobQueueManager,
+    JobSpec,
+)
+from repro.server.daemon import SchedulerDaemon, ServerConfig
+from repro.server.driver import QuantumDriver
+from repro.server.protocol import ProtocolError, encode_line, parse_request
+
+__all__ = [
+    "AdmissionLimits",
+    "Job",
+    "JobQueueManager",
+    "JobSpec",
+    "ProtocolError",
+    "QuantumDriver",
+    "SchedulerDaemon",
+    "ServerConfig",
+    "encode_line",
+    "parse_request",
+]

@@ -1,0 +1,163 @@
+"""Wire format of the scheduler daemon (docs/server.md).
+
+One TCP port speaks two dialects, told apart by sniffing the first
+bytes of the first line:
+
+* **NDJSON** (the primary dialect): each request is one JSON object on
+  one line; each response is one JSON object on one line.  Responses
+  echo the request's ``op`` (and ``id``, when given) and carry
+  ``"ok": true`` or ``"ok": false`` plus ``error``/``code``.
+  Server-initiated lines (decision events on ``subscribe`` streams)
+  carry an ``"event"`` key instead of ``"ok"``, so clients can always
+  tell a push from a reply.
+
+* **HTTP/1.1** (read-only convenience): a first line starting with a
+  recognised method verb switches the connection to a one-shot HTTP
+  exchange — ``GET /status``, ``GET /metrics`` (Prometheus text
+  exposition), ``GET /decisions`` (the decision stream as JSONL).
+
+Encoding is canonical — ``sort_keys`` and compact separators — so a
+byte-for-byte diff of two decision streams is meaningful; this is the
+representation the golden files and the kill/resume byte-identity
+tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_line",
+    "error_response",
+    "http_response",
+    "looks_like_http",
+    "ok_response",
+    "parse_http_request_line",
+    "parse_request",
+]
+
+#: Bumped whenever a request or response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every operation the NDJSON dialect accepts.
+KNOWN_OPS = frozenset({
+    "hello",
+    "submit",
+    "cancel",
+    "set_rps",
+    "status",
+    "jobs",
+    "decisions",
+    "ladder",
+    "audit",
+    "metrics",
+    "subscribe",
+    "unsubscribe",
+    "tick",
+    "snapshot",
+    "whatif",
+    "shutdown",
+})
+
+#: HTTP verbs that flip a connection into the HTTP dialect.
+_HTTP_METHODS = (b"GET ", b"HEAD ", b"POST ", b"PUT ", b"DELETE ",
+                 b"OPTIONS ")
+
+
+class ProtocolError(ValueError):
+    """A request the server cannot act on; carries a stable code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Decode and validate one NDJSON request line.
+
+    Returns the request dict; raises :class:`ProtocolError` with a
+    stable ``code`` for malformed JSON, non-object payloads, missing
+    or unknown ``op``.
+    """
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad_json", f"request is not JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            "bad_request", "request must be a JSON object"
+        )
+    op = data.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("bad_request", "request needs a string 'op'")
+    if op not in KNOWN_OPS:
+        raise ProtocolError(
+            "unknown_op",
+            f"unknown op {op!r}; known: {', '.join(sorted(KNOWN_OPS))}",
+        )
+    return data
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """Canonical one-line JSON encoding (stable across runs)."""
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def ok_response(
+    op: str, request: Optional[Dict[str, Any]] = None, **payload: Any
+) -> Dict[str, Any]:
+    """A success reply echoing ``op`` (and the request's ``id``)."""
+    response: Dict[str, Any] = {"ok": True, "op": op}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    response.update(payload)
+    return response
+
+
+def error_response(
+    code: str,
+    message: str,
+    op: Optional[str] = None,
+    request: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A failure reply with a stable machine-readable ``code``."""
+    response: Dict[str, Any] = {
+        "ok": False, "code": code, "error": message,
+    }
+    if op is not None:
+        response["op"] = op
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+def looks_like_http(first_line: bytes) -> bool:
+    """Whether the connection's first line is an HTTP request line."""
+    return first_line.startswith(_HTTP_METHODS)
+
+
+def parse_http_request_line(line: bytes) -> Tuple[str, str]:
+    """``(method, path)`` of an HTTP request line (query string kept)."""
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) < 2:
+        raise ProtocolError("bad_http", "malformed HTTP request line")
+    return parts[0], parts[1]
+
+
+def http_response(
+    status: str, content_type: str, body: bytes
+) -> bytes:
+    """A complete ``Connection: close`` HTTP/1.1 response."""
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

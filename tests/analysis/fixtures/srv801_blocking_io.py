@@ -1,0 +1,65 @@
+# lint-module: repro.server.fixture_daemon
+"""SRV801 fixture: blocking I/O inside async defs under repro.server."""
+
+import asyncio
+import socket
+import time
+from pathlib import Path
+from time import sleep
+
+
+async def bad_wall_clock_sleep():
+    time.sleep(0.1)  # expect: SRV801
+
+
+async def bad_bare_sleep():
+    sleep(0.1)  # expect: SRV801
+
+
+async def bad_socket_recv(conn):
+    return conn.recv(1024)  # expect: SRV801
+
+
+async def bad_socket_sendall(conn, data):
+    conn.sendall(data)  # expect: SRV801
+
+
+async def bad_socket_connect():
+    sock = socket.create_connection(("127.0.0.1", 80))  # expect: SRV801
+    return sock
+
+
+async def bad_sync_open(path):
+    with open(path, "w") as handle:  # expect: SRV801
+        handle.write("x")
+
+
+async def bad_path_write(path):
+    Path(path).write_text("x")  # expect: SRV801
+
+
+async def bad_path_read(path):
+    return Path(path).read_bytes()  # expect: SRV801
+
+
+async def good_awaited_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def good_stream_io(reader, writer):
+    line = await reader.readline()
+    writer.write(line)
+    await writer.drain()
+    return line
+
+
+async def good_delegates_to_helper(path):
+    return _sync_helper(path)
+
+
+def _sync_helper(path):
+    # Plain sync functions are the sanctioned home for bounded file
+    # I/O — SRV801 only polices coroutine bodies.
+    with open(path, "w") as handle:
+        handle.write("x")
+    return Path(path).read_text()

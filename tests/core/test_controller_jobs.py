@@ -1,0 +1,83 @@
+"""Live job add/remove on the controller (the server's bind/unbind path).
+
+``repro.server`` cancels and admits batch jobs between quanta by
+calling ``remove_job``/``add_job`` on the controller; these tests pin
+the contract that path relies on: vacated slots are gated off in every
+decision (including cached-assignment fallbacks), re-added slots are
+re-profiled from scratch, and the gate survives snapshot/restore.
+"""
+
+import pytest
+
+from test_controller import build_controller, step
+
+
+class TestRemoveJob:
+    def test_removed_slot_gated_off_in_decide(self):
+        machine, controller = build_controller()
+        step(machine, controller, 0.5, 120.0)
+        controller.remove_job(2)
+        assignment, _ = step(machine, controller, 0.5, 120.0)
+        assert assignment.batch_configs[2] is None
+        assert controller.active_jobs()[2] is False
+
+    def test_remove_is_idempotent(self):
+        _, controller = build_controller()
+        controller.remove_job(0)
+        controller.remove_job(0)
+        assert controller.active_jobs()[0] is False
+
+    def test_out_of_range_rejected(self):
+        _, controller = build_controller()
+        with pytest.raises(ValueError):
+            controller.remove_job(-1)
+        with pytest.raises(ValueError):
+            controller.remove_job(999)
+
+    def test_gate_applies_to_cached_assignments(self):
+        """Safe-mode reuses the last-known-good assignment, which may
+        predate the removal; the mask must still zero the slot."""
+        machine, controller = build_controller()
+        step(machine, controller, 0.5, 120.0)
+        cached = controller.decide(0.5, 120.0)
+        assert cached.batch_configs[3] is not None
+        controller.remove_job(3)
+        masked = controller._apply_job_mask(cached)
+        assert masked.batch_configs[3] is None
+        # Only the vacated slot changes.
+        assert [
+            c for j, c in enumerate(masked.batch_configs) if j != 3
+        ] == [
+            c for j, c in enumerate(cached.batch_configs) if j != 3
+        ]
+
+
+class TestAddJob:
+    def test_add_into_occupied_slot_rejected(self):
+        _, controller = build_controller()
+        with pytest.raises(ValueError):
+            controller.add_job(0)
+
+    def test_add_lifts_gate_and_reprofiles(self):
+        machine, controller = build_controller()
+        step(machine, controller, 0.5, 120.0)
+        controller.remove_job(1)
+        step(machine, controller, 0.5, 120.0)
+        controller.add_job(1)
+        assert controller.active_jobs()[1] is True
+        assignment, _ = step(machine, controller, 0.5, 120.0)
+        assert assignment.batch_configs[1] is not None
+
+
+class TestSnapshotRoundTrip:
+    def test_job_gate_survives_snapshot_restore(self):
+        machine, controller = build_controller()
+        step(machine, controller, 0.5, 120.0)
+        controller.remove_job(4)
+        state = controller.snapshot()
+
+        machine2, restored = build_controller()
+        restored.restore(state)
+        assert restored.active_jobs() == controller.active_jobs()
+        assignment = restored.decide(0.5, 120.0)
+        assert assignment.batch_configs[4] is None

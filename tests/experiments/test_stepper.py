@@ -1,0 +1,135 @@
+"""QuantumStepper unit tests: step/run_policy equivalence, snapshotting.
+
+``run_policy`` is a loop over :class:`QuantumStepper`; the
+``repro.server`` daemon instead holds a stepper and ticks it one
+quantum at a time.  These tests pin the equivalence (stepping N times
+produces the same run as ``run_policy(n_slices=N)``), the ``done``
+terminal state, and mid-run snapshot/restore into a fresh stepper.
+"""
+
+import json
+
+import pytest
+
+from repro.core.controller import ControllerConfig
+from repro.core.runtime import CuttleSysPolicy
+from repro.experiments.harness import (
+    QuantumStepper,
+    build_machine_for_mix,
+    reference_power_for_mix,
+    run_policy,
+)
+from repro.sim.machine import measurement_state
+from repro.workloads.loadgen import LoadTrace
+from repro.workloads.mixes import paper_mixes
+
+N_SLICES = 6
+SEED = 7
+
+
+def _canonical(run):
+    return json.dumps(
+        {
+            "measurements": [measurement_state(m) for m in run.measurements],
+            "loads": list(run.loads),
+            "budgets": list(run.budgets),
+            "degraded_quanta": run.degraded_quanta,
+        },
+        sort_keys=True,
+    )
+
+
+def _arm(mix_index=0):
+    mix = paper_mixes()[mix_index]
+    reference = reference_power_for_mix(mix, seed=SEED)
+    machine = build_machine_for_mix(mix, seed=SEED)
+    policy = CuttleSysPolicy.for_machine(
+        machine, seed=SEED, config=ControllerConfig(seed=SEED),
+    )
+    trace = LoadTrace.constant(0.5)
+    return machine, policy, trace, reference
+
+
+class TestStepEquivalence:
+    def test_stepping_matches_run_policy(self):
+        machine, policy, trace, reference = _arm()
+        expected = run_policy(
+            machine, policy, trace, n_slices=N_SLICES,
+            max_power_w=reference,
+        )
+
+        machine2, policy2, trace2, _ = _arm()
+        stepper = QuantumStepper(
+            machine2, policy2, trace2, n_slices=N_SLICES,
+            max_power_w=reference,
+        )
+        measurements = []
+        while not stepper.done:
+            measurements.append(stepper.step())
+        assert len(measurements) == N_SLICES
+        assert _canonical(stepper.run) == _canonical(expected)
+
+    def test_step_returns_the_run_measurements(self):
+        machine, policy, trace, reference = _arm()
+        stepper = QuantumStepper(
+            machine, policy, trace, n_slices=3, max_power_w=reference,
+        )
+        first = stepper.step()
+        assert stepper.run.measurements[0] is first
+        assert stepper.next_slice == 1
+
+    def test_step_past_done_raises(self):
+        machine, policy, trace, reference = _arm()
+        stepper = QuantumStepper(
+            machine, policy, trace, n_slices=2, max_power_w=reference,
+        )
+        stepper.step()
+        stepper.step()
+        assert stepper.done
+        with pytest.raises(RuntimeError, match="already executed"):
+            stepper.step()
+
+    def test_constructor_validation(self):
+        machine, policy, trace, reference = _arm()
+        with pytest.raises(ValueError):
+            QuantumStepper(machine, policy, trace, n_slices=0)
+        with pytest.raises(ValueError):
+            QuantumStepper(
+                machine, policy, trace, power_cap_fraction=0.0,
+            )
+        with pytest.raises(ValueError):
+            QuantumStepper(
+                machine, policy, trace, on_policy_error="explode",
+            )
+
+
+class TestSnapshotRestore:
+    def test_restore_resumes_byte_identically(self):
+        machine, policy, trace, reference = _arm()
+        stepper = QuantumStepper(
+            machine, policy, trace, n_slices=N_SLICES,
+            max_power_w=reference,
+        )
+        while not stepper.done:
+            stepper.step()
+        expected = _canonical(stepper.run)
+
+        machine2, policy2, trace2, _ = _arm()
+        first = QuantumStepper(
+            machine2, policy2, trace2, n_slices=N_SLICES,
+            max_power_w=reference,
+        )
+        for _ in range(3):
+            first.step()
+        state = json.loads(json.dumps(first.snapshot()))
+
+        machine3, policy3, trace3, _ = _arm()
+        resumed = QuantumStepper(
+            machine3, policy3, trace3, n_slices=N_SLICES,
+            max_power_w=reference,
+        )
+        resumed.restore(state)
+        assert resumed.next_slice == 3
+        while not resumed.done:
+            resumed.step()
+        assert _canonical(resumed.run) == expected

@@ -94,3 +94,21 @@ class TestInspect:
     def test_inspect_missing_file(self, tmp_path):
         with pytest.raises(CheckpointError, match="no such checkpoint"):
             inspect_checkpoint(tmp_path / "absent.json")
+
+    def test_inspect_zero_byte_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            inspect_checkpoint(path)
+
+    def test_inspect_truncated_file(self, tmp_path):
+        path = tmp_path / "ck.json"
+        CheckpointStore(path, FINGERPRINT).save({"a": 1})
+        truncated = path.read_bytes()[: path.stat().st_size // 2]
+        path.write_bytes(truncated)
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            inspect_checkpoint(path)
+
+    def test_inspect_directory(self, tmp_path):
+        with pytest.raises(CheckpointError, match="unreadable checkpoint"):
+            inspect_checkpoint(tmp_path)

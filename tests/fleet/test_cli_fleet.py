@@ -71,6 +71,26 @@ class TestCommands:
         assert code == 2
         assert "error" in capsys.readouterr().err.lower()
 
+    @pytest.mark.parametrize("content", [b"", b'{"schema": 1, "comp'])
+    def test_fleet_status_corrupt_file_exits_2_without_traceback(
+        self, tmp_path, capsys, content
+    ):
+        """Zero-byte and truncated checkpoints get a one-line error on
+        stderr and exit code 2 — never a traceback."""
+        path = tmp_path / "ck.json"
+        path.write_bytes(content)
+        code = main(["fleet", "status", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_fleet_status_directory_exits_2(self, tmp_path, capsys):
+        code = main(["fleet", "status", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unreadable checkpoint" in captured.err
+
     def test_resume_without_checkpoint_rejected(self, capsys):
         code = main(
             ["--seed", "7", "fleet", "cluster", "--slices", "2", "--resume"]

@@ -1,0 +1,131 @@
+"""Keep-alive worker pool: reuse across map() calls, shared FleetRuns.
+
+The ``repro.server`` daemon holds one ``keep_alive=True`` pool for the
+lifetime of the process and runs every ``whatif`` probe through it, so
+the properties under test here are load-bearing for the control plane:
+workers persist across ``map()`` calls (no respawn cost per probe),
+``close()`` is a hard boundary, and results are bit-equal to one-shot
+and serial execution.
+"""
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.fleet import (
+    FleetParams,
+    FleetPool,
+    FleetRun,
+    PoolParams,
+    WorkUnit,
+    unit_seed,
+)
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="no fork start method")
+
+
+def worker_pid(unit_id: str) -> int:
+    return os.getpid()
+
+
+def seeded_cell(unit_id: str, seed: int) -> dict:
+    return {"unit": unit_id, "draw": unit_seed(unit_id, seed=seed) % 1000}
+
+
+def pid_units(tag: str, n: int):
+    return [
+        WorkUnit(f"{tag}-{i}", worker_pid, {"unit_id": f"{tag}-{i}"})
+        for i in range(n)
+    ]
+
+
+def cell_units(tag: str, n: int, seed: int = 7):
+    return [
+        WorkUnit(f"{tag}-{i}", seeded_cell,
+                 {"unit_id": f"{tag}-{i}", "seed": seed})
+        for i in range(n)
+    ]
+
+
+@needs_fork
+class TestWorkerReuse:
+    def test_same_worker_pids_across_map_calls(self):
+        pool = FleetPool(PoolParams(
+            jobs=2, keep_alive=True, start_method="fork",
+        ))
+        try:
+            first = {r.value for r in pool.map(pid_units("a", 4))}
+            second = {r.value for r in pool.map(pid_units("b", 4))}
+        finally:
+            pool.close()
+        assert first == second
+        assert os.getpid() not in first
+
+    def test_one_shot_pool_respawns_each_map(self):
+        pool = FleetPool(PoolParams(jobs=2, start_method="fork"))
+        first = {r.value for r in pool.map(pid_units("a", 4))}
+        second = {r.value for r in pool.map(pid_units("b", 4))}
+        assert first.isdisjoint(second)
+
+    def test_results_match_serial_execution(self):
+        serial = FleetPool(PoolParams(jobs=1)).map(cell_units("x", 6))
+        pool = FleetPool(PoolParams(
+            jobs=3, keep_alive=True, start_method="fork",
+        ))
+        try:
+            alive = pool.map(cell_units("x", 6))
+        finally:
+            pool.close()
+        assert [r.value for r in alive] == [r.value for r in serial]
+
+
+class TestCloseSemantics:
+    def test_map_after_close_raises(self):
+        pool = FleetPool(PoolParams(jobs=1, keep_alive=True))
+        pool.close()
+        with pytest.raises(ValueError, match="closed pool"):
+            pool.map(cell_units("x", 1))
+
+    def test_close_is_idempotent(self):
+        pool = FleetPool(PoolParams(jobs=1, keep_alive=True))
+        pool.close()
+        pool.close()
+
+    @needs_fork
+    def test_close_reaps_persistent_workers(self):
+        pool = FleetPool(PoolParams(
+            jobs=2, keep_alive=True, start_method="fork",
+        ))
+        pool.map(pid_units("a", 2))
+        workers = list(pool._workers)
+        assert all(w.process.is_alive() for w in workers)
+        pool.close()
+        for worker in workers:
+            worker.process.join(timeout=30)
+        assert not any(w.process.is_alive() for w in workers)
+
+
+@needs_fork
+class TestSharedAcrossFleetRuns:
+    def test_two_runs_share_one_pool(self, tmp_path):
+        pool = FleetPool(PoolParams(
+            jobs=2, keep_alive=True, start_method="fork",
+        ))
+        params = FleetParams(jobs=2)
+        try:
+            first = FleetRun(
+                "ka-one", cell_units("p", 4), params, seed=7, pool=pool,
+            ).execute()
+            second = FleetRun(
+                "ka-two", cell_units("q", 4), params, seed=7, pool=pool,
+            ).execute()
+        finally:
+            pool.close()
+        solo = FleetRun("ka-one", cell_units("p", 4), params, seed=7)
+        assert [r.value for r in first.results] == [
+            r.value for r in solo.execute().results
+        ]
+        # Shared-pool tallies are reported per run, not cumulatively.
+        assert first.retries == 0 and second.retries == 0

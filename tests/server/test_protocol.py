@@ -1,0 +1,93 @@
+"""Wire-format unit tests: parsing, canonical encoding, HTTP sniffing."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_line,
+    error_response,
+    http_response,
+    looks_like_http,
+    ok_response,
+    parse_http_request_line,
+    parse_request,
+)
+
+
+class TestParseRequest:
+    def test_valid_request_roundtrips(self):
+        req = parse_request('{"op": "status", "id": 7}')
+        assert req == {"op": "status", "id": 7}
+
+    def test_malformed_json_is_bad_json(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request("{nope")
+        assert exc.value.code == "bad_json"
+
+    def test_non_object_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request("[1, 2]")
+        assert exc.value.code == "bad_request"
+
+    def test_missing_op_is_bad_request(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request('{"id": 1}')
+        assert exc.value.code == "bad_request"
+
+    def test_unknown_op_names_known_ops(self):
+        with pytest.raises(ProtocolError) as exc:
+            parse_request('{"op": "launch_missiles"}')
+        assert exc.value.code == "unknown_op"
+        assert "submit" in str(exc.value)
+
+
+class TestEncoding:
+    def test_encode_line_is_canonical(self):
+        a = encode_line({"b": 1, "a": 2})
+        b = encode_line({"a": 2, "b": 1})
+        assert a == b == b'{"a":2,"b":1}\n'
+
+    def test_ok_response_echoes_op_and_id(self):
+        resp = ok_response("tick", {"op": "tick", "id": "x"}, quantum=3)
+        assert resp == {"ok": True, "op": "tick", "id": "x", "quantum": 3}
+
+    def test_error_response_carries_stable_code(self):
+        resp = error_response("unknown_job", "no such job", op="cancel")
+        assert resp["ok"] is False
+        assert resp["code"] == "unknown_job"
+
+    def test_protocol_version_is_stable(self):
+        assert PROTOCOL_VERSION == 1
+
+
+class TestHttpSniffing:
+    @pytest.mark.parametrize("line", [
+        b"GET /status HTTP/1.1\r\n",
+        b"HEAD /metrics HTTP/1.1\r\n",
+        b"POST /x HTTP/1.1\r\n",
+    ])
+    def test_http_lines_detected(self, line):
+        assert looks_like_http(line)
+
+    def test_ndjson_line_not_http(self):
+        assert not looks_like_http(b'{"op": "hello"}\n')
+
+    def test_request_line_parses(self):
+        assert parse_http_request_line(
+            b"GET /decisions?since=3 HTTP/1.1\r\n"
+        ) == ("GET", "/decisions?since=3")
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_http_request_line(b"GARBAGE\r\n")
+
+    def test_http_response_is_complete(self):
+        raw = http_response("200 OK", "application/json", b"{}")
+        text = raw.decode("latin-1")
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 2" in text
+        assert "Connection: close" in text
+        assert text.endswith("\r\n\r\n{}")
